@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks for the mapping evaluator: the operation
+//! every search algorithm pays per candidate, so its throughput bounds
+//! the whole design-space exploration (paper Table II ran 100 000+
+//! evaluations per cell).
+
+use bench::{paper_problem, TABLE2_APPS};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use phonoc_core::{Mapping, Objective};
+use phonoc_topo::TopologyKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn evaluator_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("evaluate_mapping");
+    for app in TABLE2_APPS {
+        let problem = paper_problem(app, TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+        let tasks = problem.task_count();
+        let tiles = problem.tile_count();
+        group.bench_function(app, |b| {
+            let mut rng = StdRng::seed_from_u64(1);
+            b.iter_batched(
+                || Mapping::random(tasks, tiles, &mut rng),
+                |m| problem.evaluate(&m),
+                BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+fn evaluator_construction(c: &mut Criterion) {
+    // Problem assembly precomputes every tile-pair path and the router
+    // interaction matrix; it is paid once per experiment cell.
+    c.bench_function("evaluator_precompute_dvopd_6x6", |b| {
+        b.iter(|| {
+            paper_problem(
+                "DVOPD",
+                TopologyKind::Mesh,
+                Objective::MaximizeWorstCaseSnr,
+            )
+        });
+    });
+}
+
+criterion_group!(benches, evaluator_throughput, evaluator_construction);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion benchmarks for the search strategies at a fixed small
+//! budget: wall-clock per evaluation differs between strategies because
+//! of their bookkeeping (GA population management, R-PBLA neighbourhood
+//! scans), which is exactly the overhead an equal-evaluation comparison
+//! must keep small.
+
+use bench::paper_problem;
+use criterion::{criterion_group, criterion_main, Criterion};
+use phonoc_core::{run_dse, MappingOptimizer, Objective};
+use phonoc_opt::{GeneticAlgorithm, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch};
+use phonoc_topo::TopologyKind;
+
+fn optimizer_overhead(c: &mut Criterion) {
+    let problem = paper_problem("VOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+    let budget = 2_000;
+    let optimizers: Vec<Box<dyn MappingOptimizer>> = vec![
+        Box::new(RandomSearch),
+        Box::new(GeneticAlgorithm::default()),
+        Box::new(Rpbla),
+        Box::new(SimulatedAnnealing::default()),
+        Box::new(TabuSearch::default()),
+    ];
+    let mut group = c.benchmark_group("optimize_vopd_2k_evals");
+    group.sample_size(10);
+    for opt in &optimizers {
+        group.bench_function(opt.name(), |b| {
+            b.iter(|| run_dse(&problem, opt.as_ref(), budget, 42));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, optimizer_overhead);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Optimizer-strategy ablation: the paper's three strategies plus the
+//! two "other strategies" extension slots (simulated annealing and tabu
+//! search) under an equal budget, with convergence history.
+//!
+//! ```text
+//! cargo run --release -p bench --bin optimizer_ablation [--budget N] [--seed S]
+//! ```
+
+use bench::{arg_value, paper_problem, write_results_file};
+use phonoc_core::{run_dse, MappingOptimizer, Objective};
+use phonoc_opt::{
+    GeneticAlgorithm, IteratedLocalSearch, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch,
+};
+use phonoc_topo::TopologyKind;
+use std::fmt::Write as _;
+
+const APPS: [&str; 3] = ["VOPD", "MPEG-4", "Wavelet"];
+
+fn main() {
+    let budget: usize = arg_value("--budget").unwrap_or(30_000);
+    let seed: u64 = arg_value("--seed").unwrap_or(11);
+
+    let optimizers: Vec<Box<dyn MappingOptimizer>> = vec![
+        Box::new(RandomSearch),
+        Box::new(GeneticAlgorithm::default()),
+        Box::new(Rpbla),
+        Box::new(SimulatedAnnealing::default()),
+        Box::new(TabuSearch::default()),
+        Box::new(IteratedLocalSearch::default()),
+    ];
+
+    println!("Optimizer ablation: worst-case SNR objective, mesh, {budget} evaluations\n");
+    println!(
+        "{:<10} {:>10} {:>12} {:>22}",
+        "app", "optimizer", "SNR (dB)", "evals to best"
+    );
+
+    let mut csv = String::from("app,optimizer,snr_db,evals_to_best\n");
+    for app in APPS {
+        let problem = paper_problem(app, TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+        for opt in &optimizers {
+            let r = run_dse(&problem, opt.as_ref(), budget, seed);
+            let evals_to_best = r.history.last().map_or(0, |(e, _)| *e);
+            println!(
+                "{app:<10} {:>10} {:>12.2} {:>22}",
+                r.optimizer, r.best_score, evals_to_best
+            );
+            let _ = writeln!(csv, "{app},{},{:.3},{evals_to_best}", r.optimizer, r.best_score);
+        }
+        println!();
+    }
+    write_results_file("optimizer_ablation.csv", &csv);
+}

@@ -1,0 +1,66 @@
+//! Regenerates **Table I** of the paper: the loss and crosstalk
+//! parameters of the photonic building blocks, as consumed by the
+//! models.
+//!
+//! ```text
+//! cargo run --release -p bench --bin table1_params
+//! ```
+
+use phonoc_phys::PhysicalParameters;
+
+fn main() {
+    let p = PhysicalParameters::default();
+    println!("TABLE I. LOSS AND CROSSTALK PARAMETERS");
+    println!("{:<42} {:<10} {:>12}", "Parameter", "Notation", "Value");
+    println!("{}", "-".repeat(66));
+    let rows = [
+        ("Crossing loss", "Lc", format!("{} dB", p.crossing_loss.0)),
+        (
+            "Propagation Loss in Silicon",
+            "Lp",
+            format!("{} dB/cm", p.propagation_loss_per_cm.0),
+        ),
+        (
+            "Power loss per PPSE in OFF state",
+            "Lp,off",
+            format!("{} dB", p.ppse_off_loss.0),
+        ),
+        (
+            "Power loss per PPSE in ON state",
+            "Lp,on",
+            format!("{} dB", p.ppse_on_loss.0),
+        ),
+        (
+            "Power loss per CPSE in OFF state",
+            "Lc,off",
+            format!("{} dB", p.cpse_off_loss.0),
+        ),
+        (
+            "Power loss per CPSE in ON state",
+            "Lc,on",
+            format!("{} dB", p.cpse_on_loss.0),
+        ),
+        (
+            "Crossing's crosstalk coefficient",
+            "Kc",
+            format!("{} dB", p.crossing_crosstalk.0),
+        ),
+        (
+            "Crosstalk coefficient per PSE in OFF state",
+            "Kp,off",
+            format!("{} dB", p.pse_off_crosstalk.0),
+        ),
+        (
+            "Crosstalk coefficient per PSE in ON state",
+            "Kp,on",
+            format!("{} dB", p.pse_on_crosstalk.0),
+        ),
+    ];
+    for (name, notation, value) in rows {
+        println!("{name:<42} {notation:<10} {value:>12}");
+    }
+    println!();
+    println!("derived: laser-to-detector budget = {}", p.loss_budget());
+    p.validate().expect("Table I must validate");
+    println!("validation: ok");
+}

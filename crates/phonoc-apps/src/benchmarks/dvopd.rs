@@ -1,0 +1,64 @@
+//! DVOPD — dual video object plane decoder, 32 tasks.
+//!
+//! Two full VOPD pipelines decode two video object planes concurrently;
+//! the second display stream is merged into the first ("the DVOPD
+//! application … is mapped on the bigger topology", i.e. 6×6 in the
+//! paper's experiments).
+
+use crate::cg::{CgBuilder, CommunicationGraph};
+
+use super::vopd::vopd_named;
+
+/// Builds the 32-task DVOPD communication graph: two suffixed VOPD
+/// instances plus the display-merge edge that joins the streams.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::benchmarks::dvopd();
+/// assert_eq!(cg.task_count(), 32);
+/// ```
+#[must_use]
+pub fn dvopd() -> CommunicationGraph {
+    let a = vopd_named("VOPD", "_0");
+    let b = vopd_named("VOPD", "_1");
+    let mut builder = CgBuilder::new("DVOPD");
+    for cg in [&a, &b] {
+        for t in cg.tasks() {
+            builder = builder.task(cg.task_name(t));
+        }
+    }
+    for cg in [&a, &b] {
+        for e in cg.edges() {
+            builder = builder.edge(
+                cg.task_name(e.src),
+                cg.task_name(e.dst),
+                e.bandwidth,
+            );
+        }
+    }
+    builder
+        // Merge the second stream into the primary display.
+        .edge("disp_1", "disp_0", 16.0)
+        .build()
+        .expect("the DVOPD benchmark graph must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dvopd_shape() {
+        let cg = super::dvopd();
+        assert_eq!(cg.task_count(), 32, "paper: DVOPD has 32 tasks");
+        assert_eq!(cg.edge_count(), 41, "2×20 VOPD edges + display merge");
+        assert!(cg.is_weakly_connected());
+    }
+
+    #[test]
+    fn both_instances_present() {
+        let cg = super::dvopd();
+        assert!(cg.task_id("vld_0").is_some());
+        assert!(cg.task_id("vld_1").is_some());
+        assert!(cg.task_id("vld").is_none());
+    }
+}

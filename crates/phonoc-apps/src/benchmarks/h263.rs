@@ -1,0 +1,102 @@
+//! The combined H.263 video + MP3 audio codec applications
+//! (Hu & Marculescu benchmark family).
+//!
+//! * [`h263dec_mp3dec`] — H.263 decoder + MP3 decoder, 14 tasks: an
+//!   8-stage video decoding pipeline (with the motion-compensation
+//!   feedback loop) and a 6-stage audio decoding pipeline sharing the
+//!   stream demultiplexer.
+//! * [`h263enc_mp3enc`] — H.263 encoder + MP3 encoder, 12 tasks /
+//!   12 edges (the paper cites the edge count when discussing how
+//!   lightly constrained this graph is).
+
+use crate::cg::{CgBuilder, CommunicationGraph};
+
+/// Builds the 14-task H.263-decoder + MP3-decoder graph.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::benchmarks::h263dec_mp3dec();
+/// assert_eq!(cg.task_count(), 14);
+/// ```
+#[must_use]
+pub fn h263dec_mp3dec() -> CommunicationGraph {
+    CgBuilder::new("263dec_mp3dec")
+        .tasks([
+            // Video decoder.
+            "demux", "vld", "iq", "izz", "idct", "mc", "recon", "disp",
+            // Audio decoder.
+            "huff", "req", "reorder", "stereo", "imdct", "pcm",
+        ])
+        .edge("demux", "vld", 33.0)
+        .edge("vld", "iq", 20.0)
+        .edge("iq", "izz", 20.0)
+        .edge("izz", "idct", 20.0)
+        .edge("idct", "recon", 25.0)
+        .edge("mc", "recon", 25.0)
+        .edge("recon", "mc", 25.0)
+        .edge("recon", "disp", 30.0)
+        .edge("demux", "huff", 5.0)
+        .edge("huff", "req", 5.0)
+        .edge("req", "reorder", 5.0)
+        .edge("reorder", "stereo", 5.0)
+        .edge("stereo", "imdct", 8.0)
+        .edge("imdct", "pcm", 10.0)
+        .build()
+        .expect("the 263dec_mp3dec benchmark graph must validate")
+}
+
+/// Builds the 12-task / 12-edge H.263-encoder + MP3-encoder graph.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::benchmarks::h263enc_mp3enc();
+/// assert_eq!(cg.task_count(), 12);
+/// assert_eq!(cg.edge_count(), 12);
+/// ```
+#[must_use]
+pub fn h263enc_mp3enc() -> CommunicationGraph {
+    CgBuilder::new("263enc_mp3enc")
+        .tasks([
+            // Video encoder.
+            "src", "me", "mc", "dct", "quant", "vlc", "out",
+            // Audio encoder.
+            "pcm", "subband", "mdct", "quant_a", "pack",
+        ])
+        .edge("src", "me", 64.0)
+        .edge("me", "mc", 64.0)
+        .edge("mc", "dct", 32.0)
+        .edge("dct", "quant", 32.0)
+        .edge("quant", "vlc", 16.0)
+        .edge("vlc", "out", 8.0)
+        // Reconstruction feedback to motion estimation.
+        .edge("quant", "me", 24.0)
+        .edge("pcm", "subband", 10.0)
+        .edge("subband", "mdct", 10.0)
+        .edge("mdct", "quant_a", 8.0)
+        .edge("quant_a", "pack", 6.0)
+        // The packed audio stream is muxed into the same output.
+        .edge("pack", "out", 4.0)
+        .build()
+        .expect("the 263enc_mp3enc benchmark graph must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn dec_shape() {
+        let cg = super::h263dec_mp3dec();
+        assert_eq!(cg.task_count(), 14, "paper: 263dec_mp3dec has 14 tasks");
+        assert_eq!(cg.edge_count(), 14);
+        assert!(cg.is_weakly_connected());
+    }
+
+    #[test]
+    fn enc_shape() {
+        let cg = super::h263enc_mp3enc();
+        assert_eq!(cg.task_count(), 12, "paper: 263enc_mp3enc has 12 tasks");
+        assert_eq!(cg.edge_count(), 12, "paper §III: 263enc_mp3enc has 12 edges");
+        assert!(cg.is_weakly_connected());
+    }
+}

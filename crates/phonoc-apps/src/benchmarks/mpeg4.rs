@@ -1,0 +1,90 @@
+//! MPEG-4 — MPEG-4 decoder, 12 tasks / 26 directed edges.
+//!
+//! The paper calls MPEG-4 out as the most constrained small benchmark:
+//! "applications that are more constrained due to their CGs, such as the
+//! MPEG-4 (26 edges), are subjected to a higher power loss and crosstalk
+//! noise". The characteristic feature of the classic MPEG-4 core graph
+//! (van der Tol & Jaspers; Murali & De Micheli) is the SDRAM hub that
+//! exchanges traffic with almost every other core bidirectionally; our
+//! encoding preserves exactly that hub structure and the 26-edge count.
+
+use crate::cg::{CgBuilder, CommunicationGraph};
+
+/// Builds the 12-task / 26-edge MPEG-4 decoder communication graph.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::benchmarks::mpeg4();
+/// assert_eq!(cg.task_count(), 12);
+/// assert_eq!(cg.edge_count(), 26);
+/// ```
+#[must_use]
+pub fn mpeg4() -> CommunicationGraph {
+    CgBuilder::new("MPEG-4")
+        .tasks([
+            "vu", "au", "med_cpu", "rast", "idct", "upsp", "risc", "sram1", "sram2", "sdram",
+            "adsp", "bab",
+        ])
+        // SDRAM hub: eight bidirectional streams (16 directed edges).
+        .edge("vu", "sdram", 190.0)
+        .edge("sdram", "vu", 0.5)
+        .edge("au", "sdram", 60.0)
+        .edge("sdram", "au", 0.5)
+        .edge("med_cpu", "sdram", 600.0)
+        .edge("sdram", "med_cpu", 40.0)
+        .edge("rast", "sdram", 640.0)
+        .edge("sdram", "rast", 32.0)
+        .edge("idct", "sdram", 250.0)
+        .edge("sdram", "idct", 0.5)
+        .edge("upsp", "sdram", 173.0)
+        .edge("sdram", "upsp", 0.5)
+        .edge("risc", "sdram", 500.0)
+        .edge("sdram", "risc", 100.0)
+        .edge("bab", "sdram", 205.0)
+        .edge("sdram", "bab", 0.5)
+        // Scratchpad SRAMs and the audio DSP.
+        .edge("risc", "sram1", 910.0)
+        .edge("sram1", "risc", 910.0)
+        .edge("risc", "sram2", 250.0)
+        .edge("sram2", "risc", 250.0)
+        .edge("adsp", "sram2", 32.0)
+        .edge("sram2", "adsp", 32.0)
+        .edge("au", "adsp", 0.5)
+        .edge("adsp", "au", 0.5)
+        // Control and rasterization feed.
+        .edge("med_cpu", "vu", 0.5)
+        .edge("vu", "rast", 500.0)
+        .build()
+        .expect("the MPEG-4 benchmark graph must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cg::TaskId;
+
+    #[test]
+    fn mpeg4_shape() {
+        let cg = super::mpeg4();
+        assert_eq!(cg.task_count(), 12, "paper: MPEG-4 has 12 tasks");
+        assert_eq!(cg.edge_count(), 26, "paper §III: MPEG-4 has 26 edges");
+        assert!(cg.is_weakly_connected());
+    }
+
+    #[test]
+    fn sdram_is_the_hub() {
+        let cg = super::mpeg4();
+        let sdram = cg.task_id("sdram").unwrap();
+        let degree = cg.in_degree(sdram) + cg.out_degree(sdram);
+        for t in cg.tasks() {
+            if t != sdram {
+                assert!(
+                    cg.in_degree(t) + cg.out_degree(t) <= degree,
+                    "sdram must have the highest degree"
+                );
+            }
+        }
+        assert_eq!(degree, 16);
+        let _ = TaskId(0); // keep the import used in all cfg combinations
+    }
+}

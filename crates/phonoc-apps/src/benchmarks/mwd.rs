@@ -1,0 +1,51 @@
+//! MWD — multi-window display, 12 tasks / 12 edges.
+//!
+//! The paper singles MWD out as a lightly constrained graph: "the
+//! 263enc mp3enc (12 edges) and the MWD (12 edges)". The dataflow is the
+//! standard multi-window display pipeline: noise reduction, horizontal
+//! and vertical scaling with frame memories, followed by the juggler and
+//! sharpening/blending stages.
+
+use crate::cg::{CgBuilder, CommunicationGraph};
+
+/// Builds the 12-task / 12-edge MWD communication graph.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::benchmarks::mwd();
+/// assert_eq!(cg.task_count(), 12);
+/// assert_eq!(cg.edge_count(), 12);
+/// ```
+#[must_use]
+pub fn mwd() -> CommunicationGraph {
+    CgBuilder::new("MWD")
+        .tasks([
+            "in", "nr", "mem1", "hs", "vs", "mem2", "hvs", "jug1", "mem3", "jug2", "se", "blend",
+        ])
+        .edge("in", "nr", 128.0)
+        .edge("in", "mem1", 96.0)
+        .edge("nr", "hs", 96.0)
+        .edge("mem1", "hs", 96.0)
+        .edge("hs", "vs", 96.0)
+        .edge("vs", "mem2", 96.0)
+        .edge("mem2", "hvs", 96.0)
+        .edge("hvs", "jug1", 64.0)
+        .edge("jug1", "mem3", 64.0)
+        .edge("mem3", "jug2", 64.0)
+        .edge("jug2", "se", 64.0)
+        .edge("se", "blend", 64.0)
+        .build()
+        .expect("the MWD benchmark graph must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn mwd_shape() {
+        let cg = super::mwd();
+        assert_eq!(cg.task_count(), 12, "paper: MWD has 12 tasks");
+        assert_eq!(cg.edge_count(), 12, "paper §III: MWD has 12 edges");
+        assert!(cg.is_weakly_connected());
+    }
+}

@@ -1,0 +1,47 @@
+//! PIP — picture-in-picture application, 8 tasks.
+//!
+//! The smallest of the paper's benchmarks ("application PIP mapped on a
+//! 3×3 topology"). The task graph follows the standard
+//! picture-in-picture dataflow used throughout the NoC mapping
+//! literature: the main picture is scaled horizontally and vertically
+//! while the inset picture takes the combined scaler path, and both meet
+//! in memory before display.
+
+use crate::cg::{CgBuilder, CommunicationGraph};
+
+/// Builds the 8-task PIP communication graph.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::benchmarks::pip();
+/// assert_eq!(cg.task_count(), 8);
+/// ```
+#[must_use]
+pub fn pip() -> CommunicationGraph {
+    CgBuilder::new("PIP")
+        .tasks([
+            "inp_mem", "hs", "vs", "jug1", "hvs", "jug2", "mem", "op_disp",
+        ])
+        .edge("inp_mem", "hs", 128.0)
+        .edge("hs", "vs", 64.0)
+        .edge("vs", "jug1", 64.0)
+        .edge("jug1", "mem", 64.0)
+        .edge("inp_mem", "hvs", 96.0)
+        .edge("hvs", "jug2", 96.0)
+        .edge("jug2", "mem", 96.0)
+        .edge("mem", "op_disp", 64.0)
+        .build()
+        .expect("the PIP benchmark graph must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn pip_shape() {
+        let cg = super::pip();
+        assert_eq!(cg.task_count(), 8, "paper: PIP has 8 tasks");
+        assert_eq!(cg.edge_count(), 8);
+        assert!(cg.is_weakly_connected());
+    }
+}

@@ -1,0 +1,104 @@
+//! VOPD — video object plane decoder, 16 tasks.
+//!
+//! The classic VOPD pipeline (variable-length decoding → run-length
+//! decoding → inverse scan → AC/DC prediction → inverse quantization →
+//! IDCT → up-sampling → VOP reconstruction → padding → VOP memory) with
+//! the stripe memory and ARM control loops, extended to the 16-core
+//! granularity used by the paper (demux front-end, memory controller,
+//! smoothing filter and display back-end are separate cores).
+
+use crate::cg::{CgBuilder, CommunicationGraph};
+
+/// Builds the 16-task VOPD communication graph.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::benchmarks::vopd();
+/// assert_eq!(cg.task_count(), 16);
+/// ```
+#[must_use]
+pub fn vopd() -> CommunicationGraph {
+    vopd_named("VOPD", "")
+}
+
+/// Builds a VOPD instance with a name and a suffix appended to every
+/// task, so two instances can coexist inside DVOPD.
+#[must_use]
+pub(crate) fn vopd_named(name: &str, suffix: &str) -> CommunicationGraph {
+    let t = |base: &str| format!("{base}{suffix}");
+    CgBuilder::new(name)
+        .tasks([
+            t("demux"),
+            t("vld"),
+            t("run_le_dec"),
+            t("inv_scan"),
+            t("ac_dc_pred"),
+            t("stripe_mem"),
+            t("iquan"),
+            t("idct"),
+            t("up_samp"),
+            t("vop_rec"),
+            t("pad"),
+            t("vop_mem"),
+            t("smooth"),
+            t("arm"),
+            t("mem_ctrl"),
+            t("disp"),
+        ])
+        // Main decoding pipeline.
+        .edge(t("demux"), t("vld"), 70.0)
+        .edge(t("vld"), t("run_le_dec"), 70.0)
+        .edge(t("run_le_dec"), t("inv_scan"), 362.0)
+        .edge(t("inv_scan"), t("ac_dc_pred"), 362.0)
+        .edge(t("ac_dc_pred"), t("iquan"), 362.0)
+        .edge(t("iquan"), t("idct"), 357.0)
+        .edge(t("idct"), t("up_samp"), 353.0)
+        .edge(t("up_samp"), t("vop_rec"), 300.0)
+        .edge(t("vop_rec"), t("pad"), 313.0)
+        .edge(t("pad"), t("vop_mem"), 313.0)
+        // Stripe memory side loop.
+        .edge(t("ac_dc_pred"), t("stripe_mem"), 49.0)
+        .edge(t("stripe_mem"), t("ac_dc_pred"), 27.0)
+        // VOP memory feedback and post-processing.
+        .edge(t("vop_mem"), t("pad"), 94.0)
+        .edge(t("vop_mem"), t("smooth"), 16.0)
+        .edge(t("smooth"), t("vop_mem"), 16.0)
+        .edge(t("smooth"), t("disp"), 16.0)
+        // ARM control plane (stream headers from the demux, IDCT
+        // coefficient control) and the reference-memory controller
+        // feeding the smoothing filter.
+        .edge(t("demux"), t("arm"), 1.0)
+        .edge(t("arm"), t("idct"), 16.0)
+        .edge(t("idct"), t("arm"), 16.0)
+        .edge(t("mem_ctrl"), t("smooth"), 16.0)
+        .build()
+        .expect("the VOPD benchmark graph must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn vopd_shape() {
+        let cg = super::vopd();
+        assert_eq!(cg.task_count(), 16, "paper: VOPD has 16 tasks");
+        assert_eq!(cg.edge_count(), 20);
+        assert!(cg.is_weakly_connected());
+    }
+
+    #[test]
+    fn vopd_pipeline_backbone_present() {
+        let cg = super::vopd();
+        for (s, d) in [
+            ("vld", "run_le_dec"),
+            ("iquan", "idct"),
+            ("pad", "vop_mem"),
+        ] {
+            let (s, d) = (cg.task_id(s).unwrap(), cg.task_id(d).unwrap());
+            assert!(
+                cg.edges().iter().any(|e| e.src == s && e.dst == d),
+                "missing backbone edge"
+            );
+        }
+    }
+}

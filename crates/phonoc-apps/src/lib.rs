@@ -1,0 +1,28 @@
+//! Application workloads for photonic-NoC mapping: communication graphs,
+//! the paper's eight multimedia benchmarks, and synthetic generators.
+//!
+//! * [`cg`] — the validated [`cg::CommunicationGraph`] data structure
+//!   (paper Definition 1) and its builder.
+//! * [`benchmarks`] — the eight case-study applications of paper
+//!   Section III with their exact task counts.
+//! * [`synthetic`] — pipeline/star/random generators for scalability
+//!   studies.
+//!
+//! # Example
+//!
+//! ```
+//! use phonoc_apps::benchmarks;
+//!
+//! let vopd = benchmarks::vopd();
+//! println!("{}", vopd.to_dot());
+//! assert_eq!(vopd.task_count(), 16);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchmarks;
+pub mod cg;
+pub mod synthetic;
+pub mod text;
+
+pub use cg::{CgBuilder, CgEdge, CgError, CommunicationGraph, TaskId};

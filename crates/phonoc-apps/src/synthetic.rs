@@ -1,0 +1,146 @@
+//! Synthetic communication-graph generators, for scalability studies and
+//! stress tests beyond the eight paper benchmarks.
+
+use crate::cg::{CgBuilder, CommunicationGraph};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A linear pipeline `t0 → t1 → … → t(n−1)`, bandwidth 64 MB/s per hop.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+///
+/// # Examples
+///
+/// ```
+/// let cg = phonoc_apps::synthetic::pipeline(5);
+/// assert_eq!(cg.task_count(), 5);
+/// assert_eq!(cg.edge_count(), 4);
+/// ```
+#[must_use]
+pub fn pipeline(n: usize) -> CommunicationGraph {
+    assert!(n >= 2, "a pipeline needs at least 2 tasks");
+    let mut b = CgBuilder::new(format!("pipeline-{n}"));
+    for i in 0..n {
+        b = b.task(format!("t{i}"));
+    }
+    for i in 0..n - 1 {
+        b = b.edge(format!("t{i}"), format!("t{}", i + 1), 64.0);
+    }
+    b.build().expect("pipeline generator produces valid graphs")
+}
+
+/// A star: `hub → spoke_i` for even i, `spoke_i → hub` for odd i. Models
+/// a shared-memory hub like the MPEG-4 SDRAM.
+///
+/// # Panics
+///
+/// Panics if `n < 2` (hub plus at least one spoke).
+#[must_use]
+pub fn star(n: usize) -> CommunicationGraph {
+    assert!(n >= 2, "a star needs a hub and at least one spoke");
+    let mut b = CgBuilder::new(format!("star-{n}")).task("hub");
+    for i in 1..n {
+        b = b.task(format!("s{i}"));
+        if i % 2 == 0 {
+            b = b.edge("hub", format!("s{i}"), 32.0);
+        } else {
+            b = b.edge(format!("s{i}"), "hub", 32.0);
+        }
+    }
+    b.build().expect("star generator produces valid graphs")
+}
+
+/// A random weakly-connected graph over `n` tasks with roughly
+/// `extra_edges` additional random edges on top of a random spanning
+/// arborescence. Deterministic for a given RNG state.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+#[must_use]
+pub fn random<R: Rng>(n: usize, extra_edges: usize, rng: &mut R) -> CommunicationGraph {
+    assert!(n >= 2, "a random graph needs at least 2 tasks");
+    let mut b = CgBuilder::new(format!("random-{n}"));
+    for i in 0..n {
+        b = b.task(format!("t{i}"));
+    }
+    // Random spanning structure: connect each task (in shuffled order)
+    // to a random earlier one, guaranteeing weak connectivity.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (pos, &t) in order.iter().enumerate().skip(1) {
+        let parent = order[rng.gen_range(0..pos)];
+        edges.push((parent, t));
+    }
+    // Extra random edges, skipping duplicates and self-loops.
+    let mut attempts = 0;
+    let mut added = 0;
+    while added < extra_edges && attempts < extra_edges * 20 {
+        attempts += 1;
+        let s = rng.gen_range(0..n);
+        let d = rng.gen_range(0..n);
+        if s == d || edges.contains(&(s, d)) {
+            continue;
+        }
+        edges.push((s, d));
+        added += 1;
+    }
+    for (s, d) in edges {
+        let bw = f64::from(rng.gen_range(1..=128));
+        b = b.edge(format!("t{s}"), format!("t{d}"), bw);
+    }
+    b.build().expect("random generator produces valid graphs")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pipeline_shape() {
+        let cg = pipeline(7);
+        assert_eq!(cg.task_count(), 7);
+        assert_eq!(cg.edge_count(), 6);
+        assert!(cg.is_weakly_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn pipeline_rejects_singleton() {
+        let _ = pipeline(1);
+    }
+
+    #[test]
+    fn star_shape() {
+        let cg = star(9);
+        assert_eq!(cg.task_count(), 9);
+        assert_eq!(cg.edge_count(), 8);
+        assert!(cg.is_weakly_connected());
+        let hub = cg.task_id("hub").unwrap();
+        assert_eq!(cg.in_degree(hub) + cg.out_degree(hub), 8);
+    }
+
+    #[test]
+    fn random_is_connected_and_deterministic() {
+        let mut r1 = StdRng::seed_from_u64(42);
+        let mut r2 = StdRng::seed_from_u64(42);
+        let a = random(16, 10, &mut r1);
+        let b = random(16, 10, &mut r2);
+        assert_eq!(a, b, "same seed must give the same graph");
+        assert!(a.is_weakly_connected());
+        assert_eq!(a.task_count(), 16);
+        assert!(a.edge_count() >= 15, "spanning structure present");
+    }
+
+    #[test]
+    fn random_differs_across_seeds() {
+        let a = random(16, 10, &mut StdRng::seed_from_u64(1));
+        let b = random(16, 10, &mut StdRng::seed_from_u64(2));
+        assert_ne!(a, b);
+    }
+}

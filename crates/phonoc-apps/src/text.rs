@@ -1,0 +1,242 @@
+//! A plain-text interchange format for communication graphs, so the
+//! command-line tool can consume user applications without a JSON/YAML
+//! dependency.
+//!
+//! Format (line-oriented, `#` starts a comment):
+//!
+//! ```text
+//! # my application
+//! app my-app
+//! task producer
+//! task filter
+//! task consumer
+//! edge producer filter 64
+//! edge filter consumer 32.5
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! use phonoc_apps::text::{parse_cg, render_cg};
+//!
+//! let cg = parse_cg("app demo\ntask a\ntask b\nedge a b 8\n").unwrap();
+//! assert_eq!(cg.name(), "demo");
+//! let roundtrip = parse_cg(&render_cg(&cg)).unwrap();
+//! assert_eq!(cg, roundtrip);
+//! ```
+
+use crate::cg::{CgBuilder, CgError, CommunicationGraph};
+use std::fmt;
+
+/// Errors from [`parse_cg`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum CgTextError {
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+    /// The graph parsed but failed semantic validation.
+    Semantic(CgError),
+}
+
+impl fmt::Display for CgTextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CgTextError::Syntax { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+            CgTextError::Semantic(e) => write!(f, "invalid graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CgTextError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CgTextError::Semantic(e) => Some(e),
+            CgTextError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<CgError> for CgTextError {
+    fn from(e: CgError) -> Self {
+        CgTextError::Semantic(e)
+    }
+}
+
+/// Parses the text format described in the module docs.
+///
+/// # Errors
+///
+/// Returns [`CgTextError::Syntax`] for malformed lines (with the line
+/// number) and [`CgTextError::Semantic`] for graphs that violate
+/// [`CgBuilder::build`]'s rules (duplicate tasks, self-loops, …).
+pub fn parse_cg(text: &str) -> Result<CommunicationGraph, CgTextError> {
+    let mut name = String::from("unnamed");
+    let mut pending_tasks: Vec<String> = Vec::new();
+    let mut pending_edges: Vec<(String, String, f64)> = Vec::new();
+
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let keyword = parts.next().expect("nonempty line has a first token");
+        match keyword {
+            "app" => {
+                let n: Vec<&str> = parts.collect();
+                if n.is_empty() {
+                    return Err(CgTextError::Syntax {
+                        line: line_no,
+                        message: "`app` needs a name".into(),
+                    });
+                }
+                name = n.join(" ");
+            }
+            "task" => {
+                let Some(task) = parts.next() else {
+                    return Err(CgTextError::Syntax {
+                        line: line_no,
+                        message: "`task` needs a name".into(),
+                    });
+                };
+                if parts.next().is_some() {
+                    return Err(CgTextError::Syntax {
+                        line: line_no,
+                        message: "`task` takes exactly one name".into(),
+                    });
+                }
+                pending_tasks.push(task.to_owned());
+            }
+            "edge" => {
+                let (Some(src), Some(dst), Some(bw)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    return Err(CgTextError::Syntax {
+                        line: line_no,
+                        message: "`edge` needs: edge <src> <dst> <bandwidth>".into(),
+                    });
+                };
+                let bw: f64 = bw.parse().map_err(|_| CgTextError::Syntax {
+                    line: line_no,
+                    message: format!("bandwidth `{bw}` is not a number"),
+                })?;
+                pending_edges.push((src.to_owned(), dst.to_owned(), bw));
+            }
+            other => {
+                return Err(CgTextError::Syntax {
+                    line: line_no,
+                    message: format!(
+                        "unknown keyword `{other}` (expected app / task / edge)"
+                    ),
+                });
+            }
+        }
+    }
+
+    let mut b = CgBuilder::new(name);
+    for t in pending_tasks {
+        b = b.task(t);
+    }
+    for (s, d, bw) in pending_edges {
+        b = b.edge(s, d, bw);
+    }
+    Ok(b.build()?)
+}
+
+/// Renders a graph back to the text format ([`parse_cg`]'s inverse).
+#[must_use]
+pub fn render_cg(cg: &CommunicationGraph) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "app {}", cg.name());
+    for t in cg.tasks() {
+        let _ = writeln!(out, "task {}", cg.task_name(t));
+    }
+    for e in cg.edges() {
+        let _ = writeln!(
+            out,
+            "edge {} {} {}",
+            cg.task_name(e.src),
+            cg.task_name(e.dst),
+            e.bandwidth
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_minimal_graph() {
+        let cg = parse_cg("app demo\ntask a\ntask b\nedge a b 64\n").unwrap();
+        assert_eq!(cg.name(), "demo");
+        assert_eq!(cg.task_count(), 2);
+        assert_eq!(cg.edge_count(), 1);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let cg = parse_cg(
+            "# header\n\napp x # trailing\n task a\ntask b\n\nedge a b 1 # bw\n",
+        )
+        .unwrap();
+        assert_eq!(cg.name(), "x");
+        assert_eq!(cg.edge_count(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_keyword_with_line_number() {
+        let err = parse_cg("app x\nnode a\n").unwrap_err();
+        match err {
+            CgTextError::Syntax { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("node"));
+            }
+            other => panic!("expected syntax error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_bandwidth() {
+        let err = parse_cg("task a\ntask b\nedge a b lots\n").unwrap_err();
+        assert!(matches!(err, CgTextError::Syntax { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_incomplete_edge() {
+        let err = parse_cg("task a\nedge a\n").unwrap_err();
+        assert!(matches!(err, CgTextError::Syntax { line: 2, .. }));
+    }
+
+    #[test]
+    fn surfaces_semantic_errors() {
+        let err = parse_cg("task a\nedge a a 5\n").unwrap_err();
+        assert!(matches!(err, CgTextError::Semantic(_)), "{err}");
+    }
+
+    #[test]
+    fn every_benchmark_round_trips() {
+        for cg in crate::benchmarks::all_benchmarks() {
+            let text = render_cg(&cg);
+            let parsed = parse_cg(&text).unwrap_or_else(|e| {
+                panic!("{} failed to reparse: {e}", cg.name())
+            });
+            assert_eq!(cg, parsed, "{} round trip", cg.name());
+        }
+    }
+
+    #[test]
+    fn unnamed_graphs_get_a_default_name() {
+        let cg = parse_cg("task a\ntask b\nedge a b 2\n").unwrap();
+        assert_eq!(cg.name(), "unnamed");
+    }
+}

@@ -1,0 +1,228 @@
+//! Detailed per-mapping analysis reports: per-communication breakdown,
+//! BER estimates and the laser power budget / scalability verdict
+//! (paper Section I's motivation, made quantitative).
+
+use crate::mapping::Mapping;
+use crate::problem::MappingProblem;
+use phonoc_phys::ber::ber_from_snr;
+use phonoc_phys::{Db, Dbm, PowerBudget};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Analysis of one mapped communication.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EdgeReport {
+    /// Source task name.
+    pub src_task: String,
+    /// Destination task name.
+    pub dst_task: String,
+    /// Tile hosting the source task.
+    pub src_tile: usize,
+    /// Tile hosting the destination task.
+    pub dst_tile: usize,
+    /// Routers traversed.
+    pub hops: usize,
+    /// Insertion loss (negative dB).
+    pub insertion_loss: Db,
+    /// Signal-to-noise ratio at the detector.
+    pub snr: Db,
+    /// Estimated on-off-keying bit error rate at this SNR.
+    pub ber: f64,
+}
+
+/// Whole-network analysis of one mapping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkReport {
+    /// Application name.
+    pub application: String,
+    /// Topology description (e.g. `"4×4 mesh"`).
+    pub topology: String,
+    /// Router name.
+    pub router: String,
+    /// Per-communication breakdown, in CG edge order.
+    pub edges: Vec<EdgeReport>,
+    /// Worst-case insertion loss (paper Eq. 3).
+    pub worst_case_il: Db,
+    /// Worst-case SNR (paper Eq. 4).
+    pub worst_case_snr: Db,
+    /// Worst (largest) estimated BER across communications.
+    pub worst_case_ber: f64,
+    /// Laser power each channel needs to cover the worst-case loss.
+    pub required_laser_power: Dbm,
+    /// Whether the configured laser covers the worst-case loss.
+    pub feasible: bool,
+    /// WDM channels that fit under the nonlinearity ceiling at this
+    /// worst-case loss.
+    pub max_wdm_channels: usize,
+}
+
+impl NetworkReport {
+    /// Renders the report as an aligned text table (the tool's
+    /// human-facing output).
+    #[must_use]
+    pub fn to_table(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# {} on {} ({} router)",
+            self.application, self.topology, self.router
+        );
+        let _ = writeln!(
+            out,
+            "{:<14} {:<14} {:>5} {:>5} {:>6} {:>9} {:>9} {:>10}",
+            "src", "dst", "s@", "d@", "hops", "IL (dB)", "SNR (dB)", "BER"
+        );
+        for e in &self.edges {
+            let _ = writeln!(
+                out,
+                "{:<14} {:<14} {:>5} {:>5} {:>6} {:>9.3} {:>9.2} {:>10.2e}",
+                e.src_task,
+                e.dst_task,
+                e.src_tile,
+                e.dst_tile,
+                e.hops,
+                e.insertion_loss.0,
+                e.snr.0,
+                e.ber
+            );
+        }
+        let _ = writeln!(
+            out,
+            "worst-case: IL {:.3} dB | SNR {:.2} dB | BER {:.2e}",
+            self.worst_case_il.0, self.worst_case_snr.0, self.worst_case_ber
+        );
+        let _ = writeln!(
+            out,
+            "power budget: need {:.2} at the laser -> {} | up to {} WDM channels",
+            self.required_laser_power,
+            if self.feasible { "feasible" } else { "INFEASIBLE" },
+            self.max_wdm_channels
+        );
+        out
+    }
+}
+
+impl fmt::Display for NetworkReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_table())
+    }
+}
+
+/// Produces the full [`NetworkReport`] for `mapping` on `problem`.
+///
+/// # Panics
+///
+/// Panics if `mapping` does not match the problem dimensions (a
+/// programming error; use the same problem the mapping was built for).
+#[must_use]
+pub fn analyze(problem: &MappingProblem, mapping: &Mapping) -> NetworkReport {
+    let metrics = problem.evaluator().evaluate(mapping);
+    let cg = problem.cg();
+    let budget = PowerBudget::new(*problem.params());
+
+    let mut edges = Vec::with_capacity(metrics.edges.len());
+    let mut worst_ber = 0.0f64;
+    for (e, em) in cg.edges().iter().zip(&metrics.edges) {
+        let src_tile = mapping.tile_of_task(e.src.0).0;
+        let dst_tile = mapping.tile_of_task(e.dst.0).0;
+        let hops = problem
+            .evaluator()
+            .path_hops(src_tile, dst_tile)
+            .expect("mapped tasks occupy distinct tiles");
+        let ber = ber_from_snr(em.snr);
+        worst_ber = worst_ber.max(ber);
+        edges.push(EdgeReport {
+            src_task: cg.task_name(e.src).to_owned(),
+            dst_task: cg.task_name(e.dst).to_owned(),
+            src_tile,
+            dst_tile,
+            hops,
+            insertion_loss: em.insertion_loss,
+            snr: em.snr,
+            ber,
+        });
+    }
+
+    NetworkReport {
+        application: cg.name().to_owned(),
+        topology: problem.topology().describe(),
+        router: problem.router().name().to_owned(),
+        edges,
+        worst_case_il: metrics.worst_case_il,
+        worst_case_snr: metrics.worst_case_snr,
+        worst_case_ber: worst_ber,
+        required_laser_power: budget.required_laser_power(metrics.worst_case_il),
+        feasible: budget.is_feasible(metrics.worst_case_il),
+        max_wdm_channels: budget.max_wdm_channels(metrics.worst_case_il),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Objective;
+    use phonoc_phys::{Length, PhysicalParameters};
+    use phonoc_route::XyRouting;
+    use phonoc_router::crux::crux_router;
+    use phonoc_topo::Topology;
+
+    fn problem() -> MappingProblem {
+        MappingProblem::new(
+            phonoc_apps::benchmarks::pip(),
+            Topology::mesh(3, 3, Length::from_mm(2.5)),
+            crux_router(),
+            Box::new(XyRouting),
+            PhysicalParameters::default(),
+            Objective::MaximizeWorstCaseSnr,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn report_covers_every_edge() {
+        let p = problem();
+        let m = Mapping::identity(8, 9);
+        let r = analyze(&p, &m);
+        assert_eq!(r.edges.len(), p.cg().edge_count());
+        assert_eq!(r.application, "PIP");
+        assert_eq!(r.topology, "3×3 mesh");
+        assert_eq!(r.router, "crux");
+    }
+
+    #[test]
+    fn worst_cases_are_bounds() {
+        let p = problem();
+        let m = Mapping::identity(8, 9);
+        let r = analyze(&p, &m);
+        for e in &r.edges {
+            assert!(e.insertion_loss >= r.worst_case_il);
+            assert!(e.snr >= r.worst_case_snr);
+            assert!(e.ber <= r.worst_case_ber);
+        }
+    }
+
+    #[test]
+    fn small_networks_are_feasible() {
+        let p = problem();
+        let m = Mapping::identity(8, 9);
+        let r = analyze(&p, &m);
+        assert!(r.feasible, "a 3×3 mesh is far inside the 26 dB budget");
+        assert!(r.max_wdm_channels > 0);
+        assert!(r.required_laser_power.0 < 0.0);
+    }
+
+    #[test]
+    fn table_rendering_mentions_key_facts() {
+        let p = problem();
+        let m = Mapping::identity(8, 9);
+        let r = analyze(&p, &m);
+        let table = r.to_table();
+        assert!(table.contains("PIP"));
+        assert!(table.contains("worst-case"));
+        assert!(table.contains("feasible"));
+        assert!(table.contains("inp_mem"));
+        // Display delegates to to_table.
+        assert_eq!(format!("{r}"), table);
+    }
+}

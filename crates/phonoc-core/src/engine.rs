@@ -1,0 +1,292 @@
+//! The design-space exploration engine: budgeted, seeded, fair.
+//!
+//! The paper compares RS, GA and R-PBLA "with the same running time". We
+//! substitute a deterministic, machine-independent notion of fairness:
+//! every optimizer receives the same **evaluation budget**, enforced by
+//! [`OptContext`] — the only way an optimizer can score a mapping. The
+//! context also tracks the incumbent best and a convergence history, so
+//! no optimizer can forget its best or exceed its budget.
+//!
+//! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
+//! core so that new strategies can be added "without any changes in the
+//! tool core", paper Section I — implementations live in `phonoc-opt`).
+
+use crate::mapping::Mapping;
+use crate::problem::MappingProblem;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+
+/// The search-side view of a problem: evaluation with budget
+/// enforcement, incumbent tracking and a seeded RNG.
+pub struct OptContext<'p> {
+    problem: &'p MappingProblem,
+    rng: StdRng,
+    budget: usize,
+    used: usize,
+    best: Option<(Mapping, f64)>,
+    history: Vec<(usize, f64)>,
+}
+
+impl fmt::Debug for OptContext<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OptContext")
+            .field("budget", &self.budget)
+            .field("used", &self.used)
+            .field("best_score", &self.best.as_ref().map(|(_, s)| *s))
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'p> OptContext<'p> {
+    /// Creates a context with `budget` evaluations and a deterministic
+    /// RNG seeded with `seed`.
+    #[must_use]
+    pub fn new(problem: &'p MappingProblem, budget: usize, seed: u64) -> Self {
+        OptContext {
+            problem,
+            rng: StdRng::seed_from_u64(seed),
+            budget,
+            used: 0,
+            best: None,
+            history: Vec::new(),
+        }
+    }
+
+    /// The problem under optimization.
+    #[must_use]
+    pub fn problem(&self) -> &'p MappingProblem {
+        self.problem
+    }
+
+    /// Number of tasks to place.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.problem.task_count()
+    }
+
+    /// Number of tiles available.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.problem.tile_count()
+    }
+
+    /// The seeded random number generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Evaluations still available.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.budget - self.used
+    }
+
+    /// Evaluations consumed so far.
+    #[must_use]
+    pub fn used(&self) -> usize {
+        self.used
+    }
+
+    /// Whether the budget is exhausted.
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        self.used >= self.budget
+    }
+
+    /// Scores `mapping` under the problem objective (higher = better),
+    /// consuming one evaluation. Returns `None` — without evaluating —
+    /// once the budget is exhausted; optimizers should then return.
+    pub fn evaluate(&mut self, mapping: &Mapping) -> Option<f64> {
+        if self.exhausted() {
+            return None;
+        }
+        self.used += 1;
+        let (_, score) = self.problem.evaluate(mapping);
+        let improved = self.best.as_ref().is_none_or(|(_, s)| score > *s);
+        if improved {
+            self.best = Some((mapping.clone(), score));
+            self.history.push((self.used, score));
+        }
+        Some(score)
+    }
+
+    /// Convenience: a uniformly random valid mapping from the context's
+    /// RNG.
+    #[must_use]
+    pub fn random_mapping(&mut self) -> Mapping {
+        Mapping::random(
+            self.problem.task_count(),
+            self.problem.tile_count(),
+            &mut self.rng,
+        )
+    }
+
+    /// The incumbent best, if any evaluation happened.
+    #[must_use]
+    pub fn best(&self) -> Option<(&Mapping, f64)> {
+        self.best.as_ref().map(|(m, s)| (m, *s))
+    }
+
+    fn into_result(self, optimizer: &str) -> DseResult {
+        let (best_mapping, best_score) = self
+            .best
+            .expect("optimizer must evaluate at least one mapping");
+        DseResult {
+            optimizer: optimizer.to_owned(),
+            best_mapping,
+            best_score,
+            evaluations: self.used,
+            history: self.history,
+        }
+    }
+}
+
+/// A mapping optimization strategy (paper Section II-D2). Object-safe so
+/// strategies can be registered and swapped at run time.
+pub trait MappingOptimizer: fmt::Debug {
+    /// Short identifier, e.g. `"rs"`, `"ga"`, `"r-pbla"`.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search until the context's budget is exhausted (or the
+    /// strategy converges). All evaluations must go through
+    /// [`OptContext::evaluate`]; the incumbent best is tracked there.
+    fn optimize(&self, ctx: &mut OptContext<'_>);
+}
+
+/// Outcome of one DSE run.
+#[derive(Debug, Clone)]
+pub struct DseResult {
+    /// Optimizer name.
+    pub optimizer: String,
+    /// Best mapping found.
+    pub best_mapping: Mapping,
+    /// Its score (higher = better; dB of worst-case IL or SNR depending
+    /// on the objective).
+    pub best_score: f64,
+    /// Evaluations actually consumed.
+    pub evaluations: usize,
+    /// `(evaluation index, incumbent score)` at every improvement.
+    pub history: Vec<(usize, f64)>,
+}
+
+/// Runs `optimizer` on `problem` with an evaluation `budget` and RNG
+/// `seed`.
+///
+/// # Panics
+///
+/// Panics if the optimizer returns without evaluating a single mapping
+/// (which would mean a zero budget or a broken strategy).
+#[must_use]
+pub fn run_dse(
+    problem: &MappingProblem,
+    optimizer: &dyn MappingOptimizer,
+    budget: usize,
+    seed: u64,
+) -> DseResult {
+    let mut ctx = OptContext::new(problem, budget, seed);
+    optimizer.optimize(&mut ctx);
+    ctx.into_result(optimizer.name())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Objective;
+    use phonoc_phys::{Length, PhysicalParameters};
+    use phonoc_route::XyRouting;
+    use phonoc_router::crux::crux_router;
+    use phonoc_topo::Topology;
+
+    fn tiny_problem() -> MappingProblem {
+        MappingProblem::new(
+            phonoc_apps::benchmarks::pip(),
+            Topology::mesh(3, 3, Length::from_mm(2.5)),
+            crux_router(),
+            Box::new(XyRouting),
+            PhysicalParameters::default(),
+            Objective::MaximizeWorstCaseSnr,
+        )
+        .unwrap()
+    }
+
+    /// A trivial strategy used to test the engine plumbing.
+    #[derive(Debug)]
+    struct FirstRandom;
+
+    impl MappingOptimizer for FirstRandom {
+        fn name(&self) -> &'static str {
+            "first-random"
+        }
+        fn optimize(&self, ctx: &mut OptContext<'_>) {
+            while !ctx.exhausted() {
+                let m = ctx.random_mapping();
+                if ctx.evaluate(&m).is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced_exactly() {
+        let p = tiny_problem();
+        let r = run_dse(&p, &FirstRandom, 37, 1);
+        assert_eq!(r.evaluations, 37);
+    }
+
+    #[test]
+    fn incumbent_never_worsens() {
+        let p = tiny_problem();
+        let r = run_dse(&p, &FirstRandom, 100, 2);
+        let mut prev = f64::NEG_INFINITY;
+        for (_, s) in &r.history {
+            assert!(*s > prev, "history must be strictly improving");
+            prev = *s;
+        }
+        assert!((r.history.last().unwrap().1 - r.best_score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_seed_same_result() {
+        let p = tiny_problem();
+        let a = run_dse(&p, &FirstRandom, 50, 99);
+        let b = run_dse(&p, &FirstRandom, 50, 99);
+        assert_eq!(a.best_mapping, b.best_mapping);
+        assert!((a.best_score - b.best_score).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_usually_differ() {
+        let p = tiny_problem();
+        let a = run_dse(&p, &FirstRandom, 10, 1);
+        let b = run_dse(&p, &FirstRandom, 10, 2);
+        // Scores may coincide, but the mappings should differ for a
+        // 10-draw random search over 9!/(1!)= large space.
+        assert_ne!(a.best_mapping, b.best_mapping);
+    }
+
+    #[test]
+    fn evaluate_returns_none_after_exhaustion() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 2, 0);
+        let m = ctx.random_mapping();
+        assert!(ctx.evaluate(&m).is_some());
+        assert!(ctx.evaluate(&m).is_some());
+        assert!(ctx.evaluate(&m).is_none());
+        assert!(ctx.exhausted());
+        assert_eq!(ctx.remaining(), 0);
+    }
+
+    #[test]
+    fn best_is_reachable_midway() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 5, 0);
+        assert!(ctx.best().is_none());
+        let m = ctx.random_mapping();
+        let s = ctx.evaluate(&m).unwrap();
+        let (bm, bs) = ctx.best().unwrap();
+        assert_eq!(bm, &m);
+        assert!((bs - s).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,93 @@
+//! Error types for mapping-problem construction and evaluation.
+
+use phonoc_route::RoutingError;
+use phonoc_router::PortPair;
+use std::fmt;
+
+/// Errors raised while assembling or evaluating a mapping problem.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Condition (2) of the paper violated: more tasks than tiles.
+    TooManyTasks {
+        /// `size(C)`.
+        tasks: usize,
+        /// `size(T)`.
+        tiles: usize,
+    },
+    /// The routing algorithm failed on some tile pair.
+    Routing(RoutingError),
+    /// The routing algorithm asked the router for a connection its
+    /// netlist does not implement (e.g. YX routing on Crux, which has no
+    /// Y→X turns).
+    UnsupportedConnection {
+        /// Router name.
+        router: String,
+        /// The unsupported (input, output) pair.
+        pair: PortPair,
+    },
+    /// A mapping was structurally invalid (duplicate tile, out of range).
+    InvalidMapping(String),
+    /// The physical parameters failed validation.
+    BadParameters(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::TooManyTasks { tasks, tiles } => write!(
+                f,
+                "cannot map {tasks} tasks onto {tiles} tiles (condition size(C) <= size(T))"
+            ),
+            CoreError::Routing(e) => write!(f, "routing failed: {e}"),
+            CoreError::UnsupportedConnection { router, pair } => write!(
+                f,
+                "router `{router}` does not implement the {pair} connection required by the routing algorithm"
+            ),
+            CoreError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
+            CoreError::BadParameters(msg) => write!(f, "invalid physical parameters: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Routing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RoutingError> for CoreError {
+    fn from(e: RoutingError) -> Self {
+        CoreError::Routing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonoc_router::Port;
+    use phonoc_topo::TileId;
+
+    #[test]
+    fn displays_are_informative() {
+        let e = CoreError::TooManyTasks { tasks: 17, tiles: 16 };
+        assert!(e.to_string().contains("17"));
+        let e = CoreError::UnsupportedConnection {
+            router: "crux".into(),
+            pair: PortPair::new(Port::North, Port::East),
+        };
+        assert!(e.to_string().contains("crux"));
+        assert!(e.to_string().contains("N→E"));
+        let e: CoreError = RoutingError::SelfRoute { tile: TileId(3) }.into();
+        assert!(e.to_string().contains("t3"));
+    }
+
+    #[test]
+    fn routing_error_source_is_preserved() {
+        use std::error::Error as _;
+        let e: CoreError = RoutingError::SelfRoute { tile: TileId(0) }.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,75 @@
+//! PhoNoCMap core: the mapping problem, its evaluator and the DSE engine.
+//!
+//! This crate is the paper's primary contribution — the "Design Space
+//! Exploration" box of Fig. 1 plus the "Mapping Evaluator":
+//!
+//! * [`mapping`] — the assignment Ω : C → T with the swap neighbourhood
+//!   (paper Eqs. 5–6).
+//! * [`evaluator`] — worst-case insertion loss and SNR evaluation
+//!   (Eqs. 3–4) over precomputed per-tile-pair paths and router
+//!   interaction matrices.
+//! * [`problem`] — [`problem::MappingProblem`]: CG + topology + router +
+//!   routing + parameters + objective.
+//! * [`engine`] — the budgeted, seeded search harness and the
+//!   [`engine::MappingOptimizer`] trait that search strategies implement.
+//! * [`analysis`] — human-facing per-communication reports with BER and
+//!   power-budget verdicts.
+//! * [`error`] — shared error type.
+//!
+//! # Example
+//!
+//! ```
+//! use phonoc_core::prelude::*;
+//! use phonoc_phys::{Length, PhysicalParameters};
+//! use phonoc_route::XyRouting;
+//! use phonoc_router::crux::crux_router;
+//! use phonoc_topo::Topology;
+//!
+//! # fn main() -> Result<(), phonoc_core::CoreError> {
+//! let problem = MappingProblem::new(
+//!     phonoc_apps::benchmarks::pip(),
+//!     Topology::mesh(3, 3, Length::from_mm(2.5)),
+//!     crux_router(),
+//!     Box::new(XyRouting),
+//!     PhysicalParameters::default(),
+//!     Objective::MaximizeWorstCaseSnr,
+//! )?;
+//! let mapping = Mapping::identity(8, 9);
+//! let (metrics, score) = problem.evaluate(&mapping);
+//! assert!(metrics.worst_case_snr.0 > 0.0);
+//! assert_eq!(score, metrics.worst_case_snr.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod engine;
+pub mod error;
+pub mod evaluator;
+pub mod mapping;
+pub mod montecarlo;
+pub mod pareto;
+pub mod problem;
+
+pub use analysis::{analyze, EdgeReport, NetworkReport};
+pub use engine::{run_dse, DseResult, MappingOptimizer, OptContext};
+pub use error::CoreError;
+pub use evaluator::{EdgeMetrics, Evaluator, EvaluatorOptions, NetworkMetrics};
+pub use mapping::Mapping;
+pub use montecarlo::{activity_study, ActivityStudy};
+pub use pareto::{random_front, ParetoFront, ParetoPoint};
+pub use problem::{MappingProblem, Objective};
+
+/// Convenient glob import for downstream code and examples.
+pub mod prelude {
+    pub use crate::analysis::{analyze, NetworkReport};
+    pub use crate::engine::{run_dse, DseResult, MappingOptimizer, OptContext};
+    pub use crate::error::CoreError;
+    pub use crate::evaluator::{Evaluator, EvaluatorOptions, NetworkMetrics};
+    pub use crate::mapping::Mapping;
+    pub use crate::montecarlo::{activity_study, ActivityStudy};
+    pub use crate::pareto::{random_front, ParetoFront};
+    pub use crate::problem::{MappingProblem, Objective};
+}

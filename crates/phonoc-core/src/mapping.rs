@@ -1,0 +1,288 @@
+//! The mapping function Ω : C → T (paper Eqs. 5–6).
+//!
+//! A [`Mapping`] assigns every task to a distinct tile. Internally it is
+//! stored as a *full permutation* of the tiles: positions `0..task_count`
+//! hold the tiles of the tasks, positions `task_count..` hold the free
+//! tiles. This makes the neighbourhood used by the search algorithms —
+//! "swap the contents of two tiles", where one side may be empty —
+//! a single uniform operation, [`Mapping::swap_positions`].
+//!
+//! # Examples
+//!
+//! ```
+//! use phonoc_core::mapping::Mapping;
+//! use phonoc_topo::TileId;
+//!
+//! // 3 tasks on 4 tiles: tasks 0,1,2 on tiles 2,0,3; tile 1 free.
+//! let m = Mapping::from_assignment(vec![TileId(2), TileId(0), TileId(3)], 4).unwrap();
+//! assert_eq!(m.tile_of_task(0), TileId(2));
+//! assert_eq!(m.task_on_tile(TileId(1)), None);
+//! ```
+
+use crate::error::CoreError;
+use phonoc_topo::TileId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// An injective assignment of tasks to tiles (paper conditions 5 and 6).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Mapping {
+    /// Permutation of all tiles; the first `task_count` entries are the
+    /// mapped tiles, the rest are free.
+    perm: Vec<TileId>,
+    task_count: usize,
+}
+
+impl Mapping {
+    /// Builds a mapping from an explicit task→tile assignment, filling
+    /// the free-tile tail automatically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidMapping`] if a tile index is out of
+    /// range or a tile is used twice, and [`CoreError::TooManyTasks`] if
+    /// there are more tasks than tiles.
+    pub fn from_assignment(
+        assignment: Vec<TileId>,
+        tile_count: usize,
+    ) -> Result<Mapping, CoreError> {
+        let task_count = assignment.len();
+        if task_count > tile_count {
+            return Err(CoreError::TooManyTasks {
+                tasks: task_count,
+                tiles: tile_count,
+            });
+        }
+        let mut used = vec![false; tile_count];
+        for &t in &assignment {
+            if t.0 >= tile_count {
+                return Err(CoreError::InvalidMapping(format!(
+                    "tile {t} out of range (tile count {tile_count})"
+                )));
+            }
+            if used[t.0] {
+                return Err(CoreError::InvalidMapping(format!(
+                    "tile {t} hosts two tasks (condition 6)"
+                )));
+            }
+            used[t.0] = true;
+        }
+        let mut perm = assignment;
+        perm.extend((0..tile_count).filter(|&i| !used[i]).map(TileId));
+        Ok(Mapping { perm, task_count })
+    }
+
+    /// A uniformly random valid mapping of `task_count` tasks onto
+    /// `tile_count` tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_count > tile_count`.
+    #[must_use]
+    pub fn random<R: Rng + ?Sized>(task_count: usize, tile_count: usize, rng: &mut R) -> Mapping {
+        assert!(
+            task_count <= tile_count,
+            "cannot map {task_count} tasks onto {tile_count} tiles"
+        );
+        let mut perm: Vec<TileId> = (0..tile_count).map(TileId).collect();
+        perm.shuffle(rng);
+        Mapping { perm, task_count }
+    }
+
+    /// The identity mapping: task `i` on tile `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task_count > tile_count`.
+    #[must_use]
+    pub fn identity(task_count: usize, tile_count: usize) -> Mapping {
+        assert!(task_count <= tile_count);
+        Mapping {
+            perm: (0..tile_count).map(TileId).collect(),
+            task_count,
+        }
+    }
+
+    /// Number of mapped tasks.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.task_count
+    }
+
+    /// Number of tiles (mapped + free).
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// The tile hosting `task`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `task >= task_count`.
+    #[must_use]
+    pub fn tile_of_task(&self, task: usize) -> TileId {
+        assert!(task < self.task_count, "task {task} out of range");
+        self.perm[task]
+    }
+
+    /// The task hosted on `tile`, or `None` if the tile is free.
+    #[must_use]
+    pub fn task_on_tile(&self, tile: TileId) -> Option<usize> {
+        self.perm[..self.task_count].iter().position(|&t| t == tile)
+    }
+
+    /// The task→tile assignment as a slice (`assignment()[task]`).
+    #[must_use]
+    pub fn assignment(&self) -> &[TileId] {
+        &self.perm[..self.task_count]
+    }
+
+    /// Full permutation view (mapped tiles then free tiles).
+    #[must_use]
+    pub fn permutation(&self) -> &[TileId] {
+        &self.perm
+    }
+
+    /// Swaps the contents of two *positions* of the permutation. If both
+    /// are below `task_count` this swaps two tasks' tiles; if one is in
+    /// the free tail it relocates a task to a free tile. This is the
+    /// "move" of the paper's R-PBLA neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either position is out of range.
+    pub fn swap_positions(&mut self, a: usize, b: usize) {
+        self.perm.swap(a, b);
+    }
+
+    /// Returns a copy with positions `a` and `b` swapped.
+    #[must_use]
+    pub fn with_swap(&self, a: usize, b: usize) -> Mapping {
+        let mut m = self.clone();
+        m.swap_positions(a, b);
+        m
+    }
+
+    /// Applies a random position swap (used by mutation operators).
+    pub fn random_swap<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        let n = self.perm.len();
+        if n < 2 {
+            return;
+        }
+        let a = rng.gen_range(0..n);
+        let mut b = rng.gen_range(0..n - 1);
+        if b >= a {
+            b += 1;
+        }
+        self.swap_positions(a, b);
+    }
+
+    /// Validity invariant: the permutation really is a permutation of
+    /// `0..tile_count`. Used by tests and `debug_assert!`s.
+    #[must_use]
+    pub fn is_valid(&self) -> bool {
+        let mut seen = vec![false; self.perm.len()];
+        for &t in &self.perm {
+            if t.0 >= self.perm.len() || seen[t.0] {
+                return false;
+            }
+            seen[t.0] = true;
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn from_assignment_fills_free_tail() {
+        let m = Mapping::from_assignment(vec![TileId(2), TileId(0)], 4).unwrap();
+        assert_eq!(m.task_count(), 2);
+        assert_eq!(m.tile_count(), 4);
+        assert!(m.is_valid());
+        assert_eq!(m.tile_of_task(0), TileId(2));
+        assert_eq!(m.task_on_tile(TileId(0)), Some(1));
+        assert_eq!(m.task_on_tile(TileId(3)), None);
+        // Free tail contains exactly the unused tiles.
+        let tail: Vec<usize> = m.permutation()[2..].iter().map(|t| t.0).collect();
+        assert_eq!(tail, vec![1, 3]);
+    }
+
+    #[test]
+    fn rejects_duplicate_tiles() {
+        let err = Mapping::from_assignment(vec![TileId(1), TileId(1)], 4).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMapping(_)));
+    }
+
+    #[test]
+    fn rejects_out_of_range_tiles() {
+        let err = Mapping::from_assignment(vec![TileId(9)], 4).unwrap_err();
+        assert!(matches!(err, CoreError::InvalidMapping(_)));
+    }
+
+    #[test]
+    fn rejects_too_many_tasks() {
+        let err =
+            Mapping::from_assignment((0..5).map(TileId).collect(), 4).unwrap_err();
+        assert!(matches!(err, CoreError::TooManyTasks { .. }));
+    }
+
+    #[test]
+    fn random_mappings_are_valid_and_diverse() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut distinct = std::collections::HashSet::new();
+        for _ in 0..50 {
+            let m = Mapping::random(5, 9, &mut rng);
+            assert!(m.is_valid());
+            distinct.insert(m.assignment().to_vec());
+        }
+        assert!(distinct.len() > 10, "random mappings look degenerate");
+    }
+
+    #[test]
+    fn swap_positions_covers_task_task_and_task_free() {
+        let mut m = Mapping::from_assignment(vec![TileId(0), TileId(1)], 3).unwrap();
+        // Task-task swap.
+        m.swap_positions(0, 1);
+        assert_eq!(m.tile_of_task(0), TileId(1));
+        assert_eq!(m.tile_of_task(1), TileId(0));
+        // Task-free swap: task 0 relocates to the free tile 2.
+        m.swap_positions(0, 2);
+        assert_eq!(m.tile_of_task(0), TileId(2));
+        assert_eq!(m.task_on_tile(TileId(1)), None);
+        assert!(m.is_valid());
+    }
+
+    #[test]
+    fn with_swap_does_not_mutate_original() {
+        let m = Mapping::identity(2, 4);
+        let s = m.with_swap(0, 3);
+        assert_eq!(m.tile_of_task(0), TileId(0));
+        assert_eq!(s.tile_of_task(0), TileId(3));
+    }
+
+    #[test]
+    fn random_swap_preserves_validity() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut m = Mapping::random(6, 9, &mut rng);
+        for _ in 0..100 {
+            m.random_swap(&mut rng);
+            assert!(m.is_valid());
+        }
+    }
+
+    #[test]
+    fn identity_mapping() {
+        let m = Mapping::identity(3, 5);
+        for i in 0..3 {
+            assert_eq!(m.tile_of_task(i), TileId(i));
+        }
+        assert!(m.is_valid());
+    }
+}

@@ -1,0 +1,264 @@
+//! The mapping problem: application + architecture + objective
+//! (paper Section II-D1).
+
+use crate::error::CoreError;
+use crate::evaluator::{Evaluator, EvaluatorOptions, NetworkMetrics};
+use crate::mapping::Mapping;
+use phonoc_apps::CommunicationGraph;
+use phonoc_phys::PhysicalParameters;
+use phonoc_route::RoutingAlgorithm;
+use phonoc_router::RouterModel;
+use phonoc_topo::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The two optimization objectives of the paper (Eqs. 3 and 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize the worst-case insertion loss magnitude (Eq. 3).
+    MinimizeWorstCaseLoss,
+    /// Maximize the worst-case (minimum) SNR (Eq. 4).
+    MaximizeWorstCaseSnr,
+}
+
+impl Objective {
+    /// Scalar score of a metrics record under this objective.
+    /// **Higher is always better**, so both objectives fit the same
+    /// search interface: for loss the score is the (negative) worst-case
+    /// IL in dB (closer to zero wins); for SNR it is the worst-case SNR
+    /// in dB.
+    #[must_use]
+    pub fn score(&self, metrics: &NetworkMetrics) -> f64 {
+        match self {
+            Objective::MinimizeWorstCaseLoss => metrics.worst_case_il.0,
+            Objective::MaximizeWorstCaseSnr => metrics.worst_case_snr.0,
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Objective::MinimizeWorstCaseLoss => write!(f, "worst-case loss"),
+            Objective::MaximizeWorstCaseSnr => write!(f, "worst-case SNR"),
+        }
+    }
+}
+
+/// A fully assembled mapping problem: the CG, the NoC architecture
+/// (topology + router + routing), the physical parameters, the objective
+/// and the precomputed [`Evaluator`].
+pub struct MappingProblem {
+    cg: CommunicationGraph,
+    topology: Topology,
+    router: RouterModel,
+    routing: Box<dyn RoutingAlgorithm>,
+    params: PhysicalParameters,
+    objective: Objective,
+    evaluator: Evaluator,
+}
+
+impl fmt::Debug for MappingProblem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("MappingProblem")
+            .field("cg", &self.cg.name())
+            .field("topology", &self.topology.describe())
+            .field("router", &self.router.name())
+            .field("routing", &self.routing.name())
+            .field("objective", &self.objective)
+            .finish_non_exhaustive()
+    }
+}
+
+impl MappingProblem {
+    /// Assembles a problem and precomputes its evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Propagates every [`CoreError`] from [`Evaluator::new`]: size
+    /// violations, routing failures, router/routing incompatibilities and
+    /// bad parameters.
+    pub fn new(
+        cg: CommunicationGraph,
+        topology: Topology,
+        router: RouterModel,
+        routing: Box<dyn RoutingAlgorithm>,
+        params: PhysicalParameters,
+        objective: Objective,
+    ) -> Result<MappingProblem, CoreError> {
+        Self::with_options(
+            cg,
+            topology,
+            router,
+            routing,
+            params,
+            objective,
+            EvaluatorOptions::default(),
+        )
+    }
+
+    /// Assembles a problem with explicit evaluator options.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`MappingProblem::new`].
+    pub fn with_options(
+        cg: CommunicationGraph,
+        topology: Topology,
+        router: RouterModel,
+        routing: Box<dyn RoutingAlgorithm>,
+        params: PhysicalParameters,
+        objective: Objective,
+        options: EvaluatorOptions,
+    ) -> Result<MappingProblem, CoreError> {
+        let evaluator =
+            Evaluator::with_options(&cg, &topology, &router, routing.as_ref(), &params, options)?;
+        Ok(MappingProblem {
+            cg,
+            topology,
+            router,
+            routing,
+            params,
+            objective,
+            evaluator,
+        })
+    }
+
+    /// The application communication graph.
+    #[must_use]
+    pub fn cg(&self) -> &CommunicationGraph {
+        &self.cg
+    }
+
+    /// The NoC topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The optical router model.
+    #[must_use]
+    pub fn router(&self) -> &RouterModel {
+        &self.router
+    }
+
+    /// The routing algorithm.
+    #[must_use]
+    pub fn routing(&self) -> &dyn RoutingAlgorithm {
+        self.routing.as_ref()
+    }
+
+    /// The physical parameter set.
+    #[must_use]
+    pub fn params(&self) -> &PhysicalParameters {
+        &self.params
+    }
+
+    /// The optimization objective.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// The precomputed evaluator.
+    #[must_use]
+    pub fn evaluator(&self) -> &Evaluator {
+        &self.evaluator
+    }
+
+    /// Number of tasks to place.
+    #[must_use]
+    pub fn task_count(&self) -> usize {
+        self.cg.task_count()
+    }
+
+    /// Number of tiles available.
+    #[must_use]
+    pub fn tile_count(&self) -> usize {
+        self.topology.tile_count()
+    }
+
+    /// Evaluates a mapping and returns `(metrics, score)` under the
+    /// problem objective (higher score = better).
+    #[must_use]
+    pub fn evaluate(&self, mapping: &Mapping) -> (NetworkMetrics, f64) {
+        let metrics = self.evaluator.evaluate(mapping);
+        let score = self.objective.score(&metrics);
+        (metrics, score)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonoc_phys::{Db, Length};
+    use phonoc_route::XyRouting;
+    use phonoc_router::crux::crux_router;
+
+    fn problem(objective: Objective) -> MappingProblem {
+        MappingProblem::new(
+            phonoc_apps::benchmarks::pip(),
+            Topology::mesh(3, 3, Length::from_mm(2.5)),
+            crux_router(),
+            Box::new(XyRouting),
+            PhysicalParameters::default(),
+            objective,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn scores_point_in_the_right_direction() {
+        let metrics_good = NetworkMetrics {
+            edges: vec![],
+            worst_case_il: Db(-1.5),
+            worst_case_snr: Db(38.0),
+        };
+        let metrics_bad = NetworkMetrics {
+            edges: vec![],
+            worst_case_il: Db(-3.0),
+            worst_case_snr: Db(15.0),
+        };
+        for o in [
+            Objective::MinimizeWorstCaseLoss,
+            Objective::MaximizeWorstCaseSnr,
+        ] {
+            assert!(
+                o.score(&metrics_good) > o.score(&metrics_bad),
+                "{o}: better metrics must score higher"
+            );
+        }
+    }
+
+    #[test]
+    fn problem_assembles_and_evaluates() {
+        let p = problem(Objective::MaximizeWorstCaseSnr);
+        assert_eq!(p.task_count(), 8);
+        assert_eq!(p.tile_count(), 9);
+        let m = Mapping::identity(8, 9);
+        let (metrics, score) = p.evaluate(&m);
+        assert_eq!(metrics.edges.len(), p.cg().edge_count());
+        assert!((score - metrics.worst_case_snr.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn debug_mentions_the_parts() {
+        let p = problem(Objective::MinimizeWorstCaseLoss);
+        let dbg = format!("{p:?}");
+        assert!(dbg.contains("PIP"));
+        assert!(dbg.contains("crux"));
+        assert!(dbg.contains("3×3 mesh"));
+    }
+
+    #[test]
+    fn objective_display() {
+        assert_eq!(
+            Objective::MinimizeWorstCaseLoss.to_string(),
+            "worst-case loss"
+        );
+        assert_eq!(
+            Objective::MaximizeWorstCaseSnr.to_string(),
+            "worst-case SNR"
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Simulated annealing — one of the "other strategies" slots in the
+//! paper's Fig. 1 (extension).
+//!
+//! Standard geometric-cooling SA over the swap neighbourhood. The
+//! initial temperature is calibrated from the spread of a short random
+//! probe so the hyper-parameters transfer across objectives (dB scales
+//! of IL and SNR differ by an order of magnitude).
+
+use phonoc_core::{MappingOptimizer, OptContext};
+use rand::Rng;
+
+/// Simulated-annealing mapper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimulatedAnnealing {
+    /// Geometric cooling factor per epoch (0 < alpha < 1).
+    pub cooling: f64,
+    /// Moves attempted per temperature epoch, as a multiple of the tile
+    /// count.
+    pub moves_per_epoch: usize,
+    /// Probe evaluations used to calibrate the initial temperature.
+    pub probe: usize,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            cooling: 0.93,
+            moves_per_epoch: 8,
+            probe: 24,
+        }
+    }
+}
+
+impl MappingOptimizer for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "sa"
+    }
+
+    fn optimize(&self, ctx: &mut OptContext<'_>) {
+        // Calibration probe: estimate the score spread.
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        let mut current = ctx.random_mapping();
+        let Some(mut current_score) = ctx.evaluate(&current) else {
+            return;
+        };
+        lo = lo.min(current_score);
+        hi = hi.max(current_score);
+        for _ in 0..self.probe {
+            let m = ctx.random_mapping();
+            let Some(s) = ctx.evaluate(&m) else { return };
+            if s > current_score {
+                current = m;
+                current_score = s;
+            }
+            lo = lo.min(s);
+            hi = hi.max(s);
+        }
+        let spread = (hi - lo).max(1e-3);
+        let mut temperature = spread;
+        let floor = spread * 1e-3;
+
+        // Track the trajectory's own best so a cooling cycle can reheat
+        // from it instead of from wherever the walk drifted.
+        let mut best = current.clone();
+        let mut best_score = current_score;
+
+        let epoch = self.moves_per_epoch.max(1) * ctx.tile_count().max(2);
+        // Budget-aware schedule: make sure the walk actually freezes
+        // before the evaluations run out, whatever the budget is. The
+        // configured `cooling` acts as an upper bound (slowest decay).
+        let epochs_in_budget = (ctx.remaining() / epoch).max(1) as f64;
+        let adaptive = (floor / spread).powf(1.0 / epochs_in_budget);
+        let cooling = adaptive.min(self.cooling).clamp(0.05, 0.999);
+        while !ctx.exhausted() {
+            for _ in 0..epoch {
+                let mut candidate = current.clone();
+                candidate.random_swap(ctx.rng());
+                let Some(score) = ctx.evaluate(&candidate) else {
+                    return;
+                };
+                let delta = score - current_score;
+                let accept = delta >= 0.0
+                    || ctx.rng().gen_bool((delta / temperature).exp().clamp(0.0, 1.0));
+                if accept {
+                    current = candidate;
+                    current_score = score;
+                    if score > best_score {
+                        best = current.clone();
+                        best_score = score;
+                    }
+                }
+            }
+            temperature *= cooling;
+            if temperature < floor {
+                // Reheat cycle: restart the walk from the best solution
+                // seen so far with a warm (but not fully hot) schedule.
+                current = best.clone();
+                current_score = best_score;
+                temperature = spread * 0.3;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_search::RandomSearch;
+    use crate::test_support::tiny_problem;
+    use phonoc_core::run_dse;
+
+    #[test]
+    fn respects_budget_and_validity() {
+        let p = tiny_problem();
+        let r = run_dse(&p, &SimulatedAnnealing::default(), 500, 17);
+        assert_eq!(r.evaluations, 500);
+        assert!(r.best_mapping.is_valid());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = tiny_problem();
+        let a = run_dse(&p, &SimulatedAnnealing::default(), 300, 8);
+        let b = run_dse(&p, &SimulatedAnnealing::default(), 300, 8);
+        assert_eq!(a.best_mapping, b.best_mapping);
+    }
+
+    #[test]
+    fn not_worse_than_random_search() {
+        let p = tiny_problem();
+        let rs = run_dse(&p, &RandomSearch, 800, 55);
+        let sa = run_dse(&p, &SimulatedAnnealing::default(), 800, 55);
+        assert!(
+            sa.best_score >= rs.best_score - 0.5,
+            "sa {} far below rs {}",
+            sa.best_score,
+            rs.best_score
+        );
+    }
+}

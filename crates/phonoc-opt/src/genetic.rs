@@ -1,0 +1,290 @@
+//! Genetic algorithm (paper Section II-D2): "creates a fixed-sized
+//! population of candidate solutions that, using the crossover and
+//! mutation operators, evolves over a number of generations toward
+//! better solutions."
+//!
+//! The chromosome is the full tile permutation of a [`Mapping`]
+//! (tasks first, free tiles in the tail), so permutation-preserving
+//! operators keep every individual valid by construction:
+//!
+//! * **selection** — size-`k` tournament;
+//! * **crossover** — PMX (partially mapped) or OX (order), both standard
+//!   for permutation encodings;
+//! * **mutation** — random position swaps;
+//! * **elitism** — the best `elite` individuals survive unchanged.
+
+use phonoc_core::{Mapping, MappingOptimizer, OptContext};
+use phonoc_topo::TileId;
+use rand::Rng;
+
+/// Which permutation crossover to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Crossover {
+    /// Partially-mapped crossover (default).
+    #[default]
+    Pmx,
+    /// Order crossover.
+    Ox,
+}
+
+/// Tunable GA parameters. The defaults follow common practice for
+/// permutation problems of this size (tens of positions).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GeneticAlgorithm {
+    /// Population size.
+    pub population: usize,
+    /// Individuals copied unchanged into the next generation.
+    pub elite: usize,
+    /// Tournament size for parent selection.
+    pub tournament: usize,
+    /// Per-offspring probability of one extra mutation swap.
+    pub mutation_rate: f64,
+    /// Crossover operator.
+    pub crossover: Crossover,
+}
+
+impl Default for GeneticAlgorithm {
+    fn default() -> Self {
+        GeneticAlgorithm {
+            population: 40,
+            elite: 2,
+            tournament: 3,
+            mutation_rate: 0.35,
+            crossover: Crossover::Pmx,
+        }
+    }
+}
+
+impl MappingOptimizer for GeneticAlgorithm {
+    fn name(&self) -> &'static str {
+        "ga"
+    }
+
+    fn optimize(&self, ctx: &mut OptContext<'_>) {
+        let pop_size = self.population.max(2);
+        let elite = self.elite.min(pop_size - 1);
+
+        // Initial population.
+        let mut pop: Vec<(Mapping, f64)> = Vec::with_capacity(pop_size);
+        for _ in 0..pop_size {
+            let m = ctx.random_mapping();
+            match ctx.evaluate(&m) {
+                Some(s) => pop.push((m, s)),
+                None => return,
+            }
+        }
+
+        while !ctx.exhausted() {
+            // Sort descending by fitness (higher score = better).
+            pop.sort_by(|a, b| b.1.total_cmp(&a.1));
+            let mut next: Vec<(Mapping, f64)> = pop[..elite].to_vec();
+            while next.len() < pop_size {
+                let a = tournament(&pop, self.tournament, ctx);
+                let b = tournament(&pop, self.tournament, ctx);
+                let mut child = match self.crossover {
+                    Crossover::Pmx => pmx(&pop[a].0, &pop[b].0, ctx.rng()),
+                    Crossover::Ox => ox(&pop[a].0, &pop[b].0, ctx.rng()),
+                };
+                if ctx.rng().gen_bool(self.mutation_rate.clamp(0.0, 1.0)) {
+                    child.random_swap(ctx.rng());
+                }
+                debug_assert!(child.is_valid());
+                match ctx.evaluate(&child) {
+                    Some(s) => next.push((child, s)),
+                    None => return,
+                }
+            }
+            pop = next;
+        }
+    }
+}
+
+/// Tournament selection: index of the best of `k` random individuals.
+fn tournament(pop: &[(Mapping, f64)], k: usize, ctx: &mut OptContext<'_>) -> usize {
+    let k = k.clamp(1, pop.len());
+    let mut best = ctx.rng().gen_range(0..pop.len());
+    for _ in 1..k {
+        let c = ctx.rng().gen_range(0..pop.len());
+        if pop[c].1 > pop[best].1 {
+            best = c;
+        }
+    }
+    best
+}
+
+/// Partially-mapped crossover over the full tile permutation.
+pub(crate) fn pmx<R: Rng + ?Sized>(a: &Mapping, b: &Mapping, rng: &mut R) -> Mapping {
+    let pa = a.permutation();
+    let pb = b.permutation();
+    let n = pa.len();
+    if n < 2 {
+        return a.clone();
+    }
+    let (lo, hi) = random_window(n, rng);
+
+    let mut child: Vec<Option<TileId>> = vec![None; n];
+    let mut used = vec![false; n];
+    // Copy the window from parent A.
+    for i in lo..=hi {
+        child[i] = Some(pa[i]);
+        used[pa[i].0] = true;
+    }
+    // Map B's window genes displaced by A's window.
+    for i in lo..=hi {
+        let gene = pb[i];
+        if used[gene.0] {
+            continue;
+        }
+        // Follow the PMX chain to find a free position.
+        let mut pos = i;
+        loop {
+            let displaced = pa[pos];
+            pos = pb.iter().position(|&g| g == displaced).expect("permutation");
+            if !(lo..=hi).contains(&pos) {
+                break;
+            }
+        }
+        // The chain lands on a free slot for true permutations; guard
+        // anyway so a collision degrades to leftover-filling instead of
+        // silently dropping a gene.
+        if child[pos].is_none() {
+            child[pos] = Some(gene);
+            used[gene.0] = true;
+        }
+    }
+    // Fill the rest from B in order.
+    for i in 0..n {
+        if child[i].is_none() {
+            let gene = pb[i];
+            if !used[gene.0] {
+                child[i] = Some(gene);
+                used[gene.0] = true;
+            }
+        }
+    }
+    // Any still-unfilled positions take the remaining genes in order.
+    let mut leftovers = (0..n).filter(|&g| !used[g]).map(TileId);
+    let perm: Vec<TileId> = child
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| leftovers.next().expect("counts match")))
+        .collect();
+    mapping_from_perm(perm, a.task_count())
+}
+
+/// Order crossover over the full tile permutation.
+pub(crate) fn ox<R: Rng + ?Sized>(a: &Mapping, b: &Mapping, rng: &mut R) -> Mapping {
+    let pa = a.permutation();
+    let pb = b.permutation();
+    let n = pa.len();
+    if n < 2 {
+        return a.clone();
+    }
+    let (lo, hi) = random_window(n, rng);
+    let mut child: Vec<Option<TileId>> = vec![None; n];
+    let mut used = vec![false; n];
+    for i in lo..=hi {
+        child[i] = Some(pa[i]);
+        used[pa[i].0] = true;
+    }
+    // Fill remaining positions with B's genes in B's cyclic order
+    // starting after the window.
+    let mut fill = (hi + 1) % n;
+    for k in 0..n {
+        let gene = pb[(hi + 1 + k) % n];
+        if used[gene.0] {
+            continue;
+        }
+        while child[fill].is_some() {
+            fill = (fill + 1) % n;
+        }
+        child[fill] = Some(gene);
+        used[gene.0] = true;
+    }
+    let perm: Vec<TileId> = child.into_iter().map(|s| s.expect("filled")).collect();
+    mapping_from_perm(perm, a.task_count())
+}
+
+fn random_window<R: Rng + ?Sized>(n: usize, rng: &mut R) -> (usize, usize) {
+    let i = rng.gen_range(0..n);
+    let j = rng.gen_range(0..n);
+    (i.min(j), i.max(j))
+}
+
+fn mapping_from_perm(perm: Vec<TileId>, task_count: usize) -> Mapping {
+    let tile_count = perm.len();
+    let assignment: Vec<TileId> = perm[..task_count].to_vec();
+    // `from_assignment` re-derives the free tail; the tail order may
+    // differ from `perm`'s but free-tile order is semantically irrelevant.
+    Mapping::from_assignment(assignment, tile_count)
+        .expect("crossover of valid permutations stays valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_problem;
+    use phonoc_core::run_dse;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ga_respects_budget_and_validity() {
+        let p = tiny_problem();
+        let r = run_dse(&p, &GeneticAlgorithm::default(), 500, 3);
+        assert_eq!(r.evaluations, 500);
+        assert!(r.best_mapping.is_valid());
+    }
+
+    #[test]
+    fn ga_is_deterministic_per_seed() {
+        let p = tiny_problem();
+        let a = run_dse(&p, &GeneticAlgorithm::default(), 300, 11);
+        let b = run_dse(&p, &GeneticAlgorithm::default(), 300, 11);
+        assert_eq!(a.best_mapping, b.best_mapping);
+    }
+
+    #[test]
+    fn ox_variant_works_too() {
+        let p = tiny_problem();
+        let ga = GeneticAlgorithm {
+            crossover: Crossover::Ox,
+            ..GeneticAlgorithm::default()
+        };
+        let r = run_dse(&p, &ga, 300, 4);
+        assert!(r.best_mapping.is_valid());
+    }
+
+    #[test]
+    fn tiny_population_is_clamped() {
+        let p = tiny_problem();
+        let ga = GeneticAlgorithm {
+            population: 1,
+            elite: 5,
+            ..GeneticAlgorithm::default()
+        };
+        let r = run_dse(&p, &ga, 50, 1);
+        assert_eq!(r.evaluations, 50);
+    }
+
+    proptest! {
+        /// PMX and OX must always produce valid permutations.
+        #[test]
+        fn crossovers_preserve_validity(
+            seed in 0u64..1000,
+            tasks in 2usize..10,
+            extra in 0usize..6,
+        ) {
+            let tiles = tasks + extra;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let a = Mapping::random(tasks, tiles, &mut rng);
+            let b = Mapping::random(tasks, tiles, &mut rng);
+            let c1 = pmx(&a, &b, &mut rng);
+            let c2 = ox(&a, &b, &mut rng);
+            prop_assert!(c1.is_valid());
+            prop_assert!(c2.is_valid());
+            prop_assert_eq!(c1.task_count(), tasks);
+            prop_assert_eq!(c2.task_count(), tasks);
+        }
+    }
+}

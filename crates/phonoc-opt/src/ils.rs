@@ -1,0 +1,135 @@
+//! Iterated local search (extension): perturb-and-descend, the natural
+//! middle ground between R-PBLA's full restarts and tabu's continuous
+//! walk.
+//!
+//! Each round starts from the best solution found so far, applies a
+//! small random perturbation (a handful of swaps — the "kick"), and runs
+//! first-improvement descent until a local optimum. Compared to R-PBLA's
+//! random restarts, the kick preserves most of the incumbent's
+//! structure, which pays off on problems whose good solutions share
+//! large building blocks (grid embeddings do).
+
+use phonoc_core::{MappingOptimizer, OptContext};
+use rand::Rng;
+
+/// Iterated local search with first-improvement descent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IteratedLocalSearch {
+    /// Number of random swaps in each perturbation kick.
+    pub kick_strength: usize,
+}
+
+impl Default for IteratedLocalSearch {
+    fn default() -> Self {
+        IteratedLocalSearch { kick_strength: 3 }
+    }
+}
+
+impl MappingOptimizer for IteratedLocalSearch {
+    fn name(&self) -> &'static str {
+        "ils"
+    }
+
+    fn optimize(&self, ctx: &mut OptContext<'_>) {
+        let tasks = ctx.task_count();
+        let tiles = ctx.tile_count();
+
+        let mut best = ctx.random_mapping();
+        let Some(mut best_score) = ctx.evaluate(&best) else {
+            return;
+        };
+
+        'rounds: while !ctx.exhausted() {
+            // Kick: perturb the incumbent.
+            let mut current = best.clone();
+            for _ in 0..self.kick_strength.max(1) {
+                current.random_swap(ctx.rng());
+            }
+            let Some(mut current_score) = ctx.evaluate(&current) else {
+                break;
+            };
+
+            // First-improvement descent over a randomized swap order.
+            loop {
+                let mut improved = false;
+                // Randomized scan order decorrelates successive rounds.
+                let offset_a = ctx.rng().gen_range(0..tiles);
+                let offset_b = ctx.rng().gen_range(0..tiles);
+                for ia in 0..tiles {
+                    let a = (ia + offset_a) % tiles;
+                    for ib in 0..tiles {
+                        let b = (ib + offset_b) % tiles;
+                        if a >= b || (a >= tasks && b >= tasks) {
+                            continue;
+                        }
+                        let candidate = current.with_swap(a, b);
+                        let Some(score) = ctx.evaluate(&candidate) else {
+                            break 'rounds;
+                        };
+                        if score > current_score {
+                            current = candidate;
+                            current_score = score;
+                            improved = true;
+                            break;
+                        }
+                    }
+                    if improved {
+                        break;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+            if current_score > best_score {
+                best = current;
+                best_score = current_score;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_search::RandomSearch;
+    use crate::test_support::tiny_problem;
+    use phonoc_core::run_dse;
+
+    #[test]
+    fn respects_budget_and_validity() {
+        let p = tiny_problem();
+        let r = run_dse(&p, &IteratedLocalSearch::default(), 600, 4);
+        assert_eq!(r.evaluations, 600);
+        assert!(r.best_mapping.is_valid());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = tiny_problem();
+        let a = run_dse(&p, &IteratedLocalSearch::default(), 400, 21);
+        let b = run_dse(&p, &IteratedLocalSearch::default(), 400, 21);
+        assert_eq!(a.best_mapping, b.best_mapping);
+    }
+
+    #[test]
+    fn not_worse_than_random_search() {
+        let p = tiny_problem();
+        let rs = run_dse(&p, &RandomSearch, 900, 8);
+        let ils = run_dse(&p, &IteratedLocalSearch::default(), 900, 8);
+        assert!(
+            ils.best_score >= rs.best_score - 0.5,
+            "ils {} far below rs {}",
+            ils.best_score,
+            rs.best_score
+        );
+    }
+
+    #[test]
+    fn strong_kicks_still_work() {
+        let p = tiny_problem();
+        let ils = IteratedLocalSearch { kick_strength: 10 };
+        let r = run_dse(&p, &ils, 300, 2);
+        assert!(r.best_mapping.is_valid());
+    }
+}

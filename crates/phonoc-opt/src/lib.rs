@@ -1,0 +1,100 @@
+//! Mapping optimization strategies for PhoNoCMap (paper Section II-D2).
+//!
+//! The paper ships three strategies — random search, a genetic algorithm
+//! and the purpose-built R-PBLA — and explicitly invites users to
+//! "extend the library themselves with other algorithms". This crate
+//! implements all three plus two extensions (simulated annealing and
+//! tabu search) and an exhaustive oracle for tiny instances; all of them
+//! are plain [`MappingOptimizer`] implementations, so adding another
+//! requires no change anywhere else.
+//!
+//! | Strategy | Type | Paper status |
+//! |----------|------|--------------|
+//! | [`RandomSearch`] | sampling | baseline (§II-D2) |
+//! | [`GeneticAlgorithm`] | population | baseline (§II-D2) |
+//! | [`Rpbla`] | best-move descent + restarts | the paper's contribution |
+//! | [`SimulatedAnnealing`] | trajectory | "other strategies" slot |
+//! | [`TabuSearch`] | trajectory | "other strategies" slot |
+//! | [`Exhaustive`] | enumeration | test oracle |
+//!
+//! # Example
+//!
+//! ```
+//! use phonoc_core::{run_dse, MappingProblem, Objective};
+//! use phonoc_opt::Rpbla;
+//! use phonoc_phys::{Length, PhysicalParameters};
+//! use phonoc_route::XyRouting;
+//! use phonoc_router::crux::crux_router;
+//! use phonoc_topo::Topology;
+//!
+//! # fn main() -> Result<(), phonoc_core::CoreError> {
+//! let problem = MappingProblem::new(
+//!     phonoc_apps::benchmarks::pip(),
+//!     Topology::mesh(3, 3, Length::from_mm(2.5)),
+//!     crux_router(),
+//!     Box::new(XyRouting),
+//!     PhysicalParameters::default(),
+//!     Objective::MaximizeWorstCaseSnr,
+//! )?;
+//! let result = run_dse(&problem, &Rpbla, 2_000, 42);
+//! assert!(result.best_mapping.is_valid());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod exhaustive;
+pub mod genetic;
+pub mod ils;
+pub mod random_search;
+pub mod registry;
+pub mod rpbla;
+pub mod tabu;
+
+pub use annealing::SimulatedAnnealing;
+pub use exhaustive::Exhaustive;
+pub use genetic::{Crossover, GeneticAlgorithm};
+pub use ils::IteratedLocalSearch;
+pub use random_search::RandomSearch;
+pub use registry::{builtin_names, optimizer};
+pub use rpbla::Rpbla;
+pub use tabu::TabuSearch;
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use phonoc_core::{MappingProblem, Objective};
+    use phonoc_phys::{Length, PhysicalParameters};
+    use phonoc_route::XyRouting;
+    use phonoc_router::crux::crux_router;
+    use phonoc_topo::Topology;
+
+    /// PIP on a 3×3 mesh: small enough for fast tests, structured enough
+    /// that search beats luck.
+    pub fn tiny_problem() -> MappingProblem {
+        MappingProblem::new(
+            phonoc_apps::benchmarks::pip(),
+            Topology::mesh(3, 3, Length::from_mm(2.5)),
+            crux_router(),
+            Box::new(XyRouting),
+            PhysicalParameters::default(),
+            Objective::MaximizeWorstCaseSnr,
+        )
+        .unwrap()
+    }
+
+    /// A 3-task pipeline on a 2×2 mesh: 24 possible mappings, fully
+    /// enumerable.
+    pub fn micro_problem() -> MappingProblem {
+        MappingProblem::new(
+            phonoc_apps::synthetic::pipeline(3),
+            Topology::mesh(2, 2, Length::from_mm(2.5)),
+            crux_router(),
+            Box::new(XyRouting),
+            PhysicalParameters::default(),
+            Objective::MinimizeWorstCaseLoss,
+        )
+        .unwrap()
+    }
+}

@@ -1,0 +1,53 @@
+//! Random search (paper Section II-D2): "generates randomly a population
+//! of a given size and then picks the best individual".
+//!
+//! With the engine's budget semantics this is simply: draw uniformly
+//! random valid mappings until the evaluation budget runs out; the
+//! incumbent tracking in [`OptContext`] keeps the best.
+
+use phonoc_core::{MappingOptimizer, OptContext};
+
+/// The paper's RS baseline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RandomSearch;
+
+impl MappingOptimizer for RandomSearch {
+    fn name(&self) -> &'static str {
+        "rs"
+    }
+
+    fn optimize(&self, ctx: &mut OptContext<'_>) {
+        while !ctx.exhausted() {
+            let m = ctx.random_mapping();
+            if ctx.evaluate(&m).is_none() {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_problem;
+    use phonoc_core::run_dse;
+
+    #[test]
+    fn uses_whole_budget() {
+        let p = tiny_problem();
+        let r = run_dse(&p, &RandomSearch, 123, 7);
+        assert_eq!(r.evaluations, 123);
+        assert!(r.best_mapping.is_valid());
+    }
+
+    #[test]
+    fn more_budget_never_hurts() {
+        let p = tiny_problem();
+        let small = run_dse(&p, &RandomSearch, 20, 5);
+        let large = run_dse(&p, &RandomSearch, 400, 5);
+        assert!(
+            large.best_score >= small.best_score,
+            "a prefix-extended search cannot be worse under the same seed"
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Name-based optimizer registry — the "Mapping Optimization" extension
+//! point of the paper's Fig. 1.
+
+use crate::annealing::SimulatedAnnealing;
+use crate::exhaustive::Exhaustive;
+use crate::genetic::GeneticAlgorithm;
+use crate::ils::IteratedLocalSearch;
+use crate::random_search::RandomSearch;
+use crate::rpbla::Rpbla;
+use crate::tabu::TabuSearch;
+use phonoc_core::MappingOptimizer;
+
+/// Instantiates a built-in optimizer by name: `"rs"`, `"ga"`,
+/// `"r-pbla"` (or `"rpbla"`), `"sa"`, `"tabu"`, `"exhaustive"`.
+#[must_use]
+pub fn optimizer(name: &str) -> Option<Box<dyn MappingOptimizer>> {
+    match name.to_lowercase().as_str() {
+        "rs" | "random" => Some(Box::new(RandomSearch)),
+        "ga" | "genetic" => Some(Box::new(GeneticAlgorithm::default())),
+        "r-pbla" | "rpbla" => Some(Box::new(Rpbla)),
+        "sa" | "annealing" => Some(Box::new(SimulatedAnnealing::default())),
+        "ils" => Some(Box::new(IteratedLocalSearch::default())),
+        "tabu" => Some(Box::new(TabuSearch::default())),
+        "exhaustive" => Some(Box::new(Exhaustive)),
+        _ => None,
+    }
+}
+
+/// Names of all built-in optimizers.
+#[must_use]
+pub fn builtin_names() -> &'static [&'static str] {
+    &["rs", "ga", "r-pbla", "sa", "tabu", "ils", "exhaustive"]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_resolves() {
+        for name in builtin_names() {
+            let opt = optimizer(name).unwrap_or_else(|| panic!("missing {name}"));
+            assert!(!opt.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn aliases_and_case_insensitivity() {
+        assert!(optimizer("RPBLA").is_some());
+        assert!(optimizer("Genetic").is_some());
+        assert!(optimizer("nonsense").is_none());
+    }
+}

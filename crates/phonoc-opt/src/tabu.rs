@@ -1,0 +1,101 @@
+//! Tabu search — another "other strategies" slot of the paper's Fig. 1
+//! (extension).
+//!
+//! Best-move search over the swap neighbourhood with a recency-based
+//! tabu list on position pairs. Unlike R-PBLA, the best *non-tabu* move
+//! is taken even when it worsens the solution, which lets the search
+//! climb out of local optima without restarts; an aspiration criterion
+//! overrides the tabu status of a move that would beat the global best.
+
+use phonoc_core::{MappingOptimizer, OptContext};
+use std::collections::HashMap;
+
+/// Tabu-search mapper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TabuSearch {
+    /// Iterations a reversed move stays forbidden, as a multiple of the
+    /// tile count (a common tenure heuristic).
+    pub tenure_factor: usize,
+}
+
+impl Default for TabuSearch {
+    fn default() -> Self {
+        TabuSearch { tenure_factor: 1 }
+    }
+}
+
+impl MappingOptimizer for TabuSearch {
+    fn name(&self) -> &'static str {
+        "tabu"
+    }
+
+    fn optimize(&self, ctx: &mut OptContext<'_>) {
+        let tasks = ctx.task_count();
+        let tiles = ctx.tile_count();
+        let tenure = (self.tenure_factor * tiles).max(2);
+
+        let mut current = ctx.random_mapping();
+        let Some(mut current_score) = ctx.evaluate(&current) else {
+            return;
+        };
+        let mut global_best = current_score;
+        let mut tabu: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut iteration = 0usize;
+
+        'outer: while !ctx.exhausted() {
+            iteration += 1;
+            let mut best_move: Option<(usize, usize, f64)> = None;
+            for a in 0..tiles {
+                for b in (a + 1)..tiles {
+                    if a >= tasks && b >= tasks {
+                        continue;
+                    }
+                    let candidate = current.with_swap(a, b);
+                    let Some(score) = ctx.evaluate(&candidate) else {
+                        break 'outer;
+                    };
+                    let is_tabu = tabu.get(&(a, b)).is_some_and(|&until| until > iteration);
+                    // Aspiration: a new global best is always admissible.
+                    if is_tabu && score <= global_best {
+                        continue;
+                    }
+                    if best_move.is_none_or(|(_, _, s)| score > s) {
+                        best_move = Some((a, b, score));
+                    }
+                }
+            }
+            let Some((a, b, score)) = best_move else {
+                // Everything tabu and nothing aspirational: clear and go on.
+                tabu.clear();
+                continue;
+            };
+            current.swap_positions(a, b);
+            current_score = score;
+            global_best = global_best.max(current_score);
+            tabu.insert((a, b), iteration + tenure);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_problem;
+    use phonoc_core::run_dse;
+
+    #[test]
+    fn respects_budget_and_validity() {
+        let p = tiny_problem();
+        let r = run_dse(&p, &TabuSearch::default(), 400, 13);
+        assert_eq!(r.evaluations, 400);
+        assert!(r.best_mapping.is_valid());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = tiny_problem();
+        let a = run_dse(&p, &TabuSearch::default(), 250, 5);
+        let b = run_dse(&p, &TabuSearch::default(), 250, 5);
+        assert_eq!(a.best_mapping, b.best_mapping);
+    }
+}

@@ -1,0 +1,164 @@
+//! Bit-error-rate estimation from SNR (extension).
+//!
+//! The paper's companion work (Xie et al., DAC 2010 — the paper's
+//! reference [12]) analyzes bit error rate alongside crosstalk. We provide
+//! the standard on-off-keying estimate so the mapping tool can report BER
+//! for any evaluated mapping:
+//!
+//! * Q-factor from optical SNR: `Q = sqrt(SNR_linear)` (signal-independent
+//!   noise assumption),
+//! * `BER = ½·erfc(Q / √2)`.
+//!
+//! `erfc` is computed with the Abramowitz & Stegun 7.1.26 rational
+//! approximation (absolute error ≤ 1.5·10⁻⁷), which is more than accurate
+//! enough for the 10⁻⁹…10⁻¹² BER regimes of interest.
+//!
+//! # Examples
+//!
+//! ```
+//! use phonoc_phys::ber::ber_from_snr;
+//! use phonoc_phys::units::Db;
+//!
+//! // The classic rule of thumb: Q ≈ 6 (SNR ≈ 15.6 dB) gives BER ≈ 1e-9.
+//! let ber = ber_from_snr(Db(15.563));
+//! assert!(ber < 1.1e-9 && ber > 0.9e-10);
+//! ```
+
+use crate::units::Db;
+
+/// Complementary error function, `erfc(x) = 1 - erf(x)`.
+///
+/// Uses the Abramowitz & Stegun 7.1.26 polynomial approximation with the
+/// odd-symmetry identity `erf(-x) = -erf(x)` for negative arguments.
+/// Absolute error is below `1.5e-7` over the whole real line.
+#[must_use]
+pub fn erfc(x: f64) -> f64 {
+    1.0 - erf(x)
+}
+
+/// Error function via Abramowitz & Stegun 7.1.26.
+#[must_use]
+pub fn erf(x: f64) -> f64 {
+    if x < 0.0 {
+        return -erf(-x);
+    }
+    const P: f64 = 0.327_591_1;
+    const A1: f64 = 0.254_829_592;
+    const A2: f64 = -0.284_496_736;
+    const A3: f64 = 1.421_413_741;
+    const A4: f64 = -1.453_152_027;
+    const A5: f64 = 1.061_405_429;
+    let t = 1.0 / (1.0 + P * x);
+    let poly = t * (A1 + t * (A2 + t * (A3 + t * (A4 + t * A5))));
+    1.0 - poly * (-x * x).exp()
+}
+
+/// Q-factor corresponding to an optical signal-to-noise ratio.
+///
+/// Under the signal-independent-noise assumption used in the chip-scale
+/// photonics literature, `Q = sqrt(SNR_linear)`.
+#[must_use]
+pub fn q_factor(snr: Db) -> f64 {
+    snr.to_linear().0.sqrt()
+}
+
+/// On-off-keying bit error rate for a given optical SNR:
+/// `BER = ½·erfc(Q/√2)` with `Q = sqrt(SNR_linear)`.
+///
+/// Returns `0.5` for an SNR of `-inf` (pure noise) and approaches `0` as
+/// SNR grows; values below ≈1e-17 underflow to `0`, which is fine for
+/// reporting purposes.
+#[must_use]
+pub fn ber_from_snr(snr: Db) -> f64 {
+    let q = q_factor(snr);
+    0.5 * erfc(q / std::f64::consts::SQRT_2)
+}
+
+/// The minimum SNR (dB) needed to reach a target bit error rate, found by
+/// bisection on [`ber_from_snr`].
+///
+/// # Panics
+///
+/// Panics if `target_ber` is not within `(0, 0.5)`.
+#[must_use]
+pub fn required_snr_for_ber(target_ber: f64) -> Db {
+    assert!(
+        target_ber > 0.0 && target_ber < 0.5,
+        "target BER must be in (0, 0.5), got {target_ber}"
+    );
+    let (mut lo, mut hi) = (Db(-10.0), Db(30.0));
+    for _ in 0..200 {
+        let mid = Db((lo.0 + hi.0) / 2.0);
+        if ber_from_snr(mid) > target_ber {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erf_known_values() {
+        // Reference values from tables of erf; the A&S 7.1.26
+        // approximation is accurate to 1.5e-7.
+        assert!((erf(0.0)).abs() < 1.5e-7);
+        assert!((erf(1.0) - 0.842_700_79).abs() < 1e-6);
+        assert!((erf(2.0) - 0.995_322_27).abs() < 1e-6);
+        assert!((erf(-1.0) + 0.842_700_79).abs() < 1e-6);
+    }
+
+    #[test]
+    fn erfc_complements_erf() {
+        for x in [-2.0, -0.5, 0.0, 0.3, 1.7, 3.0] {
+            assert!((erf(x) + erfc(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn q_factor_examples() {
+        assert!((q_factor(Db(0.0)) - 1.0).abs() < 1e-12);
+        assert!((q_factor(Db(20.0)) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ber_monotonically_improves_with_snr() {
+        // Strict decrease holds until the approximation underflows to 0
+        // (around 19 dB of SNR, i.e. BER ~1e-19).
+        let mut prev = 1.0;
+        for snr_db in 0..=18 {
+            let ber = ber_from_snr(Db(f64::from(snr_db)));
+            assert!(ber < prev, "BER must decrease with SNR at {snr_db} dB");
+            prev = ber;
+        }
+    }
+
+    #[test]
+    fn ber_at_zero_snr_is_large() {
+        // Q = 1 → BER = ½·erfc(1/√2) ≈ 0.1587.
+        let ber = ber_from_snr(Db(0.0));
+        assert!((ber - 0.1587).abs() < 1e-3);
+    }
+
+    #[test]
+    fn required_snr_inverts_ber() {
+        for target in [1e-3, 1e-6, 1e-9] {
+            let snr = required_snr_for_ber(target);
+            let achieved = ber_from_snr(snr);
+            assert!(
+                achieved <= target * 1.05,
+                "snr {snr} gives {achieved} > {target}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "target BER")]
+    fn required_snr_rejects_silly_targets() {
+        let _ = required_snr_for_ber(0.9);
+    }
+}

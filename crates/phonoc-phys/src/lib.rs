@@ -1,0 +1,51 @@
+//! Physical-layer foundations for photonic network-on-chip analysis.
+//!
+//! This crate is the "Libraries" module of the PhoNoCMap architecture
+//! (paper Fig. 1, box 2): the photonic building blocks — waveguides,
+//! microring resonators, waveguide crossings — and their physical
+//! loss/crosstalk coefficients, together with the first-order analytical
+//! transfer model of Eqs. (1a)–(1j).
+//!
+//! # Layout
+//!
+//! * [`units`] — `Db`, `LinearGain`, `Dbm`, `Milliwatts`, `Length`
+//!   newtypes with the conversions the rest of the workspace relies on.
+//! * [`params`] — [`params::PhysicalParameters`], defaulting to the
+//!   paper's Table I.
+//! * [`elements`] — PSE geometries/states and the ten transfer equations.
+//! * [`ber`] — Q-factor / bit-error-rate estimation (extension).
+//! * [`budget`] — laser power budget and WDM scalability analysis
+//!   (extension).
+//!
+//! # Example: evaluating one switching stage by hand
+//!
+//! ```
+//! use phonoc_phys::elements::{ElementTransfer, PseKind, ResonanceState};
+//! use phonoc_phys::params::PhysicalParameters;
+//! use phonoc_phys::units::{Db, Milliwatts};
+//!
+//! let params = PhysicalParameters::default();
+//! let t = ElementTransfer::new(&params);
+//!
+//! // A signal turning inside a router: one ON crossing-PSE…
+//! let after_turn = t.pse_main_output(PseKind::Crossing, ResonanceState::On, Milliwatts(1.0));
+//! // …then 0.25 cm of silicon waveguide to the next router.
+//! let at_next_router = after_turn.attenuate(t.propagation_loss(0.25));
+//! assert!(at_next_router.0 < 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ber;
+pub mod budget;
+pub mod elements;
+pub mod params;
+pub mod units;
+pub mod wdm;
+
+pub use budget::PowerBudget;
+pub use elements::{ElementTransfer, PseKind, ResonanceState};
+pub use params::{PhysicalParameters, PhysicalParametersBuilder};
+pub use units::{Db, Dbm, Length, LinearGain, Milliwatts};
+pub use wdm::{wdm_feasibility, WdmFeasibility, WdmGrid};

@@ -1,0 +1,80 @@
+//! Property-based tests for the unit system and the physical models.
+
+use phonoc_phys::ber::ber_from_snr;
+use phonoc_phys::{Db, Dbm, Length, Milliwatts, PhysicalParameters};
+use proptest::prelude::*;
+
+proptest! {
+    /// dB ↔ linear round trips across the whole range of interest.
+    #[test]
+    fn db_linear_roundtrip(v in -60.0f64..20.0) {
+        let back = Db(v).to_linear().to_db();
+        prop_assert!((back.0 - v).abs() < 1e-9);
+    }
+
+    /// dBm ↔ mW round trips.
+    #[test]
+    fn dbm_mw_roundtrip(v in -60.0f64..30.0) {
+        let back = Dbm(v).to_milliwatts().to_dbm();
+        prop_assert!((back.0 - v).abs() < 1e-9);
+    }
+
+    /// Adding decibels is multiplying linear gains.
+    #[test]
+    fn db_addition_is_linear_multiplication(a in -40.0f64..5.0, b in -40.0f64..5.0) {
+        let sum = (Db(a) + Db(b)).to_linear().0;
+        let prod = Db(a).to_linear().0 * Db(b).to_linear().0;
+        prop_assert!((sum - prod).abs() < 1e-12 * prod.max(1.0));
+    }
+
+    /// Attenuating a power by a loss always shrinks it; by a gain grows it.
+    #[test]
+    fn attenuation_direction(p in 0.001f64..100.0, loss in -30.0f64..-0.001) {
+        let out = Milliwatts(p).attenuate(Db(loss));
+        prop_assert!(out.0 < p);
+        let out = Milliwatts(p).attenuate(Db(-loss));
+        prop_assert!(out.0 > p);
+    }
+
+    /// Length conversions agree with each other.
+    #[test]
+    fn length_units_are_consistent(mm in 0.0f64..1000.0) {
+        let l = Length::from_mm(mm);
+        prop_assert!((l.as_cm() * 10.0 - mm).abs() < 1e-9);
+        prop_assert!((l.as_um() / 1000.0 - mm).abs() < 1e-9);
+    }
+
+    /// Length addition is commutative and monotone.
+    #[test]
+    fn length_addition(a in 0.0f64..100.0, b in 0.0f64..100.0) {
+        let l = Length::from_mm(a) + Length::from_mm(b);
+        let r = Length::from_mm(b) + Length::from_mm(a);
+        prop_assert_eq!(l, r);
+        prop_assert!(l.as_mm() >= a.max(b) - 1e-12);
+    }
+
+    /// BER is monotone non-increasing in SNR.
+    #[test]
+    fn ber_monotone(a in 0.0f64..18.0, delta in 0.0f64..5.0) {
+        let low = ber_from_snr(Db(a));
+        let high = ber_from_snr(Db(a + delta));
+        prop_assert!(high <= low + 1e-15);
+    }
+
+    /// Any negative-loss / negative-crosstalk parameter combination
+    /// validates, and the loss budget matches laser − sensitivity.
+    #[test]
+    fn parameter_builder_accepts_physical_values(
+        lc in -1.0f64..-0.001,
+        kp in -60.0f64..-1.0,
+        laser in -5.0f64..10.0,
+    ) {
+        let p = PhysicalParameters::builder()
+            .crossing_loss(Db(lc))
+            .pse_off_crosstalk(Db(kp))
+            .laser_power(Dbm(laser))
+            .build();
+        prop_assert!(p.validate().is_ok());
+        prop_assert!((p.loss_budget().0 - (laser + 26.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,79 @@
+//! Property-based tests for the routing algorithms over randomized
+//! topology shapes and endpoint pairs.
+
+use phonoc_phys::Length;
+use phonoc_route::{NetworkPath, RingRouting, RoutingAlgorithm, XyRouting, YxRouting};
+use phonoc_router::Port;
+use phonoc_topo::{TileId, Topology};
+use proptest::prelude::*;
+
+fn pitch() -> Length {
+    Length::from_mm(2.5)
+}
+
+/// Structural validity shared by all algorithms.
+fn assert_valid(topo: &Topology, p: &NetworkPath) {
+    assert_eq!(p.links.len() + 1, p.hops.len());
+    assert_eq!(p.hops.first().unwrap().tile, p.src);
+    assert_eq!(p.hops.last().unwrap().tile, p.dst);
+    assert_eq!(p.hops.first().unwrap().input, Port::Local);
+    assert_eq!(p.hops.last().unwrap().output, Port::Local);
+    for w in p.hops.windows(2) {
+        let link = topo.link_from(w[0].tile, w[0].output).expect("link exists");
+        assert_eq!(link.to, w[1].tile);
+        assert_eq!(link.to_port, w[1].input);
+    }
+}
+
+proptest! {
+    /// XY on arbitrary meshes: valid and minimal for every endpoint pair.
+    #[test]
+    fn xy_on_meshes(w in 1usize..8, h in 1usize..8, s in 0usize..64, d in 0usize..64) {
+        let topo = Topology::mesh(w, h, pitch());
+        let n = topo.tile_count();
+        let (s, d) = (TileId(s % n), TileId(d % n));
+        prop_assume!(s != d);
+        let p = XyRouting.route(&topo, s, d).unwrap();
+        assert_valid(&topo, &p);
+        let (cs, cd) = (topo.coord(s), topo.coord(d));
+        let manhattan = cs.x.abs_diff(cd.x) + cs.y.abs_diff(cd.y);
+        prop_assert_eq!(p.hop_count(), manhattan + 1);
+    }
+
+    /// YX mirrors XY's length on meshes.
+    #[test]
+    fn yx_matches_xy_length(w in 2usize..7, h in 2usize..7, s in 0usize..49, d in 0usize..49) {
+        let topo = Topology::mesh(w, h, pitch());
+        let n = topo.tile_count();
+        let (s, d) = (TileId(s % n), TileId(d % n));
+        prop_assume!(s != d);
+        let xy = XyRouting.route(&topo, s, d).unwrap();
+        let yx = YxRouting.route(&topo, s, d).unwrap();
+        assert_valid(&topo, &yx);
+        prop_assert_eq!(xy.hop_count(), yx.hop_count());
+        prop_assert_eq!(xy.total_link_length(), yx.total_link_length());
+    }
+
+    /// Torus DOR never exceeds half the extent per dimension.
+    #[test]
+    fn torus_paths_are_short(w in 3usize..8, h in 3usize..8, s in 0usize..64, d in 0usize..64) {
+        let topo = Topology::torus(w, h, pitch());
+        let n = topo.tile_count();
+        let (s, d) = (TileId(s % n), TileId(d % n));
+        prop_assume!(s != d);
+        let p = XyRouting.route(&topo, s, d).unwrap();
+        assert_valid(&topo, &p);
+        prop_assert!(p.hop_count() <= w / 2 + h / 2 + 1);
+    }
+
+    /// Ring routing takes the shorter arc.
+    #[test]
+    fn ring_takes_short_arc(n in 3usize..20, s in 0usize..20, d in 0usize..20) {
+        let topo = Topology::ring(n, pitch());
+        let (s, d) = (TileId(s % n), TileId(d % n));
+        prop_assume!(s != d);
+        let p = RingRouting.route(&topo, s, d).unwrap();
+        assert_valid(&topo, &p);
+        prop_assert!(p.hop_count() <= n / 2 + 1);
+    }
+}

@@ -1,0 +1,1174 @@
+//! Optical router netlists: directed waveguide segments, photonic
+//! elements, and validated port-to-port traversals.
+//!
+//! A [`RouterModel`] describes the *internal* structure of an optical
+//! router as a directed netlist:
+//!
+//! * **Segments** are directed stretches of waveguide between two
+//!   elements (or between a boundary port and an element). A signal on a
+//!   segment always travels in the segment's direction.
+//! * **Elements** sit between segments: plain waveguide
+//!   [crossings](ElementConn::Crossing), parallel PSEs
+//!   ([`ElementConn::Ppse`]) and crossing PSEs ([`ElementConn::Cpse`]).
+//! * **Routes** — one per supported (input port, output port) pair — are
+//!   ordered element traversals. The builder *walks* each declared route
+//!   through the netlist and rejects any step that is not physically
+//!   connected, so a `RouterModel` that builds successfully is guaranteed
+//!   internally consistent.
+//!
+//! The same netlist also fixes the **first-order crosstalk topology**:
+//! each element pass leaks power into a specific victim segment
+//! (Eqs. 1b/1d/1f/1h/1j of the paper), so "which aggressor disturbs which
+//! victim" is derived, never hand-maintained.
+//!
+//! New routers are added by writing a new builder function — nothing in
+//! the analysis core changes, which is the extensibility requirement of
+//! the paper's Section II.
+
+use crate::port::{Port, PortPair};
+use phonoc_phys::{Db, ElementTransfer, LinearGain, PhysicalParameters, PseKind, ResonanceState};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a directed waveguide segment inside a router netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SegmentId(pub(crate) u32);
+
+/// Identifier of a photonic element inside a router netlist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ElementId(pub(crate) u32);
+
+/// Directed connectivity of one photonic element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElementConn {
+    /// A plain waveguide crossing: arm *a* (`a_in → a_out`) crosses arm
+    /// *b* (`b_in → b_out`) perpendicularly.
+    Crossing {
+        /// Input of the first arm.
+        a_in: SegmentId,
+        /// Straight-through output of the first arm.
+        a_out: SegmentId,
+        /// Input of the second arm.
+        b_in: SegmentId,
+        /// Straight-through output of the second arm.
+        b_out: SegmentId,
+    },
+    /// A parallel PSE (Fig. 2a–b): a microring between two parallel
+    /// waveguides. OFF: `input → through`. ON: `input → drop` (the drop
+    /// waveguide propagates away from the ring).
+    Ppse {
+        /// Input segment on the first waveguide.
+        input: SegmentId,
+        /// Through (OFF-state) continuation on the first waveguide.
+        through: SegmentId,
+        /// Drop (ON-state) output on the second waveguide.
+        drop: SegmentId,
+    },
+    /// A crossing PSE (Fig. 2c–d): a microring at a waveguide crossing.
+    /// OFF: `input → through`. ON: `input → cross_out` (the signal turns
+    /// onto the perpendicular waveguide). Traffic already travelling on
+    /// the perpendicular waveguide passes `cross_in → cross_out`.
+    Cpse {
+        /// Input segment on the ring's own waveguide.
+        input: SegmentId,
+        /// Through (OFF-state) continuation of the input waveguide.
+        through: SegmentId,
+        /// Perpendicular waveguide input (pass-through traffic).
+        cross_in: SegmentId,
+        /// Perpendicular waveguide output; also the ON-state drop target.
+        cross_out: SegmentId,
+    },
+}
+
+/// A named element instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Element {
+    /// Human-readable name used in validation errors and reports.
+    pub name: String,
+    /// Directed connectivity.
+    pub conn: ElementConn,
+}
+
+impl Element {
+    /// Whether this element contains a microring resonator.
+    #[must_use]
+    pub fn has_microring(&self) -> bool {
+        !matches!(self.conn, ElementConn::Crossing { .. })
+    }
+}
+
+/// How a signal passes one element of its traversal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PassMode {
+    /// PSE in OFF resonance: `input → through` (Eqs. 1a / 1e).
+    Off,
+    /// PSE in ON resonance: `input → drop` / `input → cross_out`
+    /// (Eqs. 1c / 1g).
+    On,
+    /// Straight across the perpendicular arm of a [`ElementConn::Crossing`]
+    /// or [`ElementConn::Cpse`] (Eq. 1i).
+    Cross,
+}
+
+impl fmt::Display for PassMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PassMode::Off => "off",
+            PassMode::On => "on",
+            PassMode::Cross => "cross",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One validated step of a traversal: which element is passed and how.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Step {
+    /// The element being traversed.
+    pub element: ElementId,
+    /// The traversal mode.
+    pub mode: PassMode,
+    /// Segment the signal is on when entering the element.
+    pub enters_on: SegmentId,
+    /// Segment the signal is on when leaving the element.
+    pub leaves_on: SegmentId,
+}
+
+/// A validated port-to-port traversal: the ordered steps plus the set of
+/// segments the signal occupies.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Traversal {
+    /// Ordered element passes from input port to output port.
+    pub steps: Vec<Step>,
+    /// Every segment the signal occupies, in traversal order, starting
+    /// with the input port's boundary segment.
+    pub segments: Vec<SegmentId>,
+}
+
+/// A leak event: during `aggressor_step`, power `gain × P_aggressor`
+/// escapes into `target` (a segment that may belong to a victim's path).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeakEvent {
+    /// The element where the leak occurs.
+    pub element: ElementId,
+    /// The aggressor's pass mode at that element.
+    pub mode: PassMode,
+    /// The segment the leaked power enters.
+    pub target: SegmentId,
+    /// Linear power gain of the leak (e.g. `10^(Kc/10)`).
+    pub gain: LinearGain,
+}
+
+/// Errors produced while building or validating a router netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A route step referenced an element that does not exist.
+    UnknownElement {
+        /// Name used in the route declaration.
+        name: String,
+    },
+    /// A named port boundary segment was declared twice.
+    DuplicatePortBinding {
+        /// The port bound twice.
+        port: Port,
+    },
+    /// A route was declared for a pair that already has one.
+    DuplicateRoute {
+        /// The duplicated pair.
+        pair: PortPair,
+    },
+    /// The route's next element cannot be entered from the current
+    /// segment with the declared mode.
+    Discontinuity {
+        /// The pair whose route is broken.
+        pair: PortPair,
+        /// Index of the offending step.
+        step: usize,
+        /// Element name.
+        element: String,
+        /// Mode requested.
+        mode: PassMode,
+    },
+    /// After the last step the signal is not on the output port's
+    /// boundary segment.
+    WrongTerminal {
+        /// The pair whose route is broken.
+        pair: PortPair,
+    },
+    /// The input or output port of a route has no bound boundary segment.
+    UnboundPort {
+        /// The port missing a binding.
+        port: Port,
+    },
+    /// An element reuses one segment for two of its arms.
+    ArmAliasing {
+        /// Element name.
+        element: String,
+    },
+    /// A segment is produced (written) by more than one source.
+    MultipleProducers {
+        /// Segment name.
+        segment: String,
+    },
+    /// A segment is consumed (read) by more than one sink.
+    MultipleConsumers {
+        /// Segment name.
+        segment: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownElement { name } => write!(f, "unknown element `{name}`"),
+            NetlistError::DuplicatePortBinding { port } => {
+                write!(f, "port {port} bound to a boundary segment twice")
+            }
+            NetlistError::DuplicateRoute { pair } => {
+                write!(f, "route {pair} declared twice")
+            }
+            NetlistError::Discontinuity {
+                pair,
+                step,
+                element,
+                mode,
+            } => write!(
+                f,
+                "route {pair} step {step}: element `{element}` cannot be entered in mode {mode} from the current segment"
+            ),
+            NetlistError::WrongTerminal { pair } => write!(
+                f,
+                "route {pair} does not terminate on the output port's boundary segment"
+            ),
+            NetlistError::UnboundPort { port } => {
+                write!(f, "port {port} has no boundary segment binding")
+            }
+            NetlistError::ArmAliasing { element } => {
+                write!(f, "element `{element}` reuses a segment for two arms")
+            }
+            NetlistError::MultipleProducers { segment } => {
+                write!(f, "segment `{segment}` has multiple producers")
+            }
+            NetlistError::MultipleConsumers { segment } => {
+                write!(f, "segment `{segment}` has multiple consumers")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+/// A fully validated optical router model.
+///
+/// Obtain one from a builder function such as
+/// [`crate::crux::crux_router`], or build your own with
+/// [`NetlistBuilder`]. All queries are total: unsupported port pairs
+/// return `None`.
+#[derive(Debug, Clone)]
+pub struct RouterModel {
+    name: String,
+    elements: Vec<Element>,
+    segment_names: Vec<String>,
+    traversals: HashMap<PortPair, Traversal>,
+    port_inputs: HashMap<Port, SegmentId>,
+    port_outputs: HashMap<Port, Vec<SegmentId>>,
+    /// For each consumed segment, the segment the light continues on when
+    /// the consuming element is passive (crossing pass, PSE OFF-through).
+    /// Used to propagate leaked noise forward to wherever it exits.
+    passive_next: HashMap<SegmentId, SegmentId>,
+}
+
+impl RouterModel {
+    /// The router's name (e.g. `"crux"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of microring resonators in the netlist.
+    #[must_use]
+    pub fn microring_count(&self) -> usize {
+        self.elements.iter().filter(|e| e.has_microring()).count()
+    }
+
+    /// Number of plain waveguide crossings in the netlist (CPSEs also
+    /// contain a physical crossing but are counted as rings).
+    #[must_use]
+    pub fn plain_crossing_count(&self) -> usize {
+        self.elements.iter().filter(|e| !e.has_microring()).count()
+    }
+
+    /// Whether the router can connect `input` to `output`.
+    #[must_use]
+    pub fn supports(&self, pair: PortPair) -> bool {
+        self.traversals.contains_key(&pair)
+    }
+
+    /// All supported pairs, in dense-index order.
+    #[must_use]
+    pub fn supported_pairs(&self) -> Vec<PortPair> {
+        let mut pairs: Vec<PortPair> = self.traversals.keys().copied().collect();
+        pairs.sort_by_key(|p| p.index());
+        pairs
+    }
+
+    /// The validated traversal for `pair`, if supported.
+    #[must_use]
+    pub fn traversal(&self, pair: PortPair) -> Option<&Traversal> {
+        self.traversals.get(&pair)
+    }
+
+    /// The element table.
+    #[must_use]
+    pub fn elements(&self) -> &[Element] {
+        &self.elements
+    }
+
+    /// Human-readable segment name (for reports and errors).
+    #[must_use]
+    pub fn segment_name(&self, id: SegmentId) -> &str {
+        &self.segment_names[id.0 as usize]
+    }
+
+    /// Insertion loss of the `pair` traversal under `params`
+    /// (element losses only; waveguide propagation inside the router is
+    /// neglected, consistent with the paper's hop-based model).
+    #[must_use]
+    pub fn traversal_loss(&self, pair: PortPair, params: &PhysicalParameters) -> Option<Db> {
+        let t = self.traversals.get(&pair)?;
+        let xfer = ElementTransfer::new(params);
+        Some(
+            t.steps
+                .iter()
+                .map(|s| step_loss(&self.elements[s.element.0 as usize], s.mode, &xfer))
+                .sum(),
+        )
+    }
+
+    /// All first-order leak events produced by the `pair` traversal.
+    #[must_use]
+    pub fn leak_events(&self, pair: PortPair, params: &PhysicalParameters) -> Option<Vec<LeakEvent>> {
+        let t = self.traversals.get(&pair)?;
+        let xfer = ElementTransfer::new(params);
+        let mut events = Vec::new();
+        for s in &t.steps {
+            let elem = &self.elements[s.element.0 as usize];
+            for (target, gain) in step_leaks(elem, s, &xfer) {
+                events.push(LeakEvent {
+                    element: s.element,
+                    mode: s.mode,
+                    target,
+                    gain,
+                });
+            }
+        }
+        Some(events)
+    }
+
+    /// Total linear crosstalk gain coupled from an `aggressor` traversal
+    /// into a `victim` traversal when both are simultaneously active in
+    /// this router. Returns `LinearGain::ZERO` when either pair is
+    /// unsupported, when victim equals aggressor, or when no leak lands
+    /// on the victim's path.
+    ///
+    /// Two modeling rules, both consistent with the paper's
+    /// victim-centric first-order analysis (Section II-C, following
+    /// Xie et al.):
+    ///
+    /// * **Shared-element semantics.** A leak counts only if its target
+    ///   segment lies directly on the victim's path — i.e. the aggressor
+    ///   passes an element the victim also occupies. Residual light that
+    ///   would reach the victim only after propagating through further
+    ///   elements is a higher-order term and is dropped, exactly like the
+    ///   `K_i·K_j = 0` and `K_i·L_i = K_i` simplifications drop
+    ///   second-order products.
+    /// * **Same-input exclusion.** A victim and an aggressor entering the
+    ///   router through the *same input port* share the physical input
+    ///   waveguide; in a single-wavelength network they can only be
+    ///   time-multiplexed, never simultaneous, so they contribute no
+    ///   mutual crosstalk.
+    ///
+    /// Consistent with the paper's simplifications, no intra-router loss
+    /// is applied to the noise inside the router where it is generated.
+    #[must_use]
+    pub fn interaction_gain(
+        &self,
+        victim: PortPair,
+        aggressor: PortPair,
+        params: &PhysicalParameters,
+    ) -> LinearGain {
+        if victim == aggressor || victim.input == aggressor.input {
+            return LinearGain::ZERO;
+        }
+        let (Some(v), Some(events)) = (self.traversals.get(&victim), self.leak_events(aggressor, params))
+        else {
+            return LinearGain::ZERO;
+        };
+        let mut total = LinearGain::ZERO;
+        for ev in events {
+            if v.segments.contains(&ev.target) {
+                total = total + ev.gain;
+            }
+        }
+        total
+    }
+
+    /// The segment light moves to when the element consuming `segment`
+    /// is passive (crossing pass / OFF through). Exposed for layout
+    /// debugging and documentation tooling.
+    #[must_use]
+    pub fn passive_next(&self, segment: SegmentId) -> Option<SegmentId> {
+        self.passive_next.get(&segment).copied()
+    }
+}
+
+fn step_loss(elem: &Element, mode: PassMode, xfer: &ElementTransfer<'_>) -> Db {
+    match (&elem.conn, mode) {
+        (ElementConn::Crossing { .. }, PassMode::Cross) => xfer.crossing_loss(),
+        (ElementConn::Ppse { .. }, PassMode::Off) => {
+            xfer.pse_main_loss(PseKind::Parallel, ResonanceState::Off)
+        }
+        (ElementConn::Ppse { .. }, PassMode::On) => {
+            xfer.pse_main_loss(PseKind::Parallel, ResonanceState::On)
+        }
+        (ElementConn::Cpse { .. }, PassMode::Off) => {
+            xfer.pse_main_loss(PseKind::Crossing, ResonanceState::Off)
+        }
+        (ElementConn::Cpse { .. }, PassMode::On) => {
+            xfer.pse_main_loss(PseKind::Crossing, ResonanceState::On)
+        }
+        // Passing the perpendicular arm of a CPSE is a plain crossing
+        // traversal (the ring is on the other waveguide).
+        (ElementConn::Cpse { .. }, PassMode::Cross) => xfer.crossing_loss(),
+        // Unreachable after validation.
+        (conn, mode) => unreachable!("invalid mode {mode} for element {conn:?}"),
+    }
+}
+
+fn step_leaks(
+    elem: &Element,
+    step: &Step,
+    xfer: &ElementTransfer<'_>,
+) -> Vec<(SegmentId, LinearGain)> {
+    match (&elem.conn, step.mode) {
+        // Eq. (1j): a crossing pass leaks Kc into the perpendicular
+        // forward direction (the backward direction is back-reflection,
+        // neglected by the paper). The signal's own arm is identified by
+        // the segment it entered on.
+        (
+            ElementConn::Crossing {
+                a_in,
+                a_out,
+                b_out,
+                ..
+            },
+            PassMode::Cross,
+        ) => {
+            let target = if step.enters_on == *a_in { *b_out } else { *a_out };
+            vec![(target, xfer.crossing_leak_gain())]
+        }
+        // Eq. (1b): Kp,off into the drop port.
+        (ElementConn::Ppse { drop, .. }, PassMode::Off) => vec![(
+            *drop,
+            xfer.pse_leak_gain(PseKind::Parallel, ResonanceState::Off),
+        )],
+        // Eq. (1d): Kp,on into the through port.
+        (ElementConn::Ppse { through, .. }, PassMode::On) => vec![(
+            *through,
+            xfer.pse_leak_gain(PseKind::Parallel, ResonanceState::On),
+        )],
+        // Eq. (1f): (Kp,off + Kc) into the drop (perpendicular) output.
+        (ElementConn::Cpse { cross_out, .. }, PassMode::Off) => vec![(
+            *cross_out,
+            xfer.pse_leak_gain(PseKind::Crossing, ResonanceState::Off),
+        )],
+        // Eq. (1h): Kp,on into the through port.
+        (ElementConn::Cpse { through, .. }, PassMode::On) => vec![(
+            *through,
+            xfer.pse_leak_gain(PseKind::Crossing, ResonanceState::On),
+        )],
+        // Eq. (1j) applied to the CPSE's physical crossing.
+        (ElementConn::Cpse { through, .. }, PassMode::Cross) => {
+            vec![(*through, xfer.crossing_leak_gain())]
+        }
+        (conn, mode) => unreachable!("invalid mode {mode} for element {conn:?}"),
+    }
+}
+
+/// Boundary accessors for reporting and layout tooling.
+impl RouterModel {
+    /// Boundary segment a signal enters on at `port`, if bound.
+    #[must_use]
+    pub fn input_segment(&self, port: Port) -> Option<SegmentId> {
+        self.port_inputs.get(&port).copied()
+    }
+
+    /// Boundary segments a signal may leave on at `port` (several for
+    /// multi-detector Local ports), empty if unbound.
+    #[must_use]
+    pub fn output_segments(&self, port: Port) -> &[SegmentId] {
+        self.port_outputs.get(&port).map_or(&[], Vec::as_slice)
+    }
+}
+
+/// Builder for [`RouterModel`] ([C-BUILDER]).
+///
+/// Segments are referred to by string names; they are interned on first
+/// use. Declare elements, bind boundary ports, declare one route per
+/// supported port pair, then call [`build`](Self::build), which walks and
+/// validates every route.
+///
+/// # Examples
+///
+/// A trivial "router" that connects West to East across one crossing:
+///
+/// ```
+/// use phonoc_router::netlist::{NetlistBuilder, PassMode};
+/// use phonoc_router::port::{Port, PortPair};
+///
+/// let mut b = NetlistBuilder::new("demo");
+/// b.crossing("x0", "w_in", "w_out", "n_in", "n_out");
+/// b.bind_input(Port::West, "w_in");
+/// b.bind_output(Port::East, "w_out");
+/// b.bind_input(Port::North, "n_in");
+/// b.bind_output(Port::South, "n_out");
+/// b.route(Port::West, Port::East, &[("x0", PassMode::Cross)]);
+/// b.route(Port::North, Port::South, &[("x0", PassMode::Cross)]);
+/// let model = b.build().unwrap();
+/// assert!(model.supports(PortPair::new(Port::West, Port::East)));
+/// assert_eq!(model.microring_count(), 0);
+/// ```
+#[derive(Debug)]
+pub struct NetlistBuilder {
+    name: String,
+    segment_ids: HashMap<String, SegmentId>,
+    segment_names: Vec<String>,
+    elements: Vec<Element>,
+    element_ids: HashMap<String, ElementId>,
+    port_inputs: HashMap<Port, SegmentId>,
+    port_outputs: HashMap<Port, Vec<SegmentId>>,
+    routes: Vec<(PortPair, Vec<(String, PassMode)>)>,
+    errors: Vec<NetlistError>,
+}
+
+impl NetlistBuilder {
+    /// Starts an empty netlist with the given router name.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        NetlistBuilder {
+            name: name.into(),
+            segment_ids: HashMap::new(),
+            segment_names: Vec::new(),
+            elements: Vec::new(),
+            element_ids: HashMap::new(),
+            port_inputs: HashMap::new(),
+            port_outputs: HashMap::new(),
+            routes: Vec::new(),
+            errors: Vec::new(),
+        }
+    }
+
+    fn seg(&mut self, name: &str) -> SegmentId {
+        if let Some(&id) = self.segment_ids.get(name) {
+            return id;
+        }
+        let id = SegmentId(self.segment_names.len() as u32);
+        self.segment_names.push(name.to_owned());
+        self.segment_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    fn add_element(&mut self, name: &str, conn: ElementConn) -> ElementId {
+        let id = ElementId(self.elements.len() as u32);
+        self.elements.push(Element {
+            name: name.to_owned(),
+            conn,
+        });
+        self.element_ids.insert(name.to_owned(), id);
+        id
+    }
+
+    /// Adds a plain waveguide crossing: arm `a_in → a_out` crosses arm
+    /// `b_in → b_out`.
+    pub fn crossing(
+        &mut self,
+        name: &str,
+        a_in: &str,
+        a_out: &str,
+        b_in: &str,
+        b_out: &str,
+    ) -> &mut Self {
+        let conn = ElementConn::Crossing {
+            a_in: self.seg(a_in),
+            a_out: self.seg(a_out),
+            b_in: self.seg(b_in),
+            b_out: self.seg(b_out),
+        };
+        self.add_element(name, conn);
+        self
+    }
+
+    /// Adds a parallel PSE: OFF passes `input → through`, ON drops
+    /// `input → drop`.
+    pub fn ppse(&mut self, name: &str, input: &str, through: &str, drop: &str) -> &mut Self {
+        let conn = ElementConn::Ppse {
+            input: self.seg(input),
+            through: self.seg(through),
+            drop: self.seg(drop),
+        };
+        self.add_element(name, conn);
+        self
+    }
+
+    /// Adds a crossing PSE: OFF passes `input → through`, ON turns
+    /// `input → cross_out`; perpendicular traffic passes
+    /// `cross_in → cross_out`.
+    pub fn cpse(
+        &mut self,
+        name: &str,
+        input: &str,
+        through: &str,
+        cross_in: &str,
+        cross_out: &str,
+    ) -> &mut Self {
+        let conn = ElementConn::Cpse {
+            input: self.seg(input),
+            through: self.seg(through),
+            cross_in: self.seg(cross_in),
+            cross_out: self.seg(cross_out),
+        };
+        self.add_element(name, conn);
+        self
+    }
+
+    /// Binds `port`'s input side to a boundary segment.
+    pub fn bind_input(&mut self, port: Port, segment: &str) -> &mut Self {
+        let id = self.seg(segment);
+        if self.port_inputs.insert(port, id).is_some() {
+            self.errors.push(NetlistError::DuplicatePortBinding { port });
+        }
+        self
+    }
+
+    /// Binds `port`'s output side to a boundary segment.
+    pub fn bind_output(&mut self, port: Port, segment: &str) -> &mut Self {
+        let id = self.seg(segment);
+        if self.port_outputs.insert(port, vec![id]).is_some() {
+            self.errors.push(NetlistError::DuplicatePortBinding { port });
+        }
+        self
+    }
+
+    /// Binds `port`'s output side to *several* boundary segments, e.g.
+    /// the per-tap photodetector stubs of a multi-detector Local port.
+    /// A route may terminate on any of them.
+    pub fn bind_output_set(&mut self, port: Port, segments: &[&str]) -> &mut Self {
+        let ids: Vec<SegmentId> = segments.iter().map(|s| self.seg(s)).collect();
+        if self.port_outputs.insert(port, ids).is_some() {
+            self.errors.push(NetlistError::DuplicatePortBinding { port });
+        }
+        self
+    }
+
+    /// Declares the route from `input` to `output` as an ordered list of
+    /// `(element name, pass mode)` steps.
+    pub fn route(&mut self, input: Port, output: Port, steps: &[(&str, PassMode)]) -> &mut Self {
+        let pair = PortPair::new(input, output);
+        if self.routes.iter().any(|(p, _)| *p == pair) {
+            self.errors.push(NetlistError::DuplicateRoute { pair });
+        }
+        self.routes.push((
+            pair,
+            steps
+                .iter()
+                .map(|(n, m)| ((*n).to_owned(), *m))
+                .collect(),
+        ));
+        self
+    }
+
+    /// Validates the netlist and every declared route.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`NetlistError`] found: unknown elements, broken
+    /// continuity, wrong terminals, arm aliasing, or segments with
+    /// multiple producers/consumers.
+    pub fn build(&self) -> Result<RouterModel, NetlistError> {
+        if let Some(e) = self.errors.first() {
+            return Err(e.clone());
+        }
+        self.check_arm_aliasing()?;
+        self.check_segment_usage()?;
+
+        let mut traversals: HashMap<PortPair, Traversal> = HashMap::new();
+        for (pair, steps) in &self.routes {
+            let t = self.walk_route(*pair, steps)?;
+            traversals.insert(*pair, t);
+        }
+
+        let mut passive_next = HashMap::new();
+        for elem in &self.elements {
+            match &elem.conn {
+                ElementConn::Crossing {
+                    a_in,
+                    a_out,
+                    b_in,
+                    b_out,
+                } => {
+                    passive_next.insert(*a_in, *a_out);
+                    passive_next.insert(*b_in, *b_out);
+                }
+                ElementConn::Ppse { input, through, .. } => {
+                    passive_next.insert(*input, *through);
+                }
+                ElementConn::Cpse {
+                    input,
+                    through,
+                    cross_in,
+                    cross_out,
+                } => {
+                    passive_next.insert(*input, *through);
+                    passive_next.insert(*cross_in, *cross_out);
+                }
+            }
+        }
+
+        Ok(RouterModel {
+            name: self.name.clone(),
+            elements: self.elements.clone(),
+            segment_names: self.segment_names.clone(),
+            traversals,
+            port_inputs: self.port_inputs.clone(),
+            port_outputs: self.port_outputs.clone(),
+            passive_next,
+        })
+    }
+
+    fn check_arm_aliasing(&self) -> Result<(), NetlistError> {
+        for elem in &self.elements {
+            let arms: Vec<SegmentId> = match &elem.conn {
+                ElementConn::Crossing {
+                    a_in,
+                    a_out,
+                    b_in,
+                    b_out,
+                } => vec![*a_in, *a_out, *b_in, *b_out],
+                ElementConn::Ppse {
+                    input,
+                    through,
+                    drop,
+                } => vec![*input, *through, *drop],
+                ElementConn::Cpse {
+                    input,
+                    through,
+                    cross_in,
+                    cross_out,
+                } => vec![*input, *through, *cross_in, *cross_out],
+            };
+            let mut sorted = arms.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            if sorted.len() != arms.len() {
+                return Err(NetlistError::ArmAliasing {
+                    element: elem.name.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Each segment must have at most one producer (element output arm or
+    /// port input binding) and at most one consumer (element input arm or
+    /// port output binding). Dead-end segments (leak sinks) are fine.
+    fn check_segment_usage(&self) -> Result<(), NetlistError> {
+        let n = self.segment_names.len();
+        let mut producers = vec![0usize; n];
+        let mut consumers = vec![0usize; n];
+        for elem in &self.elements {
+            match &elem.conn {
+                ElementConn::Crossing {
+                    a_in,
+                    a_out,
+                    b_in,
+                    b_out,
+                } => {
+                    consumers[a_in.0 as usize] += 1;
+                    consumers[b_in.0 as usize] += 1;
+                    producers[a_out.0 as usize] += 1;
+                    producers[b_out.0 as usize] += 1;
+                }
+                ElementConn::Ppse {
+                    input,
+                    through,
+                    drop,
+                } => {
+                    consumers[input.0 as usize] += 1;
+                    producers[through.0 as usize] += 1;
+                    producers[drop.0 as usize] += 1;
+                }
+                ElementConn::Cpse {
+                    input,
+                    through,
+                    cross_in,
+                    cross_out,
+                } => {
+                    consumers[input.0 as usize] += 1;
+                    consumers[cross_in.0 as usize] += 1;
+                    producers[through.0 as usize] += 1;
+                    producers[cross_out.0 as usize] += 1;
+                }
+            }
+        }
+        for seg in self.port_inputs.values() {
+            producers[seg.0 as usize] += 1;
+        }
+        for seg in self.port_outputs.values().flatten() {
+            consumers[seg.0 as usize] += 1;
+        }
+        for i in 0..n {
+            if producers[i] > 1 {
+                return Err(NetlistError::MultipleProducers {
+                    segment: self.segment_names[i].clone(),
+                });
+            }
+            if consumers[i] > 1 {
+                return Err(NetlistError::MultipleConsumers {
+                    segment: self.segment_names[i].clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn walk_route(
+        &self,
+        pair: PortPair,
+        steps: &[(String, PassMode)],
+    ) -> Result<Traversal, NetlistError> {
+        let start = *self
+            .port_inputs
+            .get(&pair.input)
+            .ok_or(NetlistError::UnboundPort { port: pair.input })?;
+        let ends = self
+            .port_outputs
+            .get(&pair.output)
+            .filter(|v| !v.is_empty())
+            .ok_or(NetlistError::UnboundPort { port: pair.output })?;
+
+        let mut current = start;
+        let mut segments = vec![start];
+        let mut walked = Vec::with_capacity(steps.len());
+        for (i, (name, mode)) in steps.iter().enumerate() {
+            let &eid = self
+                .element_ids
+                .get(name)
+                .ok_or_else(|| NetlistError::UnknownElement { name: name.clone() })?;
+            let elem = &self.elements[eid.0 as usize];
+            let next = transition(&elem.conn, *mode, current).ok_or_else(|| {
+                NetlistError::Discontinuity {
+                    pair,
+                    step: i,
+                    element: name.clone(),
+                    mode: *mode,
+                }
+            })?;
+            walked.push(Step {
+                element: eid,
+                mode: *mode,
+                enters_on: current,
+                leaves_on: next,
+            });
+            current = next;
+            segments.push(current);
+        }
+        if !ends.contains(&current) {
+            return Err(NetlistError::WrongTerminal { pair });
+        }
+        Ok(Traversal {
+            steps: walked,
+            segments,
+        })
+    }
+}
+
+/// The segment a signal moves to when entering `conn` on `current` with
+/// `mode`, or `None` if that transition is physically impossible.
+fn transition(conn: &ElementConn, mode: PassMode, current: SegmentId) -> Option<SegmentId> {
+    match (conn, mode) {
+        (
+            ElementConn::Crossing {
+                a_in,
+                a_out,
+                b_in,
+                b_out,
+            },
+            PassMode::Cross,
+        ) => {
+            if current == *a_in {
+                Some(*a_out)
+            } else if current == *b_in {
+                Some(*b_out)
+            } else {
+                None
+            }
+        }
+        (ElementConn::Ppse { input, through, .. }, PassMode::Off) => {
+            (current == *input).then_some(*through)
+        }
+        (ElementConn::Ppse { input, drop, .. }, PassMode::On) => {
+            (current == *input).then_some(*drop)
+        }
+        (ElementConn::Cpse { input, through, .. }, PassMode::Off) => {
+            (current == *input).then_some(*through)
+        }
+        (ElementConn::Cpse { input, cross_out, .. }, PassMode::On) => {
+            (current == *input).then_some(*cross_out)
+        }
+        (
+            ElementConn::Cpse {
+                cross_in,
+                cross_out,
+                ..
+            },
+            PassMode::Cross,
+        ) => (current == *cross_in).then_some(*cross_out),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonoc_phys::PhysicalParameters;
+
+    /// Two perpendicular waveguides through one crossing, plus a CPSE
+    /// that lets West traffic turn onto the vertical waveguide.
+    fn tiny_router() -> RouterModel {
+        let mut b = NetlistBuilder::new("tiny");
+        // West→East waveguide: w_in --[turn]-- w_mid --> East.
+        // North→South waveguide: n_in --[turn (cross arm)]-- n_mid --> South.
+        b.cpse("turn", "w_in", "w_mid", "n_in", "n_mid");
+        b.bind_input(Port::West, "w_in");
+        b.bind_output(Port::East, "w_mid");
+        b.bind_input(Port::North, "n_in");
+        b.bind_output(Port::South, "n_mid");
+        b.route(Port::West, Port::East, &[("turn", PassMode::Off)]);
+        b.route(Port::West, Port::South, &[("turn", PassMode::On)]);
+        b.route(Port::North, Port::South, &[("turn", PassMode::Cross)]);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tiny_router_builds_and_reports_structure() {
+        let r = tiny_router();
+        assert_eq!(r.name(), "tiny");
+        assert_eq!(r.microring_count(), 1);
+        assert_eq!(r.plain_crossing_count(), 0);
+        assert_eq!(r.supported_pairs().len(), 3);
+        assert!(r.supports(PortPair::new(Port::West, Port::South)));
+        assert!(!r.supports(PortPair::new(Port::South, Port::West)));
+    }
+
+    #[test]
+    fn traversal_losses_match_table_coefficients() {
+        let r = tiny_router();
+        let p = PhysicalParameters::default();
+        let off = r
+            .traversal_loss(PortPair::new(Port::West, Port::East), &p)
+            .unwrap();
+        assert!((off.0 - -0.045).abs() < 1e-12, "CPSE OFF pass");
+        let on = r
+            .traversal_loss(PortPair::new(Port::West, Port::South), &p)
+            .unwrap();
+        assert!((on.0 - -0.5).abs() < 1e-12, "CPSE ON drop");
+        let cross = r
+            .traversal_loss(PortPair::new(Port::North, Port::South), &p)
+            .unwrap();
+        assert!((cross.0 - -0.04).abs() < 1e-12, "crossing pass");
+        assert!(r
+            .traversal_loss(PortPair::new(Port::East, Port::West), &p)
+            .is_none());
+    }
+
+    #[test]
+    fn off_pass_leaks_into_perpendicular_path() {
+        // Eq. (1f): West→East traffic (CPSE OFF) leaks Kp,off+Kc into the
+        // cross output used by North→South traffic.
+        let r = tiny_router();
+        let p = PhysicalParameters::default();
+        let gain = r.interaction_gain(
+            PortPair::new(Port::North, Port::South),
+            PortPair::new(Port::West, Port::East),
+            &p,
+        );
+        let expected = 10f64.powf(-20.0 / 10.0) + 10f64.powf(-40.0 / 10.0);
+        assert!((gain.0 - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_pass_leaks_into_through_path() {
+        // North→South traffic passing the CPSE leaks Kc into the through
+        // segment used by West→East traffic.
+        let r = tiny_router();
+        let p = PhysicalParameters::default();
+        let gain = r.interaction_gain(
+            PortPair::new(Port::West, Port::East),
+            PortPair::new(Port::North, Port::South),
+            &p,
+        );
+        assert!((gain.0 - 10f64.powf(-40.0 / 10.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_input_aggressors_are_excluded() {
+        // West→South (ON) would leak Kp,on into the through segment used
+        // by West→East — but the two signals share the West input
+        // waveguide and can only be time-multiplexed, so the model
+        // reports no interaction (single-wavelength exclusion rule).
+        let r = tiny_router();
+        let p = PhysicalParameters::default();
+        let gain = r.interaction_gain(
+            PortPair::new(Port::West, Port::East),
+            PortPair::new(Port::West, Port::South),
+            &p,
+        );
+        assert_eq!(gain, LinearGain::ZERO);
+    }
+
+    #[test]
+    fn self_interaction_is_zero() {
+        let r = tiny_router();
+        let p = PhysicalParameters::default();
+        let g = r.interaction_gain(
+            PortPair::new(Port::West, Port::East),
+            PortPair::new(Port::West, Port::East),
+            &p,
+        );
+        assert_eq!(g, LinearGain::ZERO);
+    }
+
+    #[test]
+    fn unsupported_pairs_have_zero_interaction() {
+        let r = tiny_router();
+        let p = PhysicalParameters::default();
+        let g = r.interaction_gain(
+            PortPair::new(Port::East, Port::West),
+            PortPair::new(Port::West, Port::East),
+            &p,
+        );
+        assert_eq!(g, LinearGain::ZERO);
+    }
+
+    #[test]
+    fn discontinuous_route_is_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.cpse("turn", "w_in", "w_mid", "n_in", "n_mid");
+        b.bind_input(Port::West, "w_in");
+        b.bind_output(Port::East, "w_mid");
+        // North is bound to a segment that never reaches the element in
+        // Off mode.
+        b.bind_input(Port::North, "n_in");
+        b.bind_output(Port::South, "n_mid");
+        b.route(Port::North, Port::South, &[("turn", PassMode::Off)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::Discontinuity { .. }), "{err}");
+    }
+
+    #[test]
+    fn wrong_terminal_is_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.cpse("turn", "w_in", "w_mid", "n_in", "n_mid");
+        b.bind_input(Port::West, "w_in");
+        b.bind_output(Port::East, "n_mid"); // wrong: Off pass ends on w_mid
+        b.route(Port::West, Port::East, &[("turn", PassMode::Off)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::WrongTerminal { .. }), "{err}");
+    }
+
+    #[test]
+    fn unknown_element_is_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.bind_input(Port::West, "w_in");
+        b.bind_output(Port::East, "w_in");
+        b.route(Port::West, Port::East, &[("ghost", PassMode::Off)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownElement { .. }), "{err}");
+    }
+
+    #[test]
+    fn unbound_port_is_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.cpse("turn", "w_in", "w_mid", "n_in", "n_mid");
+        b.bind_input(Port::West, "w_in");
+        b.route(Port::West, Port::East, &[("turn", PassMode::Off)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::UnboundPort { .. }), "{err}");
+    }
+
+    #[test]
+    fn arm_aliasing_is_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.cpse("bad", "s", "s", "a", "b");
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::ArmAliasing { .. }), "{err}");
+    }
+
+    #[test]
+    fn multiple_producers_are_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.cpse("e1", "a", "shared", "c", "d");
+        b.cpse("e2", "x", "shared", "z", "w");
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::MultipleProducers { .. }), "{err}");
+    }
+
+    #[test]
+    fn multiple_consumers_are_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.cpse("e1", "shared", "b", "c", "d");
+        b.cpse("e2", "shared2", "y", "z", "w");
+        b.bind_output(Port::East, "shared2");
+        // "shared2" consumed by both e2's input arm and the East output.
+        let err = b.build().unwrap_err();
+        assert!(
+            matches!(err, NetlistError::MultipleConsumers { .. }),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn duplicate_route_is_rejected() {
+        let mut b = NetlistBuilder::new("broken");
+        b.cpse("turn", "w_in", "w_mid", "n_in", "n_mid");
+        b.bind_input(Port::West, "w_in");
+        b.bind_output(Port::East, "w_mid");
+        b.route(Port::West, Port::East, &[("turn", PassMode::Off)]);
+        b.route(Port::West, Port::East, &[("turn", PassMode::Off)]);
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateRoute { .. }), "{err}");
+    }
+
+    #[test]
+    fn leak_events_enumerate_targets() {
+        let r = tiny_router();
+        let p = PhysicalParameters::default();
+        let events = r
+            .leak_events(PortPair::new(Port::West, Port::East), &p)
+            .unwrap();
+        assert_eq!(events.len(), 1);
+        assert_eq!(r.segment_name(events[0].target), "n_mid");
+    }
+
+    #[test]
+    fn error_displays_are_informative() {
+        let e = NetlistError::UnknownElement {
+            name: "ghost".into(),
+        };
+        assert!(e.to_string().contains("ghost"));
+        let e = NetlistError::WrongTerminal {
+            pair: PortPair::new(Port::West, Port::East),
+        };
+        assert!(e.to_string().contains("W→E"));
+    }
+}

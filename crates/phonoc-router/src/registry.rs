@@ -1,0 +1,115 @@
+//! Name-based router registry: the extension point that lets new optical
+//! router microarchitectures be added "without any changes in the tool
+//! core" (paper Section I).
+//!
+//! # Examples
+//!
+//! ```
+//! use phonoc_router::registry::RouterRegistry;
+//!
+//! let mut reg = RouterRegistry::with_builtins();
+//! assert!(reg.get("crux").is_some());
+//!
+//! // Register a custom router under a new name:
+//! reg.register("my-router", || {
+//!     use phonoc_router::netlist::{NetlistBuilder, PassMode};
+//!     use phonoc_router::port::Port;
+//!     let mut b = NetlistBuilder::new("my-router");
+//!     b.crossing("x", "wi", "wo", "ni", "no");
+//!     b.bind_input(Port::West, "wi");
+//!     b.bind_output(Port::East, "wo");
+//!     b.bind_input(Port::North, "ni");
+//!     b.bind_output(Port::South, "no");
+//!     b.route(Port::West, Port::East, &[("x", PassMode::Cross)]);
+//!     b.route(Port::North, Port::South, &[("x", PassMode::Cross)]);
+//!     b.build().unwrap()
+//! });
+//! assert!(reg.get("my-router").is_some());
+//! ```
+
+use crate::crossbar::{crossbar_router, xy_crossbar_router};
+use crate::crux::crux_router;
+use crate::netlist::RouterModel;
+use std::collections::HashMap;
+
+/// A factory that produces a [`RouterModel`] on demand.
+pub type RouterFactory = Box<dyn Fn() -> RouterModel + Send + Sync>;
+
+/// Registry mapping router names to factories.
+#[derive(Default)]
+pub struct RouterRegistry {
+    factories: HashMap<String, RouterFactory>,
+}
+
+impl std::fmt::Debug for RouterRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterRegistry")
+            .field("routers", &self.names())
+            .finish()
+    }
+}
+
+impl RouterRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A registry pre-loaded with the built-in routers:
+    /// `"crux"`, `"crossbar"`, `"xy-crossbar"`.
+    #[must_use]
+    pub fn with_builtins() -> Self {
+        let mut reg = Self::new();
+        reg.register("crux", crux_router);
+        reg.register("crossbar", crossbar_router);
+        reg.register("xy-crossbar", xy_crossbar_router);
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register(&mut self, name: impl Into<String>, factory: impl Fn() -> RouterModel + Send + Sync + 'static) {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Instantiates the router registered under `name`.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<RouterModel> {
+        self.factories.get(name).map(|f| f())
+    }
+
+    /// Registered names, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.factories.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_are_available() {
+        let reg = RouterRegistry::with_builtins();
+        assert_eq!(reg.names(), vec!["crossbar", "crux", "xy-crossbar"]);
+        assert_eq!(reg.get("crux").unwrap().microring_count(), 12);
+        assert_eq!(reg.get("crossbar").unwrap().microring_count(), 25);
+        assert_eq!(reg.get("xy-crossbar").unwrap().microring_count(), 16);
+    }
+
+    #[test]
+    fn unknown_names_return_none() {
+        let reg = RouterRegistry::with_builtins();
+        assert!(reg.get("cygnus").is_none());
+    }
+
+    #[test]
+    fn custom_registration_overrides() {
+        let mut reg = RouterRegistry::with_builtins();
+        reg.register("crux", crate::crossbar::crossbar_router);
+        assert_eq!(reg.get("crux").unwrap().microring_count(), 25);
+    }
+}

@@ -1,0 +1,113 @@
+//! Human-readable router "datasheets": per-connection insertion losses
+//! and the pairwise crosstalk structure, rendered as text. Used by the
+//! command-line tool (`phonocmap describe-router`) and handy while
+//! designing custom netlists.
+
+use crate::netlist::RouterModel;
+use phonoc_phys::PhysicalParameters;
+use std::fmt::Write as _;
+
+/// Renders a datasheet for `router` under `params`: structure summary,
+/// per-connection loss table, and the nonzero entries of the
+/// victim/aggressor interaction matrix (in dB).
+#[must_use]
+pub fn datasheet(router: &RouterModel, params: &PhysicalParameters) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "router `{}`", router.name());
+    let _ = writeln!(
+        out,
+        "  microrings: {}   plain crossings: {}   connections: {}",
+        router.microring_count(),
+        router.plain_crossing_count(),
+        router.supported_pairs().len()
+    );
+    let _ = writeln!(out, "\nconnection losses:");
+    let mut pairs = router.supported_pairs();
+    pairs.sort_by(|a, b| {
+        router
+            .traversal_loss(*b, params)
+            .partial_cmp(&router.traversal_loss(*a, params))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for pair in &pairs {
+        let loss = router
+            .traversal_loss(*pair, params)
+            .expect("supported pair has a loss");
+        let steps = router
+            .traversal(*pair)
+            .expect("supported pair has a traversal")
+            .steps
+            .len();
+        let _ = writeln!(out, "  {pair}:  {:>7.3} dB  ({steps} elements)", loss.0);
+    }
+
+    let _ = writeln!(out, "\nfirst-order crosstalk couplings (victim <- aggressor):");
+    let mut any = false;
+    for v in router.supported_pairs() {
+        for a in router.supported_pairs() {
+            let gain = router.interaction_gain(v, a, params);
+            if gain.0 > 0.0 {
+                any = true;
+                let _ = writeln!(
+                    out,
+                    "  {v}  <-  {a}:  {:>7.2} dB",
+                    gain.to_db().0
+                );
+            }
+        }
+    }
+    if !any {
+        let _ = writeln!(out, "  (none)");
+    }
+    out
+}
+
+/// Summarizes the interaction structure: `(nonzero pairs, strongest
+/// coupling in dB)`. `None` if the router has no couplings at all.
+#[must_use]
+pub fn interaction_summary(
+    router: &RouterModel,
+    params: &PhysicalParameters,
+) -> Option<(usize, f64)> {
+    let mut count = 0usize;
+    let mut strongest = f64::NEG_INFINITY;
+    for v in router.supported_pairs() {
+        for a in router.supported_pairs() {
+            let g = router.interaction_gain(v, a, params);
+            if g.0 > 0.0 {
+                count += 1;
+                strongest = strongest.max(g.to_db().0);
+            }
+        }
+    }
+    (count > 0).then_some((count, strongest))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::crossbar::crossbar_router;
+    use crate::crux::crux_router;
+
+    #[test]
+    fn datasheet_mentions_structure_and_losses() {
+        let crux = crux_router();
+        let sheet = datasheet(&crux, &PhysicalParameters::default());
+        assert!(sheet.contains("router `crux`"));
+        assert!(sheet.contains("microrings: 12"));
+        assert!(sheet.contains("W→E"));
+        assert!(sheet.contains("crosstalk couplings"));
+    }
+
+    #[test]
+    fn interaction_summary_orders_routers_sensibly() {
+        let params = PhysicalParameters::default();
+        let (crux_n, crux_max) =
+            interaction_summary(&crux_router(), &params).expect("crux couples");
+        let (xbar_n, xbar_max) =
+            interaction_summary(&crossbar_router(), &params).expect("xbar couples");
+        assert!(crux_n > 0 && xbar_n > 0);
+        // Strongest couplings are the (Kp,off + Kc) OFF-leaks in both.
+        assert!(crux_max < 0.0 && xbar_max < 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-style invariants over the built-in router models: every
+//! validated traversal must be internally consistent, and the derived
+//! interaction structure must respect the modeling rules.
+
+use phonoc_phys::{Db, PhysicalParameters, PhysicalParametersBuilder};
+use phonoc_router::crossbar::{crossbar_router, xy_crossbar_router};
+use phonoc_router::crux::crux_router;
+use phonoc_router::{PortPair, RouterModel};
+use proptest::prelude::*;
+
+fn builtins() -> Vec<RouterModel> {
+    vec![crux_router(), crossbar_router(), xy_crossbar_router()]
+}
+
+#[test]
+fn traversal_steps_chain_segments() {
+    for r in builtins() {
+        for pair in r.supported_pairs() {
+            let t = r.traversal(pair).expect("supported");
+            assert_eq!(t.segments.len(), t.steps.len() + 1);
+            for (i, s) in t.steps.iter().enumerate() {
+                assert_eq!(s.enters_on, t.segments[i], "{}/{pair}", r.name());
+                assert_eq!(s.leaves_on, t.segments[i + 1], "{}/{pair}", r.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn losses_are_negative_and_finite_for_all_builtins() {
+    let params = PhysicalParameters::default();
+    for r in builtins() {
+        for pair in r.supported_pairs() {
+            let loss = r.traversal_loss(pair, &params).expect("supported");
+            assert!(loss.0 < 0.0 && loss.0.is_finite(), "{}/{pair}: {loss}", r.name());
+        }
+    }
+}
+
+#[test]
+fn same_input_pairs_never_interact() {
+    let params = PhysicalParameters::default();
+    for r in builtins() {
+        for v in r.supported_pairs() {
+            for a in r.supported_pairs() {
+                if v.input == a.input {
+                    assert_eq!(
+                        r.interaction_gain(v, a, &params).0,
+                        0.0,
+                        "{}: {v} vs {a}",
+                        r.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn interactions_are_bounded_by_physical_coefficients() {
+    // No single-router coupling can exceed the strongest per-element
+    // coefficient times the number of elements on the longest traversal.
+    let params = PhysicalParameters::default();
+    let strongest = 10f64.powf(-20.0 / 10.0) + 10f64.powf(-40.0 / 10.0);
+    for r in builtins() {
+        let max_steps = r
+            .supported_pairs()
+            .iter()
+            .map(|p| r.traversal(*p).unwrap().steps.len())
+            .max()
+            .unwrap();
+        for v in r.supported_pairs() {
+            for a in r.supported_pairs() {
+                let g = r.interaction_gain(v, a, &params).0;
+                assert!(
+                    g <= strongest * max_steps as f64 + 1e-12,
+                    "{}: {v}<-{a} = {g}",
+                    r.name()
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    /// Scaling the crosstalk coefficients scales every interaction
+    /// monotonically: with weaker coefficients no coupling grows.
+    #[test]
+    fn interactions_shrink_with_weaker_coefficients(delta in 0.0f64..20.0) {
+        let base = PhysicalParameters::default();
+        let weaker = PhysicalParametersBuilder::from_defaults_with(|b| {
+            b.crossing_crosstalk(Db(-40.0 - delta));
+            b.pse_off_crosstalk(Db(-20.0 - delta));
+            b.pse_on_crosstalk(Db(-25.0 - delta));
+        });
+        let crux = crux_router();
+        for v in crux.supported_pairs() {
+            for a in crux.supported_pairs() {
+                let g0 = crux.interaction_gain(v, a, &base).0;
+                let g1 = crux.interaction_gain(v, a, &weaker).0;
+                prop_assert!(g1 <= g0 + 1e-15, "{v}<-{a}: {g1} > {g0}");
+            }
+        }
+    }
+
+    /// Loss tables respond linearly to the ON-state coefficient: making
+    /// rings lossier can only make traversals lossier.
+    #[test]
+    fn losses_monotone_in_ring_loss(extra in 0.0f64..2.0) {
+        let base = PhysicalParameters::default();
+        let lossier = PhysicalParametersBuilder::from_defaults_with(|b| {
+            b.cpse_on_loss(Db(-0.5 - extra));
+        });
+        let crux = crux_router();
+        for pair in crux.supported_pairs() {
+            let l0 = crux.traversal_loss(pair, &base).unwrap();
+            let l1 = crux.traversal_loss(pair, &lossier).unwrap();
+            prop_assert!(l1 <= l0, "{pair}: {l1} > {l0}");
+        }
+    }
+}
+
+/// Helper used by the proptests above: build a parameter set from the
+/// defaults with a mutation closure.
+trait BuilderExt {
+    fn from_defaults_with(f: impl FnOnce(&mut PhysicalParametersBuilder)) -> PhysicalParameters;
+}
+
+impl BuilderExt for PhysicalParametersBuilder {
+    fn from_defaults_with(f: impl FnOnce(&mut PhysicalParametersBuilder)) -> PhysicalParameters {
+        let mut b = PhysicalParameters::builder();
+        f(&mut b);
+        b.build()
+    }
+}

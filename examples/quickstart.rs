@@ -1,0 +1,52 @@
+//! Quickstart: map VOPD onto a 4×4 photonic mesh and print the analysis.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use phonocmap::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    // 1. Pick the application (paper Section III benchmark) …
+    let app = benchmarks::vopd();
+
+    // 2. … the NoC architecture: 4×4 mesh of Crux routers, XY routing …
+    let (w, h) = fit_grid(app.task_count());
+    let topology = Topology::mesh(w, h, Length::from_mm(2.5));
+
+    // 3. … assemble the mapping problem with Table I physics.
+    let problem = MappingProblem::new(
+        app,
+        topology,
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )?;
+
+    // 4. Baseline: a random mapping.
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let random_mapping = Mapping::random(
+        problem.task_count(),
+        problem.tile_count(),
+        &mut rng,
+    );
+    let before = analyze(&problem, &random_mapping);
+
+    // 5. Optimize with the paper's R-PBLA under a 20 000-evaluation
+    //    budget, then compare.
+    let result = run_dse(&problem, &Rpbla, 20_000, 42);
+    let after = analyze(&problem, &result.best_mapping);
+
+    println!("=== random mapping ===\n{before}");
+    println!("=== R-PBLA optimized ({} evaluations) ===\n{after}", result.evaluations);
+    println!(
+        "SNR improved from {:.2} dB to {:.2} dB; loss from {:.3} dB to {:.3} dB",
+        before.worst_case_snr.0,
+        after.worst_case_snr.0,
+        before.worst_case_il.0,
+        after.worst_case_il.0
+    );
+    Ok(())
+}

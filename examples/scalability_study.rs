@@ -1,0 +1,78 @@
+//! How far can a photonic mesh scale before the physics says no?
+//!
+//! The paper's introduction motivates mapping optimization with the
+//! power-budget argument: injected power must exceed detector
+//! sensitivity plus worst-case loss, but cannot exceed the silicon
+//! nonlinearity threshold — and every WDM channel multiplies the
+//! injected power. This example sweeps mesh sizes with a random-traffic
+//! application, compares a random mapping against an optimized one, and
+//! reports where each strategy stops being deployable.
+//!
+//! ```text
+//! cargo run --release --example scalability_study
+//! ```
+
+use phonocmap::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), CoreError> {
+    let params = PhysicalParameters::default();
+    let power = PowerBudget::new(params);
+    let budget = 10_000;
+
+    println!(
+        "laser 0 dBm, detector −26 dBm, nonlinearity ceiling +20 dBm\n"
+    );
+    println!(
+        "{:>5} {:>8} | {:>12} {:>10} | {:>12} {:>10} | {:>18}",
+        "mesh",
+        "tasks",
+        "random IL",
+        "WDM max",
+        "R-PBLA IL",
+        "WDM max",
+        "optimization gain"
+    );
+
+    for n in [3usize, 4, 5, 6, 8] {
+        let tasks = n * n;
+        let mut rng = StdRng::seed_from_u64(n as u64);
+        let cg = phonocmap::apps::synthetic::random(tasks, tasks / 2, &mut rng);
+        let problem = MappingProblem::new(
+            cg,
+            Topology::mesh(n, n, Length::from_mm(2.5)),
+            crux_router(),
+            Box::new(XyRouting),
+            params,
+            Objective::MinimizeWorstCaseLoss,
+        )?;
+
+        let random_mapping =
+            Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
+        let (random_metrics, _) = problem.evaluate(&random_mapping);
+        let optimized = run_dse(&problem, &Rpbla, budget, 23);
+        let (opt_metrics, _) = problem.evaluate(&optimized.best_mapping);
+
+        let r_il = random_metrics.worst_case_il;
+        let o_il = opt_metrics.worst_case_il;
+        println!(
+            "{:>4}² {:>8} | {:>12.3} {:>10} | {:>12.3} {:>10} | {:>15.3} dB",
+            n,
+            tasks,
+            r_il.0,
+            power.max_wdm_channels(r_il),
+            o_il.0,
+            power.max_wdm_channels(o_il),
+            o_il.0 - r_il.0
+        );
+    }
+
+    println!(
+        "\nthe mapping choice buys back several dB of worst-case loss — in\n\
+         WDM terms, thousands of extra channels under the same nonlinearity\n\
+         ceiling. That loss margin is exactly the 'improved network\n\
+         scalability' the paper claims."
+    );
+    Ok(())
+}

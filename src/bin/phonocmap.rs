@@ -1,0 +1,233 @@
+//! The `phonocmap` command-line tool: the user-facing face of the
+//! reproduction, mirroring the workflow of the paper's Java toolset.
+//!
+//! ```text
+//! phonocmap list
+//! phonocmap describe-router crux
+//! phonocmap show-app VOPD [--dot]
+//! phonocmap analyze  --app VOPD [--topology mesh] [--router crux] [--seed 1]
+//! phonocmap optimize --app VOPD [--algo r-pbla] [--objective snr|loss]
+//!                    [--topology mesh|torus|ring] [--router crux]
+//!                    [--budget 100000] [--seed 42]
+//! phonocmap optimize --file my_app.cg ...      # text-format CG input
+//! ```
+//!
+//! The CG text format is documented in `phonoc_apps::text`.
+
+use phonocmap::apps::text::parse_cg;
+use phonocmap::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = match command.as_str() {
+        "list" => cmd_list(),
+        "describe-router" => cmd_describe_router(&args),
+        "show-app" => cmd_show_app(&args),
+        "analyze" => cmd_analyze(&args),
+        "optimize" => cmd_optimize(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "phonocmap — application mapping for photonic NoCs
+commands:
+  list                         available benchmarks, routers, algorithms
+  describe-router <name>       router datasheet (losses + crosstalk)
+  show-app <name> [--dot]      benchmark communication graph
+  analyze  --app <name> | --file <cg>   evaluate a random mapping
+  optimize --app <name> | --file <cg>   search for the best mapping
+options (analyze/optimize):
+  --topology mesh|torus|ring   (default mesh)
+  --router   crux|crossbar|xy-crossbar   (default crux)
+  --objective snr|loss         (default snr)
+  --algo rs|ga|r-pbla|sa|tabu|ils  (default r-pbla; optimize only)
+  --budget N                   evaluations (default 100000)
+  --seed N                     RNG seed (default 42)";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("benchmarks:");
+    for cg in phonocmap::apps::benchmarks::all_benchmarks() {
+        println!(
+            "  {:<15} {:>3} tasks {:>3} edges",
+            cg.name(),
+            cg.task_count(),
+            cg.edge_count()
+        );
+    }
+    println!("routers:");
+    for name in RouterRegistry::with_builtins().names() {
+        let r = RouterRegistry::with_builtins().get(name).expect("listed");
+        println!(
+            "  {:<15} {:>3} rings {:>3} crossings {:>3} connections",
+            name,
+            r.microring_count(),
+            r.plain_crossing_count(),
+            r.supported_pairs().len()
+        );
+    }
+    println!("optimizers:");
+    for name in phonocmap::opt::builtin_names() {
+        println!("  {name}");
+    }
+    println!("routing algorithms:\n  xy (mesh/torus)\n  yx (mesh/torus)\n  ring (rings)");
+    Ok(())
+}
+
+fn cmd_describe_router(args: &[String]) -> Result<(), String> {
+    let name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("describe-router needs a router name")?;
+    let router = RouterRegistry::with_builtins()
+        .get(name)
+        .ok_or_else(|| format!("unknown router `{name}`"))?;
+    print!(
+        "{}",
+        phonocmap::router::report::datasheet(&router, &PhysicalParameters::default())
+    );
+    Ok(())
+}
+
+fn cmd_show_app(args: &[String]) -> Result<(), String> {
+    let name = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("show-app needs a benchmark name")?;
+    let cg = phonocmap::apps::benchmarks::benchmark(name)
+        .ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    if args.iter().any(|a| a == "--dot") {
+        print!("{}", cg.to_dot());
+    } else {
+        print!("{}", phonocmap::apps::text::render_cg(&cg));
+    }
+    Ok(())
+}
+
+fn load_cg(args: &[String]) -> Result<CommunicationGraph, String> {
+    if let Some(app) = flag(args, "--app") {
+        return phonocmap::apps::benchmarks::benchmark(&app)
+            .ok_or_else(|| format!("unknown benchmark `{app}`"));
+    }
+    if let Some(path) = flag(args, "--file") {
+        let text =
+            std::fs::read_to_string(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        return parse_cg(&text).map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    Err("need --app <benchmark> or --file <cg-file>".into())
+}
+
+struct Setup {
+    problem: MappingProblem,
+    seed: u64,
+}
+
+fn build_problem(args: &[String]) -> Result<Setup, String> {
+    let cg = load_cg(args)?;
+    let topology_kind = flag(args, "--topology").unwrap_or_else(|| "mesh".into());
+    let router_name = flag(args, "--router").unwrap_or_else(|| "crux".into());
+    let objective = match flag(args, "--objective").as_deref() {
+        None | Some("snr") => Objective::MaximizeWorstCaseSnr,
+        Some("loss") => Objective::MinimizeWorstCaseLoss,
+        Some(other) => return Err(format!("unknown objective `{other}` (snr|loss)")),
+    };
+    let seed: u64 = flag(args, "--seed")
+        .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
+        .transpose()?
+        .unwrap_or(42);
+
+    let pitch = Length::from_mm(2.5);
+    let (w, h) = fit_grid(cg.task_count());
+    let (topology, routing): (Topology, Box<dyn RoutingAlgorithm>) =
+        match topology_kind.as_str() {
+            "mesh" => (Topology::mesh(w, h, pitch), Box::new(XyRouting)),
+            "torus" => (
+                Topology::torus(w.max(3), h.max(3), pitch),
+                Box::new(XyRouting),
+            ),
+            "ring" => (
+                Topology::ring(cg.task_count().max(3), pitch),
+                Box::new(RingRouting),
+            ),
+            other => return Err(format!("unknown topology `{other}` (mesh|torus|ring)")),
+        };
+    let router = RouterRegistry::with_builtins()
+        .get(&router_name)
+        .ok_or_else(|| format!("unknown router `{router_name}`"))?;
+    let problem = MappingProblem::new(
+        cg,
+        topology,
+        router,
+        routing,
+        PhysicalParameters::default(),
+        objective,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(Setup { problem, seed })
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let Setup { problem, seed } = build_problem(args)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
+    print!("{}", analyze(&problem, &mapping));
+    Ok(())
+}
+
+fn cmd_optimize(args: &[String]) -> Result<(), String> {
+    let Setup { problem, seed } = build_problem(args)?;
+    let algo_name = flag(args, "--algo").unwrap_or_else(|| "r-pbla".into());
+    let budget: usize = flag(args, "--budget")
+        .map(|s| s.parse().map_err(|_| format!("bad budget `{s}`")))
+        .transpose()?
+        .unwrap_or(100_000);
+    let optimizer = phonocmap::opt::optimizer(&algo_name)
+        .ok_or_else(|| format!("unknown optimizer `{algo_name}`"))?;
+
+    let result = run_dse(&problem, optimizer.as_ref(), budget, seed);
+    println!(
+        "{} finished: {} evaluations, best {} = {:.3}",
+        result.optimizer,
+        result.evaluations,
+        problem.objective(),
+        result.best_score
+    );
+    println!("task placement:");
+    for t in problem.cg().tasks() {
+        let tile = result.best_mapping.tile_of_task(t.0);
+        let c = problem.topology().coord(tile);
+        println!(
+            "  {:<16} -> tile {:<3} {}",
+            problem.cg().task_name(t),
+            tile.0,
+            c
+        );
+    }
+    println!();
+    print!("{}", analyze(&problem, &result.best_mapping));
+    Ok(())
+}

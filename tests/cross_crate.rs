@@ -1,0 +1,182 @@
+//! Cross-crate compatibility and failure-injection tests: the places
+//! where independently developed pieces (routers, routing algorithms,
+//! topologies, applications) must either compose or fail loudly.
+
+use phonocmap::core::CoreError;
+use phonocmap::prelude::*;
+
+fn pitch() -> Length {
+    Length::from_mm(2.5)
+}
+
+#[test]
+fn yx_routing_on_crux_is_rejected_with_the_offending_turn() {
+    // Crux implements no Y→X turns; the evaluator must identify the
+    // exact unsupported connection instead of silently mis-modeling.
+    let err = MappingProblem::new(
+        benchmarks::pip(),
+        Topology::mesh(3, 3, pitch()),
+        crux_router(),
+        Box::new(YxRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap_err();
+    match err {
+        CoreError::UnsupportedConnection { router, pair } => {
+            assert_eq!(router, "crux");
+            assert!(
+                matches!(pair.input, Port::North | Port::South),
+                "the offending pair must be a Y→X turn, got {pair}"
+            );
+        }
+        other => panic!("expected UnsupportedConnection, got {other}"),
+    }
+}
+
+#[test]
+fn yx_routing_on_the_full_crossbar_works() {
+    let p = MappingProblem::new(
+        benchmarks::pip(),
+        Topology::mesh(3, 3, pitch()),
+        crossbar_router(),
+        Box::new(YxRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .expect("crossbar supports all turns");
+    let r = run_dse(&p, &RandomSearch, 200, 1);
+    assert!(r.best_mapping.is_valid());
+}
+
+#[test]
+fn ring_topology_with_ring_routing_composes_with_crux() {
+    // Rings use only the E/W ports plus inject/eject, all of which Crux
+    // implements.
+    let p = MappingProblem::new(
+        benchmarks::pip(),
+        Topology::ring(9, pitch()),
+        crux_router(),
+        Box::new(RingRouting),
+        PhysicalParameters::default(),
+        Objective::MinimizeWorstCaseLoss,
+    )
+    .expect("ring + ring-routing + crux is a valid stack");
+    let r = run_dse(&p, &Rpbla, 500, 2);
+    assert!(r.best_score < 0.0, "ring paths lose power");
+}
+
+#[test]
+fn xy_routing_rejects_ring_topologies() {
+    let err = MappingProblem::new(
+        benchmarks::pip(),
+        Topology::ring(9, pitch()),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MinimizeWorstCaseLoss,
+    )
+    .unwrap_err();
+    assert!(matches!(err, CoreError::Routing(_)), "got {err}");
+}
+
+#[test]
+fn oversized_applications_are_rejected_up_front() {
+    let err = MappingProblem::new(
+        benchmarks::dvopd(), // 32 tasks
+        Topology::mesh(4, 4, pitch()),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, CoreError::TooManyTasks { tasks: 32, tiles: 16 }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn corrupted_physical_parameters_are_rejected() {
+    let params = PhysicalParameters::builder()
+        .crossing_crosstalk(Db(5.0)) // a crosstalk *gain* is nonsense
+        .build();
+    let err = MappingProblem::new(
+        benchmarks::pip(),
+        Topology::mesh(3, 3, pitch()),
+        crux_router(),
+        Box::new(XyRouting),
+        params,
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap_err();
+    assert!(matches!(err, CoreError::BadParameters(_)), "got {err}");
+}
+
+#[test]
+fn custom_router_flows_through_the_whole_stack() {
+    // A minimal user-defined router good enough for a 1-D pipeline:
+    // straight W/E passes plus inject/eject, built with the public DSL.
+    fn tiny_router() -> RouterModel {
+        use PassMode::{Cross, Off, On};
+        let mut b = NetlistBuilder::new("tiny-we");
+        b.cpse("ej_w", "w_in", "w1", "ejw", "l_w");
+        b.cpse("ej_e", "e_in", "e1", "eje", "l_e");
+        b.cpse("inj_e", "l_in", "inj1", "w1", "w_out");
+        b.cpse("inj_w", "inj1", "inj2", "e1", "e_out");
+        b.bind_input(Port::West, "w_in");
+        b.bind_output(Port::East, "w_out");
+        b.bind_input(Port::East, "e_in");
+        b.bind_output(Port::West, "e_out");
+        b.bind_input(Port::Local, "l_in");
+        b.bind_output_set(Port::Local, &["l_w", "l_e"]);
+        b.route(Port::West, Port::East, &[("ej_w", Off), ("inj_e", Cross)]);
+        b.route(Port::East, Port::West, &[("ej_e", Off), ("inj_w", Cross)]);
+        b.route(Port::Local, Port::East, &[("inj_e", On)]);
+        b.route(
+            Port::Local,
+            Port::West,
+            &[("inj_e", Off), ("inj_w", On)],
+        );
+        b.route(Port::West, Port::Local, &[("ej_w", On)]);
+        b.route(Port::East, Port::Local, &[("ej_e", On)]);
+        b.build().expect("tiny router validates")
+    }
+
+    let p = MappingProblem::new(
+        phonocmap::apps::synthetic::pipeline(6),
+        Topology::mesh(6, 1, pitch()),
+        tiny_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MinimizeWorstCaseLoss,
+    )
+    .expect("1-D mesh never needs N/S connections");
+    let r = run_dse(&p, &Rpbla, 1_000, 6);
+    // The optimum for a pipeline on a line is the identity-like chain:
+    // every hop adjacent.
+    let report = analyze(&p, &r.best_mapping);
+    assert!(
+        report.worst_case_il.0 > -1.5,
+        "adjacent chain expected, got {}",
+        report.worst_case_il
+    );
+}
+
+#[test]
+fn torus_wrap_paths_actually_use_fewer_hops() {
+    let topo = Topology::torus(5, 5, pitch());
+    let p = MappingProblem::new(
+        phonocmap::apps::synthetic::pipeline(2),
+        topo,
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MinimizeWorstCaseLoss,
+    )
+    .unwrap();
+    // Opposite edges of the grid: 1 wrap hop instead of 4.
+    assert_eq!(p.evaluator().path_hops(0, 4), Some(2));
+    assert_eq!(p.evaluator().path_hops(0, 20), Some(2));
+}
