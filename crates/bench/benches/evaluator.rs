@@ -4,8 +4,8 @@
 //! evaluations per cell).
 
 use bench::{paper_problem, TABLE2_APPS};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use phonoc_core::{Mapping, Objective};
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use phonoc_core::{DeltaScratch, Mapping, Objective};
 use phonoc_topo::TopologyKind;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -32,15 +32,105 @@ fn evaluator_construction(c: &mut Criterion) {
     // Problem assembly precomputes every tile-pair path and the router
     // interaction matrix; it is paid once per experiment cell.
     c.bench_function("evaluator_precompute_dvopd_6x6", |b| {
-        b.iter(|| {
-            paper_problem(
-                "DVOPD",
-                TopologyKind::Mesh,
-                Objective::MaximizeWorstCaseSnr,
-            )
-        });
+        b.iter(|| paper_problem("DVOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr));
     });
 }
 
-criterion_group!(benches, evaluator_throughput, evaluator_construction);
+fn full_vs_delta(c: &mut Criterion) {
+    // The headline of the move-based search core: rescoring a single
+    // swap on VOPD/4×4 incrementally vs. a from-scratch evaluation of
+    // the swapped mapping. All paths produce bit-identical worst
+    // cases. Three delta measurements:
+    //  * `evaluate_delta_swap` — both objectives (crosstalk included),
+    //    on a random mapping: the dense worst case, roughly at parity
+    //    with full evaluation because a random VOPD placement couples
+    //    ~¾ of all communications to any swap.
+    //  * `evaluate_delta_swap_optimized` — the same, from an
+    //    R-PBLA-optimized placement: the actual search-time workload.
+    //  * `evaluate_delta_loss_swap` — the loss objective (Eq. 3): no
+    //    crosstalk, 1–2 orders of magnitude faster than full.
+    let problem = paper_problem("VOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+    let evaluator = problem.evaluator();
+    let tasks = problem.task_count();
+    let tiles = problem.tile_count();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mapping = Mapping::random(tasks, tiles, &mut rng);
+    let state = evaluator.init_state(&mapping);
+    // A fixed cycle of single-swap moves, so all sides rescore the
+    // same workload.
+    let moves: Vec<phonoc_core::Move> = (0..64)
+        .map(|_| mapping.random_swap_move(&mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("full_vs_delta_vopd_4x4");
+    group.bench_function("full_reevaluate_swap", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            let mv = moves[i % moves.len()];
+            i += 1;
+            let moved = mapping.with_move(mv);
+            black_box(evaluator.evaluate(&moved))
+        });
+    });
+    group.bench_function("evaluate_delta_swap", |b| {
+        let mut scratch = DeltaScratch::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mv = moves[i % moves.len()];
+            i += 1;
+            black_box(evaluator.evaluate_delta_with(&state, &mapping, mv, &mut scratch))
+        });
+    });
+    group.bench_function("evaluate_delta_loss_swap", |b| {
+        let mut scratch = DeltaScratch::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mv = moves[i % moves.len()];
+            i += 1;
+            black_box(evaluator.evaluate_delta_loss(&state, &mapping, mv, &mut scratch))
+        });
+    });
+    {
+        let optimized = phonoc_core::run_dse(
+            &problem,
+            phonoc_opt::registry::optimizer("r-pbla").unwrap().as_ref(),
+            3_000,
+            5,
+        )
+        .best_mapping;
+        let opt_state = evaluator.init_state(&optimized);
+        let opt_moves: Vec<phonoc_core::Move> = {
+            let mut rng = StdRng::seed_from_u64(11);
+            (0..64)
+                .map(|_| optimized.random_swap_move(&mut rng))
+                .collect()
+        };
+        group.bench_function("evaluate_delta_swap_optimized", |b| {
+            let mut scratch = DeltaScratch::default();
+            let mut i = 0usize;
+            b.iter(|| {
+                let mv = opt_moves[i % opt_moves.len()];
+                i += 1;
+                black_box(evaluator.evaluate_delta_with(&opt_state, &optimized, mv, &mut scratch))
+            });
+        });
+        group.bench_function("full_reevaluate_swap_optimized", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let mv = opt_moves[i % opt_moves.len()];
+                i += 1;
+                let moved = optimized.with_move(mv);
+                black_box(evaluator.evaluate(&moved))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    evaluator_throughput,
+    evaluator_construction,
+    full_vs_delta
+);
 criterion_main!(benches);

@@ -20,10 +20,7 @@ fn netlist_construction(c: &mut Criterion) {
 fn interaction_matrix(c: &mut Criterion) {
     let params = PhysicalParameters::default();
     let mut group = c.benchmark_group("interaction_matrix_25x25");
-    for (name, router) in [
-        ("crux", crux_router()),
-        ("crossbar", crossbar_router()),
-    ] {
+    for (name, router) in [("crux", crux_router()), ("crossbar", crossbar_router())] {
         group.bench_function(name, |b| {
             b.iter(|| {
                 let mut acc = 0.0;

@@ -17,17 +17,14 @@ fn main() {
     let samples: usize = arg_value("--samples").unwrap_or(2_000);
     let seed: u64 = arg_value("--seed").unwrap_or(19);
 
-    println!(
-        "Monte-Carlo validation: {samples} sampled activity patterns per cell\n"
-    );
+    println!("Monte-Carlo validation: {samples} sampled activity patterns per cell\n");
     println!(
         "{:<15} {:>9} {:>12} {:>13} {:>14} {:>12}",
         "app", "activity", "bound (dB)", "min sampled", "mean sampled", "pessimism"
     );
 
-    let mut csv = String::from(
-        "app,activity,bound_snr_db,min_sampled_db,mean_sampled_db,pessimism_db\n",
-    );
+    let mut csv =
+        String::from("app,activity,bound_snr_db,min_sampled_db,mean_sampled_db,pessimism_db\n");
     let mut violations = 0usize;
     for app in TABLE2_APPS {
         let problem = paper_problem(app, TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
@@ -57,9 +54,7 @@ fn main() {
         }
         println!();
     }
-    println!(
-        "bound violations: {violations} (must be 0 — the worst case is a true bound)"
-    );
+    println!("bound violations: {violations} (must be 0 — the worst case is a true bound)");
     write_results_file("activity_validation.csv", &csv);
     assert_eq!(violations, 0, "worst-case bound violated");
 }

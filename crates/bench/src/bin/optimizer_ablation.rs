@@ -45,7 +45,11 @@ fn main() {
                 "{app:<10} {:>10} {:>12.2} {:>22}",
                 r.optimizer, r.best_score, evals_to_best
             );
-            let _ = writeln!(csv, "{app},{},{:.3},{evals_to_best}", r.optimizer, r.best_score);
+            let _ = writeln!(
+                csv,
+                "{app},{},{:.3},{evals_to_best}",
+                r.optimizer, r.best_score
+            );
         }
         println!();
     }

@@ -52,7 +52,10 @@ fn main() {
             println!(
                 "{app:<10} {router_name:>12} {rings:>10} {crossings:>14} {snr:>12.2} {loss:>12.3}"
             );
-            let _ = writeln!(csv, "{app},{router_name},{rings},{crossings},{snr:.3},{loss:.3}");
+            let _ = writeln!(
+                csv,
+                "{app},{router_name},{rings},{crossings},{snr:.3},{loss:.3}"
+            );
         }
         println!();
     }

@@ -12,7 +12,9 @@
 //! evaluations (DESIGN.md §5). The binary prints our numbers next to the
 //! paper's and writes `results/table2.csv`.
 
-use bench::{arg_value, paper_problem, write_results_file, PAPER_TABLE2_LOSS, PAPER_TABLE2_SNR, TABLE2_APPS};
+use bench::{
+    arg_value, paper_problem, write_results_file, PAPER_TABLE2_LOSS, PAPER_TABLE2_SNR, TABLE2_APPS,
+};
 use phonoc_core::{run_dse, MappingOptimizer, Objective};
 use phonoc_opt::{GeneticAlgorithm, RandomSearch, Rpbla};
 use phonoc_topo::TopologyKind;
@@ -53,16 +55,15 @@ fn main() {
             for kind in kinds {
                 let algos = &algos;
                 handles.push(scope.spawn(move |_| {
-                    let snr_problem =
-                        paper_problem(app, kind, Objective::MaximizeWorstCaseSnr);
-                    let loss_problem =
-                        paper_problem(app, kind, Objective::MinimizeWorstCaseLoss);
-                    let mut cells = [Cell { snr: 0.0, loss: 0.0 }; 3];
+                    let snr_problem = paper_problem(app, kind, Objective::MaximizeWorstCaseSnr);
+                    let loss_problem = paper_problem(app, kind, Objective::MinimizeWorstCaseLoss);
+                    let mut cells = [Cell {
+                        snr: 0.0,
+                        loss: 0.0,
+                    }; 3];
                     for (i, (_, algo)) in algos.iter().enumerate() {
-                        let snr =
-                            run_dse(&snr_problem, algo.as_ref(), budget, seed).best_score;
-                        let loss =
-                            run_dse(&loss_problem, algo.as_ref(), budget, seed).best_score;
+                        let snr = run_dse(&snr_problem, algo.as_ref(), budget, seed).best_score;
+                        let loss = run_dse(&loss_problem, algo.as_ref(), budget, seed).best_score;
                         cells[i] = Cell { snr, loss };
                     }
                     cells
@@ -71,18 +72,13 @@ fn main() {
         }
         // Handle order is (app-major, mesh then torus), so chunking by 2
         // below regroups the cells per application.
-        let collected: Vec<[Cell; 3]> =
-            handles.into_iter().map(|h| h.join().unwrap()).collect();
-        results = collected
-            .chunks(2)
-            .map(|pair| pair.to_vec())
-            .collect();
+        let collected: Vec<[Cell; 3]> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        results = collected.chunks(2).map(|pair| pair.to_vec()).collect();
     })
     .expect("worker threads must not panic");
 
-    let mut csv = String::from(
-        "app,topology,algorithm,snr_db,loss_db,paper_snr_db,paper_loss_db\n",
-    );
+    let mut csv =
+        String::from("app,topology,algorithm,snr_db,loss_db,paper_snr_db,paper_loss_db\n");
     let header = format!(
         "{:<15} {:<6} | {:>18} {:>18} {:>18}",
         "Application", "Topo", "RS (SNR/Loss)", "GA (SNR/Loss)", "R-PBLA (SNR/Loss)"
@@ -104,11 +100,7 @@ fn main() {
             };
             let mut row = format!("{:<15} {:<6} |", app, kind.to_string());
             for (i, (name, _)) in optimizers().iter().enumerate() {
-                let _ = write!(
-                    row,
-                    " {:>7.2}/{:>6.2}   ",
-                    cells[i].snr, cells[i].loss
-                );
+                let _ = write!(row, " {:>7.2}/{:>6.2}   ", cells[i].snr, cells[i].loss);
                 let _ = writeln!(
                     csv,
                     "{app},{kind},{name},{:.3},{:.3},{:.2},{:.2}",
@@ -118,8 +110,14 @@ fn main() {
             println!("{row}");
             println!(
                 "{:<15} {:<6} | ({:>5.2}/{:>5.2})     ({:>5.2}/{:>5.2})     ({:>5.2}/{:>5.2})",
-                "  (paper)", "", paper_snr[0], paper_loss[0], paper_snr[1], paper_loss[1],
-                paper_snr[2], paper_loss[2]
+                "  (paper)",
+                "",
+                paper_snr[0],
+                paper_loss[0],
+                paper_snr[1],
+                paper_loss[1],
+                paper_snr[2],
+                paper_loss[2]
             );
         }
     }

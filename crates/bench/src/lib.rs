@@ -35,8 +35,16 @@ pub const TABLE2_APPS: [&str; 8] = [
 /// RS, GA, R-PBLA])` for SNR (dB), used by the harness output so each run
 /// can be compared against the published numbers side by side.
 pub const PAPER_TABLE2_SNR: [(&str, [f64; 3], [f64; 3]); 8] = [
-    ("263dec_mp3dec", [20.21, 38.67, 38.67], [39.08, 38.71, 39.95]),
-    ("263enc_mp3enc", [38.29, 38.63, 38.63], [39.77, 39.73, 39.94]),
+    (
+        "263dec_mp3dec",
+        [20.21, 38.67, 38.67],
+        [39.08, 38.71, 39.95],
+    ),
+    (
+        "263enc_mp3enc",
+        [38.29, 38.63, 38.63],
+        [39.77, 39.73, 39.94],
+    ),
     ("DVOPD", [12.65, 16.19, 18.70], [14.12, 19.15, 19.12]),
     ("MPEG-4", [19.06, 19.16, 20.02], [20.10, 20.10, 21.08]),
     ("MWD", [20.24, 38.63, 38.63], [39.72, 39.28, 39.95]),
@@ -47,8 +55,16 @@ pub const PAPER_TABLE2_SNR: [(&str, [f64; 3], [f64; 3]); 8] = [
 
 /// Paper Table II reference values for worst-case loss (dB).
 pub const PAPER_TABLE2_LOSS: [(&str, [f64; 3], [f64; 3]); 8] = [
-    ("263dec_mp3dec", [-2.04, -1.52, -1.52], [-2.12, -1.68, -1.60]),
-    ("263enc_mp3enc", [-2.04, -1.94, -1.59], [-2.12, -1.97, -1.75]),
+    (
+        "263dec_mp3dec",
+        [-2.04, -1.52, -1.52],
+        [-2.12, -1.68, -1.60],
+    ),
+    (
+        "263enc_mp3enc",
+        [-2.04, -1.94, -1.59],
+        [-2.12, -1.97, -1.75],
+    ),
     ("DVOPD", [-2.79, -2.15, -1.85], [-3.18, -2.23, -2.04]),
     ("MPEG-4", [-2.35, -2.04, -2.04], [-2.35, -2.20, -2.20]),
     ("MWD", [-1.81, -1.59, -1.59], [-1.97, -1.99, -1.61]),

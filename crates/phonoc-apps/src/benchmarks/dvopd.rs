@@ -30,11 +30,7 @@ pub fn dvopd() -> CommunicationGraph {
     }
     for cg in [&a, &b] {
         for e in cg.edges() {
-            builder = builder.edge(
-                cg.task_name(e.src),
-                cg.task_name(e.dst),
-                e.bandwidth,
-            );
+            builder = builder.edge(cg.task_name(e.src), cg.task_name(e.dst), e.bandwidth);
         }
     }
     builder

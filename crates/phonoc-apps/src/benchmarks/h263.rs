@@ -59,10 +59,8 @@ pub fn h263dec_mp3dec() -> CommunicationGraph {
 pub fn h263enc_mp3enc() -> CommunicationGraph {
     CgBuilder::new("263enc_mp3enc")
         .tasks([
-            // Video encoder.
-            "src", "me", "mc", "dct", "quant", "vlc", "out",
-            // Audio encoder.
-            "pcm", "subband", "mdct", "quant_a", "pack",
+            "src", "me", "mc", "dct", "quant", "vlc", "out", // video encoder
+            "pcm", "subband", "mdct", "quant_a", "pack", // audio encoder
         ])
         .edge("src", "me", 64.0)
         .edge("me", "mc", 64.0)
@@ -96,7 +94,11 @@ mod tests {
     fn enc_shape() {
         let cg = super::h263enc_mp3enc();
         assert_eq!(cg.task_count(), 12, "paper: 263enc_mp3enc has 12 tasks");
-        assert_eq!(cg.edge_count(), 12, "paper §III: 263enc_mp3enc has 12 edges");
+        assert_eq!(
+            cg.edge_count(),
+            12,
+            "paper §III: 263enc_mp3enc has 12 edges"
+        );
         assert!(cg.is_weakly_connected());
     }
 }

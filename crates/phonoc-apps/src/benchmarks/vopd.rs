@@ -89,11 +89,7 @@ mod tests {
     #[test]
     fn vopd_pipeline_backbone_present() {
         let cg = super::vopd();
-        for (s, d) in [
-            ("vld", "run_le_dec"),
-            ("iquan", "idct"),
-            ("pad", "vop_mem"),
-        ] {
+        for (s, d) in [("vld", "run_le_dec"), ("iquan", "idct"), ("pad", "vop_mem")] {
             let (s, d) = (cg.task_id(s).unwrap(), cg.task_id(d).unwrap());
             assert!(
                 cg.edges().iter().any(|e| e.src == s && e.dst == d),

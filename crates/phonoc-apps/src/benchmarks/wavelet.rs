@@ -28,7 +28,7 @@ pub fn wavelet() -> CommunicationGraph {
             "col_ll2", "col_lh2", "col_hl2", "col_hh2", // level-2 column filters
             "q_lh1", "q_hl1", "q_hh1", // level-1 quantizers
             "q_ll2", "q_lh2", "q_hl2", "q_hh2", // level-2 quantizers
-            "out", // collector
+            "out",   // collector
         ])
         .edge("src", "split", 128.0)
         .edge("split", "row_lp1", 64.0)

@@ -115,8 +115,7 @@ pub fn parse_cg(text: &str) -> Result<CommunicationGraph, CgTextError> {
                 pending_tasks.push(task.to_owned());
             }
             "edge" => {
-                let (Some(src), Some(dst), Some(bw)) =
-                    (parts.next(), parts.next(), parts.next())
+                let (Some(src), Some(dst), Some(bw)) = (parts.next(), parts.next(), parts.next())
                 else {
                     return Err(CgTextError::Syntax {
                         line: line_no,
@@ -132,9 +131,7 @@ pub fn parse_cg(text: &str) -> Result<CommunicationGraph, CgTextError> {
             other => {
                 return Err(CgTextError::Syntax {
                     line: line_no,
-                    message: format!(
-                        "unknown keyword `{other}` (expected app / task / edge)"
-                    ),
+                    message: format!("unknown keyword `{other}` (expected app / task / edge)"),
                 });
             }
         }
@@ -185,10 +182,8 @@ mod tests {
 
     #[test]
     fn comments_and_blank_lines_are_ignored() {
-        let cg = parse_cg(
-            "# header\n\napp x # trailing\n task a\ntask b\n\nedge a b 1 # bw\n",
-        )
-        .unwrap();
+        let cg =
+            parse_cg("# header\n\napp x # trailing\n task a\ntask b\n\nedge a b 1 # bw\n").unwrap();
         assert_eq!(cg.name(), "x");
         assert_eq!(cg.edge_count(), 1);
     }
@@ -227,9 +222,8 @@ mod tests {
     fn every_benchmark_round_trips() {
         for cg in crate::benchmarks::all_benchmarks() {
             let text = render_cg(&cg);
-            let parsed = parse_cg(&text).unwrap_or_else(|e| {
-                panic!("{} failed to reparse: {e}", cg.name())
-            });
+            let parsed =
+                parse_cg(&text).unwrap_or_else(|e| panic!("{} failed to reparse: {e}", cg.name()));
             assert_eq!(cg, parsed, "{} round trip", cg.name());
         }
     }

@@ -96,7 +96,11 @@ impl NetworkReport {
             out,
             "power budget: need {:.2} at the laser -> {} | up to {} WDM channels",
             self.required_laser_power,
-            if self.feasible { "feasible" } else { "INFEASIBLE" },
+            if self.feasible {
+                "feasible"
+            } else {
+                "INFEASIBLE"
+            },
             self.max_wdm_channels
         );
         out

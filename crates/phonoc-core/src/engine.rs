@@ -7,49 +7,106 @@
 //! context also tracks the incumbent best and a convergence history, so
 //! no optimizer can forget its best or exceed its budget.
 //!
+//! # Budget units and incremental moves
+//!
+//! A full evaluation re-scores every CG edge, but an incremental
+//! [`Move`] evaluation ([`OptContext::peek_move`]) only re-scores the
+//! edges a swap actually perturbs. Charging both one "evaluation" would
+//! overbill delta evaluation by an order of magnitude, so the budget is
+//! tracked in integer **edge units**: a budget of `B` evaluations is
+//! `B × edge_count` units, a full evaluation costs `edge_count` units,
+//! and a delta costs `max(1, affected_edges)` units — the honest amount
+//! of evaluator work it triggered. All arithmetic is integral, so
+//! accounting is exact and deterministic. The one courtesy rule: an
+//! action that *starts* within budget is allowed to complete, with the
+//! spend saturating at the budget (`evaluations` then reports exactly
+//! the configured budget).
+//!
 //! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
 //! core so that new strategies can be added "without any changes in the
 //! tool core", paper Section I — implementations live in `phonoc-opt`).
+//! Swap-based strategies walk a *cursor* — [`OptContext::set_current`]
+//! to full-evaluate a starting point, [`OptContext::peek_move`] /
+//! [`OptContext::peek_moves`] to score candidate moves incrementally,
+//! and [`OptContext::apply_scored_move`] to commit one — while
+//! population strategies batch-score whole generations with
+//! [`OptContext::evaluate_batch`].
 
-use crate::mapping::Mapping;
+use crate::evaluator::{DeltaScratch, EvalState, ScoreDelta};
+use crate::mapping::{Mapping, Move};
 use crate::problem::MappingProblem;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+
+/// A scored candidate [`Move`], produced by [`OptContext::peek_move`]
+/// and consumed by [`OptContext::apply_scored_move`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MoveEval {
+    /// The move that was scored.
+    pub mv: Move,
+    /// Objective score of the mapping the move would produce (higher =
+    /// better) — bit-identical to a full evaluation of that mapping.
+    pub score: f64,
+    /// The underlying incremental evaluation.
+    pub delta: ScoreDelta,
+}
+
+/// The cursor: the mapping a move-based strategy currently stands on,
+/// with its incremental evaluation state.
+struct Cursor {
+    mapping: Mapping,
+    state: EvalState,
+    score: f64,
+    scratch: DeltaScratch,
+}
 
 /// The search-side view of a problem: evaluation with budget
 /// enforcement, incumbent tracking and a seeded RNG.
 pub struct OptContext<'p> {
     problem: &'p MappingProblem,
     rng: StdRng,
-    budget: usize,
-    used: usize,
+    /// Budget in edge units (`budget_evals × unit`).
+    budget_units: u64,
+    used_units: u64,
+    /// Units per full evaluation (= CG edge count, min 1).
+    unit: u64,
+    full_evaluations: usize,
+    delta_evaluations: usize,
     best: Option<(Mapping, f64)>,
     history: Vec<(usize, f64)>,
+    cursor: Option<Cursor>,
 }
 
 impl fmt::Debug for OptContext<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("OptContext")
-            .field("budget", &self.budget)
-            .field("used", &self.used)
+            .field("budget", &(self.budget_units / self.unit))
+            .field("used_units", &self.used_units)
+            .field("full_evaluations", &self.full_evaluations)
+            .field("delta_evaluations", &self.delta_evaluations)
             .field("best_score", &self.best.as_ref().map(|(_, s)| *s))
             .finish_non_exhaustive()
     }
 }
 
 impl<'p> OptContext<'p> {
-    /// Creates a context with `budget` evaluations and a deterministic
-    /// RNG seeded with `seed`.
+    /// Creates a context with `budget` full-evaluation-equivalents and a
+    /// deterministic RNG seeded with `seed`.
     #[must_use]
     pub fn new(problem: &'p MappingProblem, budget: usize, seed: u64) -> Self {
+        let unit = problem.evaluator().edge_count().max(1) as u64;
         OptContext {
             problem,
             rng: StdRng::seed_from_u64(seed),
-            budget,
-            used: 0,
+            budget_units: budget as u64 * unit,
+            used_units: 0,
+            unit,
+            full_evaluations: 0,
+            delta_evaluations: 0,
             best: None,
             history: Vec::new(),
+            cursor: None,
         }
     }
 
@@ -76,39 +133,99 @@ impl<'p> OptContext<'p> {
         &mut self.rng
     }
 
-    /// Evaluations still available.
+    /// Full-evaluation-equivalents still available (rounded up, so any
+    /// nonzero remainder reports at least 1).
     #[must_use]
     pub fn remaining(&self) -> usize {
-        self.budget - self.used
+        ((self.budget_units - self.used_units).div_ceil(self.unit)) as usize
     }
 
-    /// Evaluations consumed so far.
+    /// Full-evaluation-equivalents consumed so far (rounded up).
     #[must_use]
     pub fn used(&self) -> usize {
-        self.used
+        self.used_units.div_ceil(self.unit) as usize
+    }
+
+    /// Full evaluations performed (each charged `edge_count` units).
+    #[must_use]
+    pub fn full_evaluations(&self) -> usize {
+        self.full_evaluations
+    }
+
+    /// Incremental move evaluations performed (each charged by its
+    /// affected-edge count).
+    #[must_use]
+    pub fn delta_evaluations(&self) -> usize {
+        self.delta_evaluations
     }
 
     /// Whether the budget is exhausted.
     #[must_use]
     pub fn exhausted(&self) -> bool {
-        self.used >= self.budget
+        self.used_units >= self.budget_units
+    }
+
+    /// Charges `cost` units; the action was admitted before starting, so
+    /// the spend saturates at the budget.
+    fn charge(&mut self, cost: u64) {
+        self.used_units = (self.used_units + cost).min(self.budget_units);
+    }
+
+    fn record(&mut self, mapping: &Mapping, score: f64) {
+        let improved = self.best.as_ref().is_none_or(|(_, s)| score > *s);
+        if improved {
+            self.best = Some((mapping.clone(), score));
+            let index = self.used();
+            self.history.push((index, score));
+        }
     }
 
     /// Scores `mapping` under the problem objective (higher = better),
-    /// consuming one evaluation. Returns `None` — without evaluating —
-    /// once the budget is exhausted; optimizers should then return.
+    /// consuming one full evaluation. Returns `None` — without
+    /// evaluating — once the budget is exhausted; optimizers should then
+    /// return.
     pub fn evaluate(&mut self, mapping: &Mapping) -> Option<f64> {
         if self.exhausted() {
             return None;
         }
-        self.used += 1;
+        self.charge(self.unit);
+        self.full_evaluations += 1;
         let (_, score) = self.problem.evaluate(mapping);
-        let improved = self.best.as_ref().is_none_or(|(_, s)| score > *s);
-        if improved {
-            self.best = Some((mapping.clone(), score));
-            self.history.push((self.used, score));
-        }
+        self.record(mapping, score);
         Some(score)
+    }
+
+    /// Scores a batch of mappings (in parallel across CPU cores), each
+    /// consuming one full evaluation. Only as many mappings as the
+    /// remaining budget admits are evaluated: the returned vector holds
+    /// scores for the evaluated *prefix* and may be shorter than the
+    /// input. Incumbent tracking visits results in input order, so the
+    /// outcome is identical to a sequential [`OptContext::evaluate`]
+    /// loop.
+    pub fn evaluate_batch(&mut self, mappings: &[Mapping]) -> Vec<f64> {
+        let admit = self.remaining().min(mappings.len());
+        if admit == 0 {
+            return Vec::new();
+        }
+        let metrics = self.problem.evaluator().evaluate_batch(&mappings[..admit]);
+        let objective = self.problem.objective();
+        let mut scores = Vec::with_capacity(admit);
+        for (mapping, m) in mappings.iter().zip(metrics) {
+            self.charge(self.unit);
+            self.full_evaluations += 1;
+            let score = objective.score(&m);
+            self.record(mapping, score);
+            scores.push(score);
+        }
+        scores
+    }
+
+    /// Convenience: a uniformly random swap move over the permutation
+    /// positions, drawn from the context's RNG with the same
+    /// distribution as [`Mapping::random_swap`].
+    #[must_use]
+    pub fn random_swap_move(&mut self) -> Move {
+        Move::random_swap(self.tile_count(), &mut self.rng)
     }
 
     /// Convenience: a uniformly random valid mapping from the context's
@@ -122,6 +239,153 @@ impl<'p> OptContext<'p> {
         )
     }
 
+    /// Full-evaluates `mapping`, makes it the cursor for subsequent
+    /// [`OptContext::peek_move`] / [`OptContext::apply_scored_move`]
+    /// calls, and returns its score. Consumes one full evaluation;
+    /// `None` once the budget is exhausted.
+    pub fn set_current(&mut self, mapping: Mapping) -> Option<f64> {
+        if self.exhausted() {
+            return None;
+        }
+        self.charge(self.unit);
+        self.full_evaluations += 1;
+        let state = self.problem.evaluator().init_state(&mapping);
+        let score = self
+            .problem
+            .objective()
+            .score_worst_cases(state.worst_case_il(), state.worst_case_snr());
+        self.record(&mapping, score);
+        let scratch = self.cursor.take().map(|c| c.scratch).unwrap_or_default();
+        self.cursor = Some(Cursor {
+            mapping,
+            state,
+            score,
+            scratch,
+        });
+        Some(score)
+    }
+
+    /// The cursor's mapping, if [`OptContext::set_current`] was called.
+    #[must_use]
+    pub fn current_mapping(&self) -> Option<&Mapping> {
+        self.cursor.as_ref().map(|c| &c.mapping)
+    }
+
+    /// The cursor's score.
+    #[must_use]
+    pub fn current_score(&self) -> Option<f64> {
+        self.cursor.as_ref().map(|c| c.score)
+    }
+
+    /// Incrementally scores `mv` against the cursor without moving it,
+    /// consuming `max(1, affected_edges)` budget units. Returns `None`
+    /// once the budget is exhausted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cursor is set.
+    pub fn peek_move(&mut self, mv: Move) -> Option<MoveEval> {
+        if self.exhausted() {
+            return None;
+        }
+        let cursor = self.cursor.as_mut().expect("peek_move without set_current");
+        let delta = self.problem.evaluator().evaluate_delta_with(
+            &cursor.state,
+            &cursor.mapping,
+            mv,
+            &mut cursor.scratch,
+        );
+        let score = self
+            .problem
+            .objective()
+            .score_worst_cases(delta.new_worst_il, delta.new_worst_snr);
+        self.charge((delta.affected_edges as u64).max(1));
+        self.delta_evaluations += 1;
+        self.note_peeked(mv, score);
+        Some(MoveEval { mv, score, delta })
+    }
+
+    /// Incrementally scores a batch of candidate moves in parallel (the
+    /// R-PBLA admitted-list scan). Only as many moves as the remaining
+    /// budget admits are *charged*: the returned vector covers the
+    /// charged prefix of `moves` and may be shorter than the input.
+    /// Deterministic: results and incumbent updates are in input order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cursor is set.
+    pub fn peek_moves(&mut self, moves: &[Move]) -> Vec<MoveEval> {
+        if self.exhausted() || moves.is_empty() {
+            return Vec::new();
+        }
+        let cursor = self
+            .cursor
+            .as_ref()
+            .expect("peek_moves without set_current");
+        let deltas =
+            self.problem
+                .evaluator()
+                .evaluate_delta_batch(&cursor.state, &cursor.mapping, moves);
+        let objective = self.problem.objective();
+        let mut out = Vec::with_capacity(deltas.len());
+        for (&mv, delta) in moves.iter().zip(deltas) {
+            if self.exhausted() {
+                break;
+            }
+            let score = objective.score_worst_cases(delta.new_worst_il, delta.new_worst_snr);
+            self.charge((delta.affected_edges as u64).max(1));
+            self.delta_evaluations += 1;
+            self.note_peeked(mv, score);
+            out.push(MoveEval { mv, score, delta });
+        }
+        out
+    }
+
+    /// Records a peeked candidate into the incumbent if it improves —
+    /// materializing the moved mapping only in that (rare) case, so no
+    /// strategy can lose a best solution it merely looked at.
+    fn note_peeked(&mut self, mv: Move, score: f64) {
+        let improves = self.best.as_ref().is_none_or(|(_, s)| score > *s);
+        if improves {
+            let cursor = self.cursor.as_ref().expect("cursor checked by caller");
+            let moved = cursor.mapping.with_move(mv);
+            self.record(&moved, score);
+        }
+    }
+
+    /// Commits a previously peeked move: the cursor's mapping and
+    /// incremental state advance to the moved solution. Free of charge —
+    /// the scoring work was already billed by the peek.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cursor is set. Debug builds additionally assert that
+    /// the committed state bit-matches a full re-evaluation and that
+    /// `ev.score` is consistent with it.
+    pub fn apply_scored_move(&mut self, ev: &MoveEval) {
+        let cursor = self
+            .cursor
+            .as_mut()
+            .expect("apply_scored_move without set_current");
+        self.problem.evaluator().apply_move(
+            &mut cursor.state,
+            &mut cursor.mapping,
+            ev.mv,
+            &mut cursor.scratch,
+        );
+        let score = self
+            .problem
+            .objective()
+            .score_worst_cases(cursor.state.worst_case_il(), cursor.state.worst_case_snr());
+        debug_assert_eq!(
+            score, ev.score,
+            "committed move score diverged from its peek"
+        );
+        cursor.score = score;
+        let mapping = cursor.mapping.clone();
+        self.record(&mapping, score);
+    }
+
     /// The incumbent best, if any evaluation happened.
     #[must_use]
     pub fn best(&self) -> Option<(&Mapping, f64)> {
@@ -129,6 +393,7 @@ impl<'p> OptContext<'p> {
     }
 
     fn into_result(self, optimizer: &str) -> DseResult {
+        let evaluations = self.used();
         let (best_mapping, best_score) = self
             .best
             .expect("optimizer must evaluate at least one mapping");
@@ -136,7 +401,9 @@ impl<'p> OptContext<'p> {
             optimizer: optimizer.to_owned(),
             best_mapping,
             best_score,
-            evaluations: self.used,
+            evaluations,
+            full_evaluations: self.full_evaluations,
+            delta_evaluations: self.delta_evaluations,
             history: self.history,
         }
     }
@@ -149,8 +416,9 @@ pub trait MappingOptimizer: fmt::Debug {
     fn name(&self) -> &'static str;
 
     /// Runs the search until the context's budget is exhausted (or the
-    /// strategy converges). All evaluations must go through
-    /// [`OptContext::evaluate`]; the incumbent best is tracked there.
+    /// strategy converges). All scoring must go through the context
+    /// ([`OptContext::evaluate`], [`OptContext::evaluate_batch`], or the
+    /// move API); the incumbent best is tracked there.
     fn optimize(&self, ctx: &mut OptContext<'_>);
 }
 
@@ -164,8 +432,14 @@ pub struct DseResult {
     /// Its score (higher = better; dB of worst-case IL or SNR depending
     /// on the objective).
     pub best_score: f64,
-    /// Evaluations actually consumed.
+    /// Budget actually consumed, in full-evaluation-equivalents
+    /// (rounded up; delta evaluations are charged fractionally, see
+    /// [`OptContext`]).
     pub evaluations: usize,
+    /// Count of full evaluations performed.
+    pub full_evaluations: usize,
+    /// Count of incremental move evaluations performed.
+    pub delta_evaluations: usize,
     /// `(evaluation index, incumbent score)` at every improvement.
     pub history: Vec<(usize, f64)>,
 }
@@ -233,6 +507,8 @@ mod tests {
         let p = tiny_problem();
         let r = run_dse(&p, &FirstRandom, 37, 1);
         assert_eq!(r.evaluations, 37);
+        assert_eq!(r.full_evaluations, 37);
+        assert_eq!(r.delta_evaluations, 0);
     }
 
     #[test]
@@ -288,5 +564,107 @@ mod tests {
         let (bm, bs) = ctx.best().unwrap();
         assert_eq!(bm, &m);
         assert!((bs - s).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_evaluation_matches_sequential() {
+        let p = tiny_problem();
+        let mut seq = OptContext::new(&p, 20, 3);
+        let mut bat = OptContext::new(&p, 20, 3);
+        let mappings: Vec<Mapping> = (0..12).map(|_| seq.random_mapping()).collect();
+        let seq_scores: Vec<f64> = mappings.iter().map(|m| seq.evaluate(m).unwrap()).collect();
+        let bat_scores = bat.evaluate_batch(&mappings);
+        assert_eq!(seq_scores, bat_scores);
+        assert_eq!(seq.best().unwrap().1, bat.best().unwrap().1);
+        assert_eq!(bat.used(), 12);
+    }
+
+    #[test]
+    fn batch_evaluation_truncates_at_budget() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 5, 3);
+        let mappings: Vec<Mapping> = (0..12).map(|_| ctx.random_mapping()).collect();
+        let scores = ctx.evaluate_batch(&mappings);
+        assert_eq!(scores.len(), 5);
+        assert!(ctx.exhausted());
+        assert!(ctx.evaluate_batch(&mappings).is_empty());
+    }
+
+    #[test]
+    fn move_cursor_scores_match_full_evaluation() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 1000, 7);
+        let start = ctx.random_mapping();
+        let s0 = ctx.set_current(start.clone()).unwrap();
+        assert_eq!(ctx.current_score(), Some(s0));
+        // Peek a few swaps: each must agree with a from-scratch eval.
+        for (a, b) in [(0usize, 1usize), (2, 5), (0, 8), (3, 4)] {
+            let ev = ctx.peek_move(Move::Swap(a, b)).unwrap();
+            let (_, full) = p.evaluate(&start.with_swap(a, b));
+            assert_eq!(ev.score, full, "swap ({a},{b})");
+        }
+        // Commit one and verify the cursor advanced.
+        let ev = ctx.peek_move(Move::Swap(1, 6)).unwrap();
+        ctx.apply_scored_move(&ev);
+        assert_eq!(ctx.current_mapping().unwrap(), &start.with_swap(1, 6));
+        assert_eq!(ctx.current_score(), Some(ev.score));
+    }
+
+    #[test]
+    fn delta_budget_is_cheaper_than_full() {
+        // A sparse problem (6-task pipeline on 16 tiles): most swaps
+        // perturb only a few of the 5 edges, so delta charging admits
+        // far more peeks than full evaluations.
+        let p = MappingProblem::new(
+            phonoc_apps::synthetic::pipeline(6),
+            Topology::mesh(4, 4, Length::from_mm(2.5)),
+            crux_router(),
+            Box::new(XyRouting),
+            PhysicalParameters::default(),
+            Objective::MaximizeWorstCaseSnr,
+        )
+        .unwrap();
+        let budget = 10;
+        let mut ctx = OptContext::new(&p, budget, 1);
+        let m = ctx.random_mapping();
+        ctx.set_current(m).unwrap();
+        let tiles = p.tile_count();
+        let mut peeks = 0usize;
+        while ctx
+            .peek_move(Move::Swap(peeks % tiles, (peeks + 1) % tiles))
+            .is_some()
+        {
+            peeks += 1;
+            assert!(peeks < 100_000, "budget never exhausts");
+        }
+        // Strictly more peeks than full evaluations would have fit, and
+        // a mean cost strictly below one full evaluation.
+        assert!(
+            peeks > budget,
+            "only {peeks} peeks fit in a {budget}-evaluation budget"
+        );
+        assert_eq!(ctx.delta_evaluations(), peeks);
+        assert_eq!(ctx.full_evaluations(), 1);
+    }
+
+    #[test]
+    fn peeked_improvements_enter_the_incumbent() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 1000, 11);
+        let m = ctx.random_mapping();
+        ctx.set_current(m).unwrap();
+        let mut best_peek = f64::NEG_INFINITY;
+        for a in 0..9 {
+            for b in (a + 1)..9 {
+                if let Some(ev) = ctx.peek_move(Move::Swap(a, b)) {
+                    best_peek = best_peek.max(ev.score);
+                }
+            }
+        }
+        let (_, incumbent) = ctx.best().unwrap();
+        assert!(
+            incumbent >= best_peek,
+            "incumbent {incumbent} lost a peeked {best_peek}"
+        );
     }
 }

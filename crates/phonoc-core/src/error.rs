@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn displays_are_informative() {
-        let e = CoreError::TooManyTasks { tasks: 17, tiles: 16 };
+        let e = CoreError::TooManyTasks {
+            tasks: 17,
+            tiles: 16,
+        };
         assert!(e.to_string().contains("17"));
         let e = CoreError::UnsupportedConnection {
             router: "crux".into(),

@@ -27,6 +27,10 @@
 
 use crate::error::CoreError;
 use crate::mapping::Mapping;
+
+#[path = "evaluator_delta.rs"]
+mod delta;
+pub use delta::{DeltaScratch, EvalState, ScoreDelta};
 use phonoc_apps::CommunicationGraph;
 use phonoc_phys::{Db, LinearGain, PhysicalParameters};
 use phonoc_route::RoutingAlgorithm;
@@ -99,6 +103,10 @@ struct HopInfo {
 #[derive(Debug, Clone)]
 struct PathInfo {
     hops: Vec<HopInfo>,
+    /// Hop indices sorted ascending by `(tile, hop index)` — the order
+    /// in which the full evaluation visits this path's routers, used by
+    /// the incremental path to re-sum noise bit-identically.
+    tile_order: Vec<u32>,
     /// Total linear gain of the signal path.
     total_gain: f64,
     /// Total insertion loss in dB (element + propagation + link
@@ -115,11 +123,17 @@ struct PathInfo {
 #[derive(Debug)]
 pub struct Evaluator {
     edge_endpoints: Vec<(usize, usize)>, // (src task, dst task)
+    /// Affected-edge index: `task_edges[t]` lists the CG edges incident
+    /// to task `t` (ascending). A move perturbs exactly these edges.
+    task_edges: Vec<Vec<usize>>,
     tile_count: usize,
     /// `paths[s * tile_count + d]`.
     paths: Vec<Option<PathInfo>>,
     /// 25×25 linear interaction gains.
     interaction: [[f64; 25]; 25],
+    /// `interaction[v][a] > 0` — the branch-free coupling test used by
+    /// the incremental path's victim marking.
+    coupled: [[bool; 25]; 25],
     /// Ceiling reported when a path collects zero noise.
     snr_ceiling: Db,
     options: EvaluatorOptions,
@@ -190,10 +204,12 @@ impl Evaluator {
             }
         }
         let mut interaction = [[0.0f64; 25]; 25];
+        let mut coupled = [[false; 25]; 25];
         for v in PortPair::all() {
             for a in PortPair::all() {
-                interaction[v.index()][a.index()] =
-                    router.interaction_gain(v, a, params).0;
+                let g = router.interaction_gain(v, a, params).0;
+                interaction[v.index()][a.index()] = g;
+                coupled[v.index()][a.index()] = g > 0.0;
             }
         }
 
@@ -223,13 +239,11 @@ impl Evaluator {
                 let link_db: Vec<f64> = net_path
                     .links
                     .iter()
-                    .map(|l| {
-                        prop_db_per_cm * l.length.as_cm() + crossing_db * l.crossings as f64
-                    })
+                    .map(|l| prop_db_per_cm * l.length.as_cm() + crossing_db * l.crossings as f64)
                     .collect();
 
-                let total_db: f64 = router_db.iter().map(|(_, db)| db).sum::<f64>()
-                    + link_db.iter().sum::<f64>();
+                let total_db: f64 =
+                    router_db.iter().map(|(_, db)| db).sum::<f64>() + link_db.iter().sum::<f64>();
                 let total_gain = 10f64.powf(total_db / 10.0);
 
                 // prefix[i]: gain from injection to entry of hop i;
@@ -249,23 +263,33 @@ impl Evaluator {
                         prefix_db = after_db + link_db[i];
                     }
                 }
+                let mut tile_order: Vec<u32> = (0..h as u32).collect();
+                tile_order.sort_by_key(|&i| (hops[i as usize].tile, i));
                 paths[s.0 * tiles + d.0] = Some(PathInfo {
                     hops,
+                    tile_order,
                     total_gain,
                     total_db,
                 });
             }
         }
 
+        let edge_endpoints: Vec<(usize, usize)> =
+            cg.edges().iter().map(|e| (e.src.0, e.dst.0)).collect();
+        let mut task_edges: Vec<Vec<usize>> = vec![Vec::new(); cg.task_count()];
+        for (e, &(s, d)) in edge_endpoints.iter().enumerate() {
+            task_edges[s].push(e);
+            if d != s {
+                task_edges[d].push(e);
+            }
+        }
         Ok(Evaluator {
-            edge_endpoints: cg
-                .edges()
-                .iter()
-                .map(|e| (e.src.0, e.dst.0))
-                .collect(),
+            edge_endpoints,
+            task_edges,
             tile_count: tiles,
             paths,
             interaction,
+            coupled,
             snr_ceiling: params.snr_ceiling,
             options,
         })
@@ -519,22 +543,16 @@ mod tests {
         let ev = eval_for(&cg, 3, 3);
         // a: west-middle → east-middle (tiles 3 → 5, passing tile 4);
         // c: south-middle → north-middle (tiles 1 → 7, passing tile 4).
-        let crossing = Mapping::from_assignment(
-            vec![TileId(3), TileId(5), TileId(1), TileId(7)],
-            9,
-        )
-        .unwrap();
+        let crossing =
+            Mapping::from_assignment(vec![TileId(3), TileId(5), TileId(1), TileId(7)], 9).unwrap();
         let snr_crossing = ev.evaluate(&crossing).worst_case_snr;
         assert!(
             snr_crossing.0 < ev.snr_ceiling().0,
             "crossing streams must pick up noise"
         );
         // Keep the streams in disjoint rows: corners.
-        let disjoint = Mapping::from_assignment(
-            vec![TileId(0), TileId(1), TileId(6), TileId(7)],
-            9,
-        )
-        .unwrap();
+        let disjoint =
+            Mapping::from_assignment(vec![TileId(0), TileId(1), TileId(6), TileId(7)], 9).unwrap();
         let snr_disjoint = ev.evaluate(&disjoint).worst_case_snr;
         assert!(
             snr_disjoint > snr_crossing,
@@ -555,11 +573,8 @@ mod tests {
             .build()
             .unwrap();
         let ev = eval_for(&cg, 3, 3);
-        let crossing = Mapping::from_assignment(
-            vec![TileId(3), TileId(5), TileId(1), TileId(7)],
-            9,
-        )
-        .unwrap();
+        let crossing =
+            Mapping::from_assignment(vec![TileId(3), TileId(5), TileId(1), TileId(7)], 9).unwrap();
         let metrics = ev.evaluate(&crossing);
         let snr_we = metrics.edges[0].snr;
         let snr_sn = metrics.edges[1].snr;
@@ -604,7 +619,11 @@ mod tests {
             )
             .unwrap();
             let metrics = ev.evaluate(&m);
-            assert_eq!(metrics.worst_case_snr, ev.snr_ceiling(), "exclude={exclude}");
+            assert_eq!(
+                metrics.worst_case_snr,
+                ev.snr_ceiling(),
+                "exclude={exclude}"
+            );
         }
     }
 
@@ -725,11 +744,8 @@ mod tests {
             .build()
             .unwrap();
         let ev = eval_for(&cg, 3, 3);
-        let m = Mapping::from_assignment(
-            vec![TileId(3), TileId(5), TileId(1), TileId(7)],
-            9,
-        )
-        .unwrap();
+        let m =
+            Mapping::from_assignment(vec![TileId(3), TileId(5), TileId(1), TileId(7)], 9).unwrap();
         let both = ev.evaluate_subset(&m, Some(&[true, true]));
         assert_eq!(both, ev.evaluate(&m));
         // With the aggressor silenced, the surviving edge is noise-free.
@@ -780,7 +796,13 @@ mod tests {
                 .iter()
                 .find(|e| e.edge == pe.edge)
                 .expect("edge still present");
-            assert!(pe.snr >= fe.snr, "edge {}: {} < {}", pe.edge, pe.snr, fe.snr);
+            assert!(
+                pe.snr >= fe.snr,
+                "edge {}: {} < {}",
+                pe.edge,
+                pe.snr,
+                fe.snr
+            );
             assert_eq!(pe.insertion_loss, fe.insertion_loss);
         }
     }

@@ -1,22 +1,39 @@
 //! PhoNoCMap core: the mapping problem, its evaluator and the DSE engine.
 //!
 //! This crate is the paper's primary contribution — the "Design Space
-//! Exploration" box of Fig. 1 plus the "Mapping Evaluator":
+//! Exploration" box of Fig. 1 plus the "Mapping Evaluator" — built
+//! around an explicit **move abstraction**: search strategies describe
+//! candidate solutions as [`mapping::Move`]s (pairwise swaps, or
+//! relocations onto free tiles) and score them *incrementally*, paying
+//! only for the communications a move actually perturbs instead of a
+//! full `O(edges × interactions)` re-evaluation.
 //!
-//! * [`mapping`] — the assignment Ω : C → T with the swap neighbourhood
-//!   (paper Eqs. 5–6).
+//! * [`mapping`] — the assignment Ω : C → T (paper Eqs. 5–6) and the
+//!   [`mapping::Move`] neighbourhood operations.
 //! * [`evaluator`] — worst-case insertion loss and SNR evaluation
 //!   (Eqs. 3–4) over precomputed per-tile-pair paths and router
-//!   interaction matrices.
+//!   interaction matrices. Three scoring tiers:
+//!   [`Evaluator::evaluate`] (full), [`Evaluator::evaluate_delta`] /
+//!   [`Evaluator::apply_move`] (incremental, **bit-identical** to full
+//!   — see [`evaluator::EvalState`]), and
+//!   [`Evaluator::evaluate_batch`] / `evaluate_delta_batch` (parallel
+//!   across CPU cores with deterministic, input-ordered results).
 //! * [`problem`] — [`problem::MappingProblem`]: CG + topology + router +
 //!   routing + parameters + objective.
-//! * [`engine`] — the budgeted, seeded search harness and the
-//!   [`engine::MappingOptimizer`] trait that search strategies implement.
+//! * [`engine`] — the budgeted, seeded search harness: the
+//!   [`engine::MappingOptimizer`] trait, full/batch evaluation, and the
+//!   move cursor ([`engine::OptContext::set_current`] /
+//!   [`engine::OptContext::peek_move`] /
+//!   [`engine::OptContext::apply_scored_move`]) with **delta-aware
+//!   budget accounting**: a full evaluation costs `edge_count` integer
+//!   units, an incremental peek only its affected-edge count.
+//! * [`parallel`] — the deterministic fork–join primitive behind batch
+//!   evaluation (std-thread based; no external dependencies).
 //! * [`analysis`] — human-facing per-communication reports with BER and
 //!   power-budget verdicts.
 //! * [`error`] — shared error type.
 //!
-//! # Example
+//! # Example: full evaluation
 //!
 //! ```
 //! use phonoc_core::prelude::*;
@@ -41,6 +58,38 @@
 //! # Ok(())
 //! # }
 //! ```
+//!
+//! # Example: incremental move scoring
+//!
+//! ```
+//! use phonoc_core::prelude::*;
+//! use phonoc_phys::{Length, PhysicalParameters};
+//! use phonoc_route::XyRouting;
+//! use phonoc_router::crux::crux_router;
+//! use phonoc_topo::Topology;
+//!
+//! # fn main() -> Result<(), phonoc_core::CoreError> {
+//! let problem = MappingProblem::new(
+//!     phonoc_apps::benchmarks::pip(),
+//!     Topology::mesh(3, 3, Length::from_mm(2.5)),
+//!     crux_router(),
+//!     Box::new(XyRouting),
+//!     PhysicalParameters::default(),
+//!     Objective::MaximizeWorstCaseSnr,
+//! )?;
+//! let evaluator = problem.evaluator();
+//! let mapping = Mapping::identity(8, 9);
+//! let state = evaluator.init_state(&mapping);
+//! // Peek a swap without paying for a full re-evaluation; the result
+//! // is bit-identical to `evaluator.evaluate(&mapping.with_move(mv))`.
+//! let mv = Move::Swap(0, 3);
+//! let delta = evaluator.evaluate_delta(&state, &mapping, mv);
+//! let full = evaluator.evaluate(&mapping.with_move(mv));
+//! assert_eq!(delta.new_worst_snr, full.worst_case_snr);
+//! assert_eq!(delta.new_worst_il, full.worst_case_il);
+//! # Ok(())
+//! # }
+//! ```
 
 #![warn(missing_docs)]
 
@@ -50,14 +99,17 @@ pub mod error;
 pub mod evaluator;
 pub mod mapping;
 pub mod montecarlo;
+pub mod parallel;
 pub mod pareto;
 pub mod problem;
 
 pub use analysis::{analyze, EdgeReport, NetworkReport};
-pub use engine::{run_dse, DseResult, MappingOptimizer, OptContext};
+pub use engine::{run_dse, DseResult, MappingOptimizer, MoveEval, OptContext};
 pub use error::CoreError;
-pub use evaluator::{EdgeMetrics, Evaluator, EvaluatorOptions, NetworkMetrics};
-pub use mapping::Mapping;
+pub use evaluator::{
+    DeltaScratch, EdgeMetrics, EvalState, Evaluator, EvaluatorOptions, NetworkMetrics, ScoreDelta,
+};
+pub use mapping::{Mapping, Move};
 pub use montecarlo::{activity_study, ActivityStudy};
 pub use pareto::{random_front, ParetoFront, ParetoPoint};
 pub use problem::{MappingProblem, Objective};
@@ -65,10 +117,12 @@ pub use problem::{MappingProblem, Objective};
 /// Convenient glob import for downstream code and examples.
 pub mod prelude {
     pub use crate::analysis::{analyze, NetworkReport};
-    pub use crate::engine::{run_dse, DseResult, MappingOptimizer, OptContext};
+    pub use crate::engine::{run_dse, DseResult, MappingOptimizer, MoveEval, OptContext};
     pub use crate::error::CoreError;
-    pub use crate::evaluator::{Evaluator, EvaluatorOptions, NetworkMetrics};
-    pub use crate::mapping::Mapping;
+    pub use crate::evaluator::{
+        EvalState, Evaluator, EvaluatorOptions, NetworkMetrics, ScoreDelta,
+    };
+    pub use crate::mapping::{Mapping, Move};
     pub use crate::montecarlo::{activity_study, ActivityStudy};
     pub use crate::pareto::{random_front, ParetoFront};
     pub use crate::problem::{MappingProblem, Objective};

@@ -25,6 +25,94 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+/// An elementary modification of a [`Mapping`] — the unit of the
+/// move-based search API.
+///
+/// Every move reduces to exchanging the contents of two positions of the
+/// underlying tile permutation, which keeps the mapping valid by
+/// construction. The two variants express the two neighbourhoods search
+/// strategies use:
+///
+/// * [`Move::Swap`] exchanges two *positions* (task↔task, or task↔free
+///   when one index lies in the free tail) — the paper's R-PBLA
+///   neighbourhood.
+/// * [`Move::Relocate`] moves one task onto an explicitly named **free
+///   tile**, which only exists when `task_count < tile_count`. It is
+///   sugar for the swap with that tile's position.
+///
+/// Moves are evaluated incrementally by
+/// [`Evaluator::evaluate_delta`](crate::evaluator::Evaluator::evaluate_delta):
+/// only the communications touching the two affected tiles are
+/// re-scored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Move {
+    /// Exchange the contents of permutation positions `.0` and `.1`.
+    Swap(usize, usize),
+    /// Relocate `task` onto the free tile `to`.
+    Relocate {
+        /// Task to move.
+        task: usize,
+        /// Destination tile; must currently host no task.
+        to: TileId,
+    },
+}
+
+impl Move {
+    /// A uniformly random swap of two *distinct* positions out of
+    /// `positions` (or the identity swap when fewer than two exist) —
+    /// the shared sampling behind [`Mapping::random_swap`] and the
+    /// engine's random-move helpers.
+    #[must_use]
+    pub fn random_swap<R: Rng + ?Sized>(positions: usize, rng: &mut R) -> Move {
+        if positions < 2 {
+            return Move::Swap(0, 0);
+        }
+        let a = rng.gen_range(0..positions);
+        let mut b = rng.gen_range(0..positions - 1);
+        if b >= a {
+            b += 1;
+        }
+        Move::Swap(a, b)
+    }
+
+    /// Resolves the move to the canonical `(a, b)` position pair of
+    /// `mapping`'s permutation, with `a <= b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position or task index is out of range, or if a
+    /// [`Move::Relocate`] targets an occupied tile.
+    #[must_use]
+    pub fn positions(&self, mapping: &Mapping) -> (usize, usize) {
+        match *self {
+            Move::Swap(a, b) => {
+                assert!(
+                    a < mapping.tile_count() && b < mapping.tile_count(),
+                    "swap position out of range"
+                );
+                (a.min(b), a.max(b))
+            }
+            Move::Relocate { task, to } => {
+                assert!(task < mapping.task_count(), "task {task} out of range");
+                let pos = mapping.position_of_tile(to);
+                assert!(
+                    pos >= mapping.task_count(),
+                    "relocate target {to} hosts a task"
+                );
+                (task, pos)
+            }
+        }
+    }
+
+    /// Whether applying this move cannot change any evaluation: both
+    /// positions are identical or both lie in the free tail.
+    #[must_use]
+    pub fn is_neutral(&self, mapping: &Mapping) -> bool {
+        let (a, b) = self.positions(mapping);
+        a == b || a >= mapping.task_count()
+    }
+}
+
 /// An injective assignment of tasks to tiles (paper conditions 5 and 6).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Mapping {
@@ -167,16 +255,53 @@ impl Mapping {
 
     /// Applies a random position swap (used by mutation operators).
     pub fn random_swap<R: Rng + ?Sized>(&mut self, rng: &mut R) {
-        let n = self.perm.len();
-        if n < 2 {
-            return;
-        }
-        let a = rng.gen_range(0..n);
-        let mut b = rng.gen_range(0..n - 1);
-        if b >= a {
-            b += 1;
-        }
-        self.swap_positions(a, b);
+        let mv = self.random_swap_move(rng);
+        self.apply_move(mv);
+    }
+
+    /// Draws the same distribution of swaps as [`Mapping::random_swap`],
+    /// but returns it as a [`Move`] for incremental evaluation instead
+    /// of applying it.
+    #[must_use]
+    pub fn random_swap_move<R: Rng + ?Sized>(&self, rng: &mut R) -> Move {
+        Move::random_swap(self.perm.len(), rng)
+    }
+
+    /// Position of `tile` in the permutation (`< task_count` when it
+    /// hosts a task, in the free tail otherwise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile` is out of range for this mapping.
+    #[must_use]
+    pub fn position_of_tile(&self, tile: TileId) -> usize {
+        assert!(tile.0 < self.perm.len(), "tile {tile} out of range");
+        self.perm
+            .iter()
+            .position(|&t| t == tile)
+            .expect("permutation covers every tile")
+    }
+
+    /// Applies `mv` in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`Move::positions`].
+    pub fn apply_move(&mut self, mv: Move) {
+        let (a, b) = mv.positions(self);
+        self.perm.swap(a, b);
+    }
+
+    /// Returns a copy with `mv` applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the conditions of [`Move::positions`].
+    #[must_use]
+    pub fn with_move(&self, mv: Move) -> Mapping {
+        let mut m = self.clone();
+        m.apply_move(mv);
+        m
     }
 
     /// Validity invariant: the permutation really is a permutation of
@@ -228,8 +353,7 @@ mod tests {
 
     #[test]
     fn rejects_too_many_tasks() {
-        let err =
-            Mapping::from_assignment((0..5).map(TileId).collect(), 4).unwrap_err();
+        let err = Mapping::from_assignment((0..5).map(TileId).collect(), 4).unwrap_err();
         assert!(matches!(err, CoreError::TooManyTasks { .. }));
     }
 
@@ -274,6 +398,62 @@ mod tests {
         for _ in 0..100 {
             m.random_swap(&mut rng);
             assert!(m.is_valid());
+        }
+    }
+
+    #[test]
+    fn move_swap_matches_swap_positions() {
+        let m = Mapping::from_assignment(vec![TileId(2), TileId(0)], 4).unwrap();
+        assert_eq!(m.with_move(Move::Swap(0, 1)), m.with_swap(0, 1));
+        // Order of the pair is irrelevant.
+        assert_eq!(m.with_move(Move::Swap(1, 0)), m.with_swap(0, 1));
+    }
+
+    #[test]
+    fn move_relocate_targets_a_free_tile() {
+        // Tasks on tiles 2 and 0; tiles 1 and 3 free.
+        let m = Mapping::from_assignment(vec![TileId(2), TileId(0)], 4).unwrap();
+        let moved = m.with_move(Move::Relocate {
+            task: 0,
+            to: TileId(3),
+        });
+        assert_eq!(moved.tile_of_task(0), TileId(3));
+        assert_eq!(moved.tile_of_task(1), TileId(0));
+        assert!(moved.is_valid());
+        assert_eq!(moved.task_on_tile(TileId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "hosts a task")]
+    fn move_relocate_rejects_occupied_tiles() {
+        let m = Mapping::from_assignment(vec![TileId(2), TileId(0)], 4).unwrap();
+        let _ = m.with_move(Move::Relocate {
+            task: 0,
+            to: TileId(0),
+        });
+    }
+
+    #[test]
+    fn neutral_moves_are_detected() {
+        let m = Mapping::from_assignment(vec![TileId(2), TileId(0)], 4).unwrap();
+        assert!(Move::Swap(1, 1).is_neutral(&m));
+        assert!(Move::Swap(2, 3).is_neutral(&m), "free-free swap");
+        assert!(!Move::Swap(0, 1).is_neutral(&m));
+        assert!(!Move::Swap(0, 3).is_neutral(&m), "task-free swap matters");
+    }
+
+    #[test]
+    fn random_swap_move_mirrors_random_swap() {
+        let mut setup = StdRng::seed_from_u64(1);
+        let mut a = StdRng::seed_from_u64(77);
+        let mut b = StdRng::seed_from_u64(77);
+        let mut m1 = Mapping::random(5, 8, &mut setup);
+        let mut m2 = m1.clone();
+        for _ in 0..50 {
+            m1.random_swap(&mut a);
+            let mv = m2.random_swap_move(&mut b);
+            m2.apply_move(mv);
+            assert_eq!(m1, m2);
         }
     }
 

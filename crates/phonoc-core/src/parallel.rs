@@ -1,0 +1,109 @@
+//! Deterministic fork–join parallelism for batch evaluation.
+//!
+//! The environment this workspace builds in has no registry access, so
+//! instead of `rayon` this module provides the one primitive the
+//! evaluator needs — an order-preserving parallel map over a slice —
+//! built on [`std::thread::scope`]. Results are returned in input
+//! order regardless of scheduling, so every caller stays deterministic.
+//! If `rayon` is ever vendored, only this module needs to change.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads to use for `n` items: the machine's
+/// available parallelism, capped by the item count.
+fn workers_for(n: usize) -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(n)
+}
+
+/// Maps `f` over `items` in parallel, returning results in input order.
+///
+/// Falls back to a sequential loop when the batch is too small to be
+/// worth forking (fewer than 2 items or a single-core machine).
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    parallel_map_with(items, || (), move |_: &mut (), item| f(item))
+}
+
+/// Like [`parallel_map`], but hands each worker thread a private
+/// scratch value built by `init` (e.g. reusable evaluation buffers).
+pub fn parallel_map_with<S, T, R, I, F>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let workers = workers_for(items.len());
+    if workers <= 1 || items.len() < 2 {
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
+    }
+
+    // Contiguous chunks, one per worker; each worker returns its chunk's
+    // results which are concatenated back in order.
+    let chunk = items.len().div_ceil(workers);
+    let mut out = Vec::with_capacity(items.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(|| {
+                    let mut scratch = init();
+                    slice
+                        .iter()
+                        .map(|item| f(&mut scratch, item))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            out.extend(h.join().expect("batch evaluation worker panicked"));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = parallel_map(&items, |&x| x * 3);
+        assert_eq!(out, (0..1000).map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn tiny_batches_work() {
+        assert_eq!(parallel_map(&[] as &[usize], |&x| x), Vec::<usize>::new());
+        assert_eq!(parallel_map(&[7usize], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn scratch_is_per_worker() {
+        let items: Vec<usize> = (0..64).collect();
+        // The scratch counter only ever increments within one worker, so
+        // every result is the 1-based index within its chunk — never 0.
+        let out = parallel_map_with(
+            &items,
+            || 0usize,
+            |count, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        assert_eq!(out.len(), 64);
+        for (i, &(x, c)) in out.iter().enumerate() {
+            assert_eq!(x, i);
+            assert!(c >= 1);
+        }
+    }
+}

@@ -60,11 +60,10 @@ impl ParetoFront {
         let dominated = |a_loss: f64, a_snr: f64, b_loss: f64, b_snr: f64| {
             b_loss >= a_loss && b_snr >= a_snr && (b_loss > a_loss || b_snr > a_snr)
         };
-        if self
-            .points
-            .iter()
-            .any(|p| dominated(loss_db, snr_db, p.loss_db, p.snr_db) || (p.loss_db == loss_db && p.snr_db == snr_db))
-        {
+        if self.points.iter().any(|p| {
+            dominated(loss_db, snr_db, p.loss_db, p.snr_db)
+                || (p.loss_db == loss_db && p.snr_db == snr_db)
+        }) {
             return false;
         }
         self.points
@@ -208,6 +207,6 @@ mod tests {
         assert!(!f.is_empty());
         assert!(f.is_consistent());
         // Multiple trade-off points usually survive for PIP.
-        assert!(f.len() >= 1);
+        assert!(!f.is_empty());
     }
 }

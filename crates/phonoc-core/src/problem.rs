@@ -29,9 +29,17 @@ impl Objective {
     /// in dB.
     #[must_use]
     pub fn score(&self, metrics: &NetworkMetrics) -> f64 {
+        self.score_worst_cases(metrics.worst_case_il, metrics.worst_case_snr)
+    }
+
+    /// Scalar score from the two worst-case figures alone — the form
+    /// incremental evaluation produces (see
+    /// [`ScoreDelta`](crate::evaluator::ScoreDelta)).
+    #[must_use]
+    pub fn score_worst_cases(&self, worst_il: phonoc_phys::Db, worst_snr: phonoc_phys::Db) -> f64 {
         match self {
-            Objective::MinimizeWorstCaseLoss => metrics.worst_case_il.0,
-            Objective::MaximizeWorstCaseSnr => metrics.worst_case_snr.0,
+            Objective::MinimizeWorstCaseLoss => worst_il.0,
+            Objective::MaximizeWorstCaseSnr => worst_snr.0,
         }
     }
 }

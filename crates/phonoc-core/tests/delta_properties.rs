@@ -1,0 +1,194 @@
+//! Property tests pinning the central invariant of the move-based
+//! search core: **incremental evaluation is bit-identical to full
+//! re-evaluation** — for random mappings, random moves (task–task and
+//! task–free swaps, relocations), on PIP and VOPD over 3×3 and 4×4
+//! meshes, under both objectives.
+
+use phonoc_core::{Evaluator, Mapping, MappingProblem, Move, Objective};
+use phonoc_phys::{Length, PhysicalParameters};
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::{TileId, Topology};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn problem(app: &str, w: usize, h: usize, objective: Objective) -> MappingProblem {
+    let cg = match app {
+        "pip" => phonoc_apps::benchmarks::pip(),
+        "vopd" => phonoc_apps::benchmarks::vopd(),
+        other => panic!("unknown app {other}"),
+    };
+    MappingProblem::new(
+        cg,
+        Topology::mesh(w, h, Length::from_mm(2.5)),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        objective,
+    )
+    .unwrap()
+}
+
+/// Every (app, mesh) instance the issue calls out, with both
+/// objectives. PIP (8 tasks) fits 3×3 and gains free tiles on 4×4;
+/// VOPD (16 tasks) saturates 4×4.
+fn instances() -> Vec<MappingProblem> {
+    let mut out = Vec::new();
+    for objective in [
+        Objective::MinimizeWorstCaseLoss,
+        Objective::MaximizeWorstCaseSnr,
+    ] {
+        out.push(problem("pip", 3, 3, objective));
+        out.push(problem("pip", 4, 4, objective));
+        out.push(problem("vopd", 4, 4, objective));
+    }
+    out
+}
+
+/// A random non-degenerate move: mostly position swaps (including the
+/// free tail), sometimes an explicit relocation when free tiles exist.
+fn random_move(mapping: &Mapping, rng: &mut StdRng) -> Move {
+    let tiles = mapping.tile_count();
+    let tasks = mapping.task_count();
+    if tasks < tiles && rng.gen_bool(0.3) {
+        // Relocate a random task to a random free tile.
+        let task = rng.gen_range(0..tasks);
+        let free = (0..tiles)
+            .map(TileId)
+            .filter(|&t| mapping.task_on_tile(t).is_none())
+            .collect::<Vec<_>>();
+        let to = free[rng.gen_range(0..free.len())];
+        Move::Relocate { task, to }
+    } else {
+        mapping.random_swap_move(rng)
+    }
+}
+
+#[test]
+fn delta_bit_matches_full_evaluation_on_random_moves() {
+    for p in instances() {
+        let ev: &Evaluator = p.evaluator();
+        let mut rng = StdRng::seed_from_u64(0xD617A);
+        for _ in 0..40 {
+            let mapping = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+            let state = ev.init_state(&mapping);
+            // init_state must agree with evaluate to the bit.
+            assert_eq!(state.to_metrics(), ev.evaluate(&mapping), "{p:?}");
+            for _ in 0..8 {
+                let mv = random_move(&mapping, &mut rng);
+                let delta = ev.evaluate_delta(&state, &mapping, mv);
+                let moved = mapping.with_move(mv);
+                let full = ev.evaluate(&moved);
+                // Bit-exact agreement of the incremental worst cases.
+                assert_eq!(
+                    delta.new_worst_il, full.worst_case_il,
+                    "{p:?}: IL mismatch on {mv:?}"
+                );
+                assert_eq!(
+                    delta.new_worst_snr, full.worst_case_snr,
+                    "{p:?}: SNR mismatch on {mv:?}"
+                );
+                // The additive form: evaluate(m) + delta == evaluate(m
+                // after move), up to the one subtraction it involves.
+                let before = p.objective().score(&ev.evaluate(&mapping));
+                let after = p.objective().score(&full);
+                let additive = match p.objective() {
+                    Objective::MinimizeWorstCaseLoss => before + delta.il_delta(),
+                    Objective::MaximizeWorstCaseSnr => before + delta.snr_delta(),
+                };
+                assert!(
+                    (additive - after).abs() < 1e-12,
+                    "{p:?}: additive delta {additive} vs full {after}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn committed_walks_stay_bit_identical_to_full_evaluation() {
+    for p in instances() {
+        let ev = p.evaluator();
+        let mut rng = StdRng::seed_from_u64(0xC0317);
+        let mut mapping = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+        let mut state = ev.init_state(&mapping);
+        let mut scratch = phonoc_core::DeltaScratch::default();
+        // Long random walk: every commit must leave the cached state
+        // exactly where a fresh full evaluation would put it. (Debug
+        // builds additionally re-verify inside apply_move itself.)
+        for step in 0..60 {
+            let mv = random_move(&mapping, &mut rng);
+            let delta = ev.apply_move(&mut state, &mut mapping, mv, &mut scratch);
+            assert!(mapping.is_valid());
+            let full = ev.evaluate(&mapping);
+            assert_eq!(state.to_metrics(), full, "{p:?} step {step} after {mv:?}");
+            assert_eq!(delta.new_worst_il, full.worst_case_il);
+            assert_eq!(delta.new_worst_snr, full.worst_case_snr);
+        }
+    }
+}
+
+#[test]
+fn loss_fast_path_bit_matches_full_evaluation() {
+    for p in instances() {
+        let ev = p.evaluator();
+        let mut rng = StdRng::seed_from_u64(0x1055);
+        let mut scratch = phonoc_core::DeltaScratch::default();
+        for _ in 0..30 {
+            let mapping = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+            let state = ev.init_state(&mapping);
+            for _ in 0..8 {
+                let mv = random_move(&mapping, &mut rng);
+                let (il, moved) = ev.evaluate_delta_loss(&state, &mapping, mv, &mut scratch);
+                let full = ev.evaluate(&mapping.with_move(mv));
+                assert_eq!(il, full.worst_case_il, "{p:?}: {mv:?}");
+                assert!(moved <= ev.edge_count());
+            }
+        }
+    }
+}
+
+#[test]
+fn neutral_moves_change_nothing_and_cost_nothing() {
+    let p = problem("pip", 4, 4, Objective::MaximizeWorstCaseSnr);
+    let ev = p.evaluator();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mapping = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+    let state = ev.init_state(&mapping);
+    let tasks = p.task_count();
+    // Free–free swap and the identity swap are neutral.
+    for mv in [Move::Swap(tasks, tasks + 1), Move::Swap(2, 2)] {
+        assert!(mv.is_neutral(&mapping));
+        let delta = ev.evaluate_delta(&state, &mapping, mv);
+        assert_eq!(delta.affected_edges, 0);
+        assert_eq!(delta.new_worst_il, delta.old_worst_il);
+        assert_eq!(delta.new_worst_snr, delta.old_worst_snr);
+    }
+}
+
+#[test]
+fn batch_entry_points_match_sequential_results() {
+    let p = problem("vopd", 4, 4, Objective::MaximizeWorstCaseSnr);
+    let ev = p.evaluator();
+    let mut rng = StdRng::seed_from_u64(0xBA7C4);
+    // Full-evaluation batch.
+    let mappings: Vec<Mapping> = (0..24)
+        .map(|_| Mapping::random(p.task_count(), p.tile_count(), &mut rng))
+        .collect();
+    let batch = ev.evaluate_batch(&mappings);
+    for (m, b) in mappings.iter().zip(&batch) {
+        assert_eq!(*b, ev.evaluate(m));
+    }
+    // Delta batch over the full admitted swap list.
+    let mapping = &mappings[0];
+    let state = ev.init_state(mapping);
+    let tiles = p.tile_count();
+    let moves: Vec<Move> = (0..tiles)
+        .flat_map(|a| ((a + 1)..tiles).map(move |b| Move::Swap(a, b)))
+        .collect();
+    let deltas = ev.evaluate_delta_batch(&state, mapping, &moves);
+    assert_eq!(deltas.len(), moves.len());
+    for (mv, d) in moves.iter().zip(&deltas) {
+        assert_eq!(*d, ev.evaluate_delta(&state, mapping, *mv), "{mv:?}");
+    }
+}

@@ -4,7 +4,12 @@
 //! Standard geometric-cooling SA over the swap neighbourhood. The
 //! initial temperature is calibrated from the spread of a short random
 //! probe so the hyper-parameters transfer across objectives (dB scales
-//! of IL and SNR differ by an order of magnitude).
+//! of IL and SNR differ by an order of magnitude). After calibration the
+//! walk runs on the incremental move API: each candidate swap is
+//! delta-scored against the current solution ([`OptContext::peek_move`])
+//! and only committed ([`OptContext::apply_scored_move`]) when the
+//! Metropolis rule accepts it, so a rejected move costs a fraction of a
+//! full evaluation.
 
 use phonoc_core::{MappingOptimizer, OptContext};
 use rand::Rng;
@@ -60,34 +65,42 @@ impl MappingOptimizer for SimulatedAnnealing {
         let mut temperature = spread;
         let floor = spread * 1e-3;
 
+        // Switch to the incremental cursor for the walk itself.
+        if ctx.set_current(current.clone()).is_none() {
+            return;
+        }
+
         // Track the trajectory's own best so a cooling cycle can reheat
         // from it instead of from wherever the walk drifted.
-        let mut best = current.clone();
+        let mut best = current;
         let mut best_score = current_score;
 
         let epoch = self.moves_per_epoch.max(1) * ctx.tile_count().max(2);
         // Budget-aware schedule: make sure the walk actually freezes
         // before the evaluations run out, whatever the budget is. The
         // configured `cooling` acts as an upper bound (slowest decay).
+        // `remaining()` counts full-evaluation-equivalents; delta moves
+        // cost less, so this is a conservative epoch estimate.
         let epochs_in_budget = (ctx.remaining() / epoch).max(1) as f64;
         let adaptive = (floor / spread).powf(1.0 / epochs_in_budget);
         let cooling = adaptive.min(self.cooling).clamp(0.05, 0.999);
         while !ctx.exhausted() {
             for _ in 0..epoch {
-                let mut candidate = current.clone();
-                candidate.random_swap(ctx.rng());
-                let Some(score) = ctx.evaluate(&candidate) else {
+                let mv = ctx.random_swap_move();
+                let Some(ev) = ctx.peek_move(mv) else {
                     return;
                 };
-                let delta = score - current_score;
+                let delta = ev.score - current_score;
                 let accept = delta >= 0.0
-                    || ctx.rng().gen_bool((delta / temperature).exp().clamp(0.0, 1.0));
+                    || ctx
+                        .rng()
+                        .gen_bool((delta / temperature).exp().clamp(0.0, 1.0));
                 if accept {
-                    current = candidate;
-                    current_score = score;
-                    if score > best_score {
-                        best = current.clone();
-                        best_score = score;
+                    ctx.apply_scored_move(&ev);
+                    current_score = ev.score;
+                    if ev.score > best_score {
+                        best = ctx.current_mapping().expect("cursor set").clone();
+                        best_score = ev.score;
                     }
                 }
             }
@@ -95,7 +108,9 @@ impl MappingOptimizer for SimulatedAnnealing {
             if temperature < floor {
                 // Reheat cycle: restart the walk from the best solution
                 // seen so far with a warm (but not fully hot) schedule.
-                current = best.clone();
+                if ctx.set_current(best.clone()).is_none() {
+                    return;
+                }
                 current_score = best_score;
                 temperature = spread * 0.3;
             }
@@ -116,6 +131,7 @@ mod tests {
         let r = run_dse(&p, &SimulatedAnnealing::default(), 500, 17);
         assert_eq!(r.evaluations, 500);
         assert!(r.best_mapping.is_valid());
+        assert!(r.delta_evaluations > 0, "sa must walk on the move API");
     }
 
     #[test]

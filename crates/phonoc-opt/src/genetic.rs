@@ -64,21 +64,24 @@ impl MappingOptimizer for GeneticAlgorithm {
         let pop_size = self.population.max(2);
         let elite = self.elite.min(pop_size - 1);
 
-        // Initial population.
-        let mut pop: Vec<(Mapping, f64)> = Vec::with_capacity(pop_size);
-        for _ in 0..pop_size {
-            let m = ctx.random_mapping();
-            match ctx.evaluate(&m) {
-                Some(s) => pop.push((m, s)),
-                None => return,
-            }
+        // Initial population, scored as one parallel batch.
+        let initial: Vec<Mapping> = (0..pop_size).map(|_| ctx.random_mapping()).collect();
+        let scores = ctx.evaluate_batch(&initial);
+        let mut pop: Vec<(Mapping, f64)> = initial.into_iter().zip(scores).collect();
+        if pop.is_empty() {
+            return;
         }
 
         while !ctx.exhausted() {
             // Sort descending by fitness (higher score = better).
             pop.sort_by(|a, b| b.1.total_cmp(&a.1));
-            let mut next: Vec<(Mapping, f64)> = pop[..elite].to_vec();
-            while next.len() < pop_size {
+            let survivors = elite.min(pop.len());
+            let mut next: Vec<(Mapping, f64)> = pop[..survivors].to_vec();
+            // Breed the whole generation first (evaluation consumes no
+            // randomness, so the RNG stream matches a breed-then-score
+            // interleaving), then score it as one parallel batch.
+            let mut offspring: Vec<Mapping> = Vec::with_capacity(pop_size - next.len());
+            while next.len() + offspring.len() < pop_size {
                 let a = tournament(&pop, self.tournament, ctx);
                 let b = tournament(&pop, self.tournament, ctx);
                 let mut child = match self.crossover {
@@ -89,12 +92,15 @@ impl MappingOptimizer for GeneticAlgorithm {
                     child.random_swap(ctx.rng());
                 }
                 debug_assert!(child.is_valid());
-                match ctx.evaluate(&child) {
-                    Some(s) => next.push((child, s)),
-                    None => return,
-                }
+                offspring.push(child);
             }
+            let scores = ctx.evaluate_batch(&offspring);
+            let exhausted = scores.len() < offspring.len();
+            next.extend(offspring.into_iter().zip(scores));
             pop = next;
+            if exhausted {
+                return;
+            }
         }
     }
 }
@@ -139,7 +145,10 @@ pub(crate) fn pmx<R: Rng + ?Sized>(a: &Mapping, b: &Mapping, rng: &mut R) -> Map
         let mut pos = i;
         loop {
             let displaced = pa[pos];
-            pos = pb.iter().position(|&g| g == displaced).expect("permutation");
+            pos = pb
+                .iter()
+                .position(|&g| g == displaced)
+                .expect("permutation");
             if !(lo..=hi).contains(&pos) {
                 break;
             }

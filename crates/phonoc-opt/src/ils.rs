@@ -8,8 +8,12 @@
 //! random restarts, the kick preserves most of the incumbent's
 //! structure, which pays off on problems whose good solutions share
 //! large building blocks (grid embeddings do).
+//!
+//! The descent runs on the incremental move API: each candidate swap is
+//! delta-scored with [`OptContext::peek_move`] and the first improving
+//! one committed with [`OptContext::apply_scored_move`].
 
-use phonoc_core::{MappingOptimizer, OptContext};
+use phonoc_core::{MappingOptimizer, Move, OptContext};
 use rand::Rng;
 
 /// Iterated local search with first-improvement descent.
@@ -40,12 +44,13 @@ impl MappingOptimizer for IteratedLocalSearch {
         };
 
         'rounds: while !ctx.exhausted() {
-            // Kick: perturb the incumbent.
-            let mut current = best.clone();
+            // Kick: perturb the incumbent, then make it the cursor (one
+            // full evaluation, as before the move API).
+            let mut kicked = best.clone();
             for _ in 0..self.kick_strength.max(1) {
-                current.random_swap(ctx.rng());
+                kicked.random_swap(ctx.rng());
             }
-            let Some(mut current_score) = ctx.evaluate(&current) else {
+            let Some(mut current_score) = ctx.set_current(kicked) else {
                 break;
             };
 
@@ -62,13 +67,12 @@ impl MappingOptimizer for IteratedLocalSearch {
                         if a >= b || (a >= tasks && b >= tasks) {
                             continue;
                         }
-                        let candidate = current.with_swap(a, b);
-                        let Some(score) = ctx.evaluate(&candidate) else {
+                        let Some(ev) = ctx.peek_move(Move::Swap(a, b)) else {
                             break 'rounds;
                         };
-                        if score > current_score {
-                            current = candidate;
-                            current_score = score;
+                        if ev.score > current_score {
+                            ctx.apply_scored_move(&ev);
+                            current_score = ev.score;
                             improved = true;
                             break;
                         }
@@ -82,7 +86,7 @@ impl MappingOptimizer for IteratedLocalSearch {
                 }
             }
             if current_score > best_score {
-                best = current;
+                best = ctx.current_mapping().expect("cursor set").clone();
                 best_score = current_score;
             }
         }
@@ -102,6 +106,7 @@ mod tests {
         let r = run_dse(&p, &IteratedLocalSearch::default(), 600, 4);
         assert_eq!(r.evaluations, 600);
         assert!(r.best_mapping.is_valid());
+        assert!(r.delta_evaluations > 0, "ils must descend on the move API");
     }
 
     #[test]

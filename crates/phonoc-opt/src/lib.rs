@@ -3,19 +3,39 @@
 //! The paper ships three strategies — random search, a genetic algorithm
 //! and the purpose-built R-PBLA — and explicitly invites users to
 //! "extend the library themselves with other algorithms". This crate
-//! implements all three plus two extensions (simulated annealing and
-//! tabu search) and an exhaustive oracle for tiny instances; all of them
-//! are plain [`MappingOptimizer`] implementations, so adding another
-//! requires no change anywhere else.
+//! implements all three plus three extensions (simulated annealing, tabu
+//! search and iterated local search) and an exhaustive oracle for tiny
+//! instances; all of them are plain [`MappingOptimizer`] implementations,
+//! so adding another requires no change anywhere else.
 //!
-//! | Strategy | Type | Paper status |
-//! |----------|------|--------------|
-//! | [`RandomSearch`] | sampling | baseline (§II-D2) |
-//! | [`GeneticAlgorithm`] | population | baseline (§II-D2) |
-//! | [`Rpbla`] | best-move descent + restarts | the paper's contribution |
-//! | [`SimulatedAnnealing`] | trajectory | "other strategies" slot |
-//! | [`TabuSearch`] | trajectory | "other strategies" slot |
-//! | [`Exhaustive`] | enumeration | test oracle |
+//! # Move-based vs. population-based scoring
+//!
+//! Strategies whose neighbourhood is the pairwise swap walk the engine's
+//! **move cursor**: `OptContext::set_current` full-evaluates a starting
+//! point once, `peek_move` / `peek_moves` score candidate
+//! [`Move`](phonoc_core::Move)s *incrementally* (bit-identical to a full
+//! evaluation, charged only for the edges a swap perturbs, scanned in
+//! parallel for whole admitted lists), and `apply_scored_move` commits
+//! the chosen one. [`Rpbla`], [`SimulatedAnnealing`], [`TabuSearch`] and
+//! [`IteratedLocalSearch`] all run on this path, which is why their
+//! descents fit many more probes into the same evaluation budget than a
+//! naive re-evaluating loop would.
+//!
+//! Population strategies ([`RandomSearch`], [`GeneticAlgorithm`]) score
+//! independent mappings and instead use `OptContext::evaluate_batch`,
+//! which fans a generation across CPU cores while keeping results (and
+//! the incumbent) in deterministic input order. [`Exhaustive`] stays on
+//! plain full evaluation.
+//!
+//! | Strategy | Type | Scoring path | Paper status |
+//! |----------|------|--------------|--------------|
+//! | [`RandomSearch`] | sampling | parallel batch | baseline (§II-D2) |
+//! | [`GeneticAlgorithm`] | population | parallel batch | baseline (§II-D2) |
+//! | [`Rpbla`] | best-move descent + restarts | incremental moves | the paper's contribution |
+//! | [`SimulatedAnnealing`] | trajectory | incremental moves | "other strategies" slot |
+//! | [`TabuSearch`] | trajectory | incremental moves | "other strategies" slot |
+//! | [`IteratedLocalSearch`] | perturb + descend | incremental moves | "other strategies" slot |
+//! | [`Exhaustive`] | enumeration | full evaluation | test oracle |
 //!
 //! # Example
 //!

@@ -3,9 +3,16 @@
 //!
 //! With the engine's budget semantics this is simply: draw uniformly
 //! random valid mappings until the evaluation budget runs out; the
-//! incumbent tracking in [`OptContext`] keeps the best.
+//! incumbent tracking in [`OptContext`] keeps the best. Draws are scored
+//! in chunks through [`OptContext::evaluate_batch`], which fans the
+//! independent evaluations across CPU cores; chunks are drawn
+//! sequentially from the seeded RNG, so the stream — and therefore the
+//! result — is identical to the one-at-a-time loop.
 
-use phonoc_core::{MappingOptimizer, OptContext};
+use phonoc_core::{Mapping, MappingOptimizer, OptContext};
+
+/// Mappings drawn per parallel scoring chunk.
+const CHUNK: usize = 64;
 
 /// The paper's RS baseline.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,8 +25,9 @@ impl MappingOptimizer for RandomSearch {
 
     fn optimize(&self, ctx: &mut OptContext<'_>) {
         while !ctx.exhausted() {
-            let m = ctx.random_mapping();
-            if ctx.evaluate(&m).is_none() {
+            let n = ctx.remaining().min(CHUNK);
+            let batch: Vec<Mapping> = (0..n).map(|_| ctx.random_mapping()).collect();
+            if ctx.evaluate_batch(&batch).len() < batch.len() {
                 break;
             }
         }

@@ -6,8 +6,13 @@
 //! is taken even when it worsens the solution, which lets the search
 //! climb out of local optima without restarts; an aspiration criterion
 //! overrides the tabu status of a move that would beat the global best.
+//!
+//! The neighbourhood scan runs on the incremental move API
+//! ([`OptContext::peek_moves`]): every candidate swap is delta-scored
+//! in parallel and charged only for the edges it perturbs.
 
-use phonoc_core::{MappingOptimizer, OptContext};
+use crate::rpbla::admitted_moves;
+use phonoc_core::{MappingOptimizer, Move, MoveEval, OptContext};
 use std::collections::HashMap;
 
 /// Tabu-search mapper.
@@ -30,49 +35,52 @@ impl MappingOptimizer for TabuSearch {
     }
 
     fn optimize(&self, ctx: &mut OptContext<'_>) {
-        let tasks = ctx.task_count();
         let tiles = ctx.tile_count();
         let tenure = (self.tenure_factor * tiles).max(2);
+        let moves = admitted_moves(ctx.task_count(), tiles);
 
-        let mut current = ctx.random_mapping();
-        let Some(mut current_score) = ctx.evaluate(&current) else {
+        let start = ctx.random_mapping();
+        if ctx.set_current(start).is_none() || moves.is_empty() {
             return;
-        };
-        let mut global_best = current_score;
+        }
+        let mut global_best = ctx.current_score().expect("cursor set");
         let mut tabu: HashMap<(usize, usize), usize> = HashMap::new();
         let mut iteration = 0usize;
 
-        'outer: while !ctx.exhausted() {
+        while !ctx.exhausted() {
             iteration += 1;
-            let mut best_move: Option<(usize, usize, f64)> = None;
-            for a in 0..tiles {
-                for b in (a + 1)..tiles {
-                    if a >= tasks && b >= tasks {
-                        continue;
-                    }
-                    let candidate = current.with_swap(a, b);
-                    let Some(score) = ctx.evaluate(&candidate) else {
-                        break 'outer;
-                    };
-                    let is_tabu = tabu.get(&(a, b)).is_some_and(|&until| until > iteration);
-                    // Aspiration: a new global best is always admissible.
-                    if is_tabu && score <= global_best {
-                        continue;
-                    }
-                    if best_move.is_none_or(|(_, _, s)| score > s) {
-                        best_move = Some((a, b, score));
-                    }
+            let scanned = ctx.peek_moves(&moves);
+            let truncated = scanned.len() < moves.len();
+            let mut best: Option<&MoveEval> = None;
+            for ev in &scanned {
+                let Move::Swap(a, b) = ev.mv else {
+                    continue;
+                };
+                let is_tabu = tabu.get(&(a, b)).is_some_and(|&until| until > iteration);
+                // Aspiration: a new global best is always admissible.
+                if is_tabu && ev.score <= global_best {
+                    continue;
+                }
+                if best.is_none_or(|x| ev.score > x.score) {
+                    best = Some(ev);
                 }
             }
-            let Some((a, b, score)) = best_move else {
+            let Some(best) = best.copied() else {
+                if truncated {
+                    break;
+                }
                 // Everything tabu and nothing aspirational: clear and go on.
                 tabu.clear();
                 continue;
             };
-            current.swap_positions(a, b);
-            current_score = score;
-            global_best = global_best.max(current_score);
-            tabu.insert((a, b), iteration + tenure);
+            ctx.apply_scored_move(&best);
+            global_best = global_best.max(best.score);
+            if let Move::Swap(a, b) = best.mv {
+                tabu.insert((a, b), iteration + tenure);
+            }
+            if truncated {
+                break;
+            }
         }
     }
 }
@@ -89,6 +97,7 @@ mod tests {
         let r = run_dse(&p, &TabuSearch::default(), 400, 13);
         assert_eq!(r.evaluations, 400);
         assert!(r.best_mapping.is_valid());
+        assert!(r.delta_evaluations > 0, "tabu must use incremental scans");
     }
 
     #[test]

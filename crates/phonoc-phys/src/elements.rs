@@ -127,9 +127,7 @@ impl<'p> ElementTransfer<'p> {
     #[must_use]
     pub fn pse_leak_gain(&self, kind: PseKind, state: ResonanceState) -> LinearGain {
         match (kind, state) {
-            (PseKind::Parallel, ResonanceState::Off) => {
-                self.params.pse_off_crosstalk.to_linear()
-            }
+            (PseKind::Parallel, ResonanceState::Off) => self.params.pse_off_crosstalk.to_linear(),
             (PseKind::Parallel, ResonanceState::On) => self.params.pse_on_crosstalk.to_linear(),
             (PseKind::Crossing, ResonanceState::Off) => {
                 // Eq. (1f): P_D = (Kp,off + Kc) · P_in — a *linear* sum.
@@ -310,9 +308,7 @@ mod tests {
         let t = ElementTransfer::new(&p);
         for kind in [PseKind::Parallel, PseKind::Crossing] {
             for state in [ResonanceState::On, ResonanceState::Off] {
-                let main = t
-                    .pse_main_output(kind, state, Milliwatts(1.0))
-                    .0;
+                let main = t.pse_main_output(kind, state, Milliwatts(1.0)).0;
                 let leak = t.pse_leak_output(kind, state, Milliwatts(1.0)).0;
                 assert!(
                     leak < main,

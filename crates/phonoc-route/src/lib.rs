@@ -131,7 +131,10 @@ impl fmt::Display for RoutingError {
                 write!(f, "no link out of tile {tile} through port {port}")
             }
             RoutingError::UnsupportedTopology { algorithm, kind } => {
-                write!(f, "routing algorithm {algorithm} does not support {kind} topologies")
+                write!(
+                    f,
+                    "routing algorithm {algorithm} does not support {kind} topologies"
+                )
             }
         }
     }
@@ -200,7 +203,14 @@ fn walk(
 
 /// Steps along one dimension: `(port, count)` choosing the shorter way
 /// around when `wrap` is true; ties broken toward the positive direction.
-fn dimension_steps(from: usize, to: usize, extent: usize, wrap: bool, pos: Port, neg: Port) -> (Port, usize) {
+fn dimension_steps(
+    from: usize,
+    to: usize,
+    extent: usize,
+    wrap: bool,
+    pos: Port,
+    neg: Port,
+) -> (Port, usize) {
     if to >= from {
         let fwd = to - from;
         if wrap {
@@ -251,8 +261,8 @@ impl RoutingAlgorithm for XyRouting {
         let (xp, xn) = dimension_steps(a.x, b.x, topo.width(), wrap, Port::East, Port::West);
         let (yp, yn) = dimension_steps(a.y, b.y, topo.height(), wrap, Port::North, Port::South);
         let mut ports = Vec::with_capacity(xn + yn);
-        ports.extend(std::iter::repeat(xp).take(xn));
-        ports.extend(std::iter::repeat(yp).take(yn));
+        ports.extend(std::iter::repeat_n(xp, xn));
+        ports.extend(std::iter::repeat_n(yp, yn));
         walk(topo, src, dst, &ports)
     }
 }
@@ -287,8 +297,8 @@ impl RoutingAlgorithm for YxRouting {
         let (xp, xn) = dimension_steps(a.x, b.x, topo.width(), wrap, Port::East, Port::West);
         let (yp, yn) = dimension_steps(a.y, b.y, topo.height(), wrap, Port::North, Port::South);
         let mut ports = Vec::with_capacity(xn + yn);
-        ports.extend(std::iter::repeat(yp).take(yn));
-        ports.extend(std::iter::repeat(xp).take(xn));
+        ports.extend(std::iter::repeat_n(yp, yn));
+        ports.extend(std::iter::repeat_n(xp, xn));
         walk(topo, src, dst, &ports)
     }
 }
@@ -376,7 +386,13 @@ mod tests {
         let ports: Vec<Port> = p.hops.iter().map(|h| h.output).collect();
         assert_eq!(
             ports,
-            vec![Port::East, Port::East, Port::North, Port::North, Port::Local]
+            vec![
+                Port::East,
+                Port::East,
+                Port::North,
+                Port::North,
+                Port::Local
+            ]
         );
     }
 
@@ -390,7 +406,13 @@ mod tests {
         let ports: Vec<Port> = p.hops.iter().map(|h| h.output).collect();
         assert_eq!(
             ports,
-            vec![Port::North, Port::North, Port::East, Port::East, Port::Local]
+            vec![
+                Port::North,
+                Port::North,
+                Port::East,
+                Port::East,
+                Port::Local
+            ]
         );
     }
 

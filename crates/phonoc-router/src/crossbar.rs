@@ -158,8 +158,8 @@ fn build_matrix(
         let j = ORDER.iter().position(|&p| p == pair.output).unwrap();
         let mut steps: Vec<(String, PassMode)> = Vec::new();
         // Along row i up to column j: pass OFF (ring) or Cross (plain).
-        for k in 0..j {
-            let mode = if has_ring(pair.input, ORDER[k]) {
+        for (k, &col_port) in ORDER.iter().enumerate().take(j) {
+            let mode = if has_ring(pair.input, col_port) {
                 PassMode::Off
             } else {
                 PassMode::Cross
@@ -172,8 +172,7 @@ fn build_matrix(
         for r in (i + 1)..5 {
             steps.push((elem_name(r, j), PassMode::Cross));
         }
-        let borrowed: Vec<(&str, PassMode)> =
-            steps.iter().map(|(n, m)| (n.as_str(), *m)).collect();
+        let borrowed: Vec<(&str, PassMode)> = steps.iter().map(|(n, m)| (n.as_str(), *m)).collect();
         b.route(pair.input, pair.output, &borrowed);
     }
 
@@ -211,11 +210,7 @@ mod tests {
         for r in [crossbar_router(), xy_crossbar_router()] {
             for pair in r.supported_pairs() {
                 let t = r.traversal(pair).unwrap();
-                let on = t
-                    .steps
-                    .iter()
-                    .filter(|s| s.mode == PassMode::On)
-                    .count();
+                let on = t.steps.iter().filter(|s| s.mode == PassMode::On).count();
                 assert_eq!(on, 1, "{pair} in {} uses {on} ON rings", r.name());
             }
         }

@@ -270,7 +270,11 @@ mod tests {
     fn crux_structure() {
         let r = crux_router();
         assert_eq!(r.microring_count(), 12, "Crux uses 12 microrings");
-        assert_eq!(r.plain_crossing_count(), 4, "injection × drop-stub crossings");
+        assert_eq!(
+            r.plain_crossing_count(),
+            4,
+            "injection × drop-stub crossings"
+        );
         assert_eq!(r.supported_pairs().len(), 16);
     }
 

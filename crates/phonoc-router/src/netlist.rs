@@ -347,7 +347,11 @@ impl RouterModel {
 
     /// All first-order leak events produced by the `pair` traversal.
     #[must_use]
-    pub fn leak_events(&self, pair: PortPair, params: &PhysicalParameters) -> Option<Vec<LeakEvent>> {
+    pub fn leak_events(
+        &self,
+        pair: PortPair,
+        params: &PhysicalParameters,
+    ) -> Option<Vec<LeakEvent>> {
         let t = self.traversals.get(&pair)?;
         let xfer = ElementTransfer::new(params);
         let mut events = Vec::new();
@@ -400,8 +404,10 @@ impl RouterModel {
         if victim == aggressor || victim.input == aggressor.input {
             return LinearGain::ZERO;
         }
-        let (Some(v), Some(events)) = (self.traversals.get(&victim), self.leak_events(aggressor, params))
-        else {
+        let (Some(v), Some(events)) = (
+            self.traversals.get(&victim),
+            self.leak_events(aggressor, params),
+        ) else {
             return LinearGain::ZERO;
         };
         let mut total = LinearGain::ZERO;
@@ -457,14 +463,15 @@ fn step_leaks(
         // the segment it entered on.
         (
             ElementConn::Crossing {
-                a_in,
-                a_out,
-                b_out,
-                ..
+                a_in, a_out, b_out, ..
             },
             PassMode::Cross,
         ) => {
-            let target = if step.enters_on == *a_in { *b_out } else { *a_out };
+            let target = if step.enters_on == *a_in {
+                *b_out
+            } else {
+                *a_out
+            };
             vec![(target, xfer.crossing_leak_gain())]
         }
         // Eq. (1b): Kp,off into the drop port.
@@ -645,7 +652,8 @@ impl NetlistBuilder {
     pub fn bind_input(&mut self, port: Port, segment: &str) -> &mut Self {
         let id = self.seg(segment);
         if self.port_inputs.insert(port, id).is_some() {
-            self.errors.push(NetlistError::DuplicatePortBinding { port });
+            self.errors
+                .push(NetlistError::DuplicatePortBinding { port });
         }
         self
     }
@@ -654,7 +662,8 @@ impl NetlistBuilder {
     pub fn bind_output(&mut self, port: Port, segment: &str) -> &mut Self {
         let id = self.seg(segment);
         if self.port_outputs.insert(port, vec![id]).is_some() {
-            self.errors.push(NetlistError::DuplicatePortBinding { port });
+            self.errors
+                .push(NetlistError::DuplicatePortBinding { port });
         }
         self
     }
@@ -665,7 +674,8 @@ impl NetlistBuilder {
     pub fn bind_output_set(&mut self, port: Port, segments: &[&str]) -> &mut Self {
         let ids: Vec<SegmentId> = segments.iter().map(|s| self.seg(s)).collect();
         if self.port_outputs.insert(port, ids).is_some() {
-            self.errors.push(NetlistError::DuplicatePortBinding { port });
+            self.errors
+                .push(NetlistError::DuplicatePortBinding { port });
         }
         self
     }
@@ -679,10 +689,7 @@ impl NetlistBuilder {
         }
         self.routes.push((
             pair,
-            steps
-                .iter()
-                .map(|(n, m)| ((*n).to_owned(), *m))
-                .collect(),
+            steps.iter().map(|(n, m)| ((*n).to_owned(), *m)).collect(),
         ));
         self
     }
@@ -922,9 +929,12 @@ fn transition(conn: &ElementConn, mode: PassMode, current: SegmentId) -> Option<
         (ElementConn::Cpse { input, through, .. }, PassMode::Off) => {
             (current == *input).then_some(*through)
         }
-        (ElementConn::Cpse { input, cross_out, .. }, PassMode::On) => {
-            (current == *input).then_some(*cross_out)
-        }
+        (
+            ElementConn::Cpse {
+                input, cross_out, ..
+            },
+            PassMode::On,
+        ) => (current == *input).then_some(*cross_out),
         (
             ElementConn::Cpse {
                 cross_in,
@@ -1120,7 +1130,10 @@ mod tests {
         b.cpse("e1", "a", "shared", "c", "d");
         b.cpse("e2", "x", "shared", "z", "w");
         let err = b.build().unwrap_err();
-        assert!(matches!(err, NetlistError::MultipleProducers { .. }), "{err}");
+        assert!(
+            matches!(err, NetlistError::MultipleProducers { .. }),
+            "{err}"
+        );
     }
 
     #[test]

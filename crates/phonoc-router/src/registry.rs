@@ -68,7 +68,11 @@ impl RouterRegistry {
     }
 
     /// Registers (or replaces) a factory under `name`.
-    pub fn register(&mut self, name: impl Into<String>, factory: impl Fn() -> RouterModel + Send + Sync + 'static) {
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        factory: impl Fn() -> RouterModel + Send + Sync + 'static,
+    ) {
         self.factories.insert(name.into(), Box::new(factory));
     }
 

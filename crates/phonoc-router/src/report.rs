@@ -41,18 +41,17 @@ pub fn datasheet(router: &RouterModel, params: &PhysicalParameters) -> String {
         let _ = writeln!(out, "  {pair}:  {:>7.3} dB  ({steps} elements)", loss.0);
     }
 
-    let _ = writeln!(out, "\nfirst-order crosstalk couplings (victim <- aggressor):");
+    let _ = writeln!(
+        out,
+        "\nfirst-order crosstalk couplings (victim <- aggressor):"
+    );
     let mut any = false;
     for v in router.supported_pairs() {
         for a in router.supported_pairs() {
             let gain = router.interaction_gain(v, a, params);
             if gain.0 > 0.0 {
                 any = true;
-                let _ = writeln!(
-                    out,
-                    "  {v}  <-  {a}:  {:>7.2} dB",
-                    gain.to_db().0
-                );
+                let _ = writeln!(out, "  {v}  <-  {a}:  {:>7.2} dB", gain.to_db().0);
             }
         }
     }

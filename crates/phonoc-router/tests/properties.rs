@@ -5,7 +5,7 @@
 use phonoc_phys::{Db, PhysicalParameters, PhysicalParametersBuilder};
 use phonoc_router::crossbar::{crossbar_router, xy_crossbar_router};
 use phonoc_router::crux::crux_router;
-use phonoc_router::{PortPair, RouterModel};
+use phonoc_router::RouterModel;
 use proptest::prelude::*;
 
 fn builtins() -> Vec<RouterModel> {
@@ -32,7 +32,11 @@ fn losses_are_negative_and_finite_for_all_builtins() {
     for r in builtins() {
         for pair in r.supported_pairs() {
             let loss = r.traversal_loss(pair, &params).expect("supported");
-            assert!(loss.0 < 0.0 && loss.0.is_finite(), "{}/{pair}: {loss}", r.name());
+            assert!(
+                loss.0 < 0.0 && loss.0.is_finite(),
+                "{}/{pair}: {loss}",
+                r.name()
+            );
         }
     }
 }

@@ -527,10 +527,7 @@ impl TopologyBuilder {
                 return Err(TopologyError::SelfLink { tile: ta });
             }
             if topo.link_from(ta, port).is_some() {
-                return Err(TopologyError::PortBusy {
-                    tile: ta,
-                    port,
-                });
+                return Err(TopologyError::PortBusy { tile: ta, port });
             }
             if topo.link_from(tb, port.opposite()).is_some() {
                 return Err(TopologyError::PortBusy {
@@ -740,7 +737,13 @@ mod tests {
             .build()
             .unwrap_err();
         assert!(
-            matches!(err, TopologyError::PortBusy { tile: TileId(0), port: Port::East }),
+            matches!(
+                err,
+                TopologyError::PortBusy {
+                    tile: TileId(0),
+                    port: Port::East
+                }
+            ),
             "{err}"
         );
     }

@@ -14,7 +14,13 @@
 
 use phonocmap::prelude::*;
 
-const PORTS: [Port; 5] = [Port::Local, Port::North, Port::East, Port::South, Port::West];
+const PORTS: [Port; 5] = [
+    Port::Local,
+    Port::North,
+    Port::East,
+    Port::South,
+    Port::West,
+];
 
 /// A toy 5×5 router: one waveguide ("road") r0 → r10; five input
 /// couplers join it (CPSE ON) and five output taps leave it (CPSE ON).

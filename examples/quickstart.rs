@@ -27,11 +27,7 @@ fn main() -> Result<(), CoreError> {
     // 4. Baseline: a random mapping.
     use rand::SeedableRng as _;
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
-    let random_mapping = Mapping::random(
-        problem.task_count(),
-        problem.tile_count(),
-        &mut rng,
-    );
+    let random_mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
     let before = analyze(&problem, &random_mapping);
 
     // 5. Optimize with the paper's R-PBLA under a 20 000-evaluation
@@ -40,7 +36,10 @@ fn main() -> Result<(), CoreError> {
     let after = analyze(&problem, &result.best_mapping);
 
     println!("=== random mapping ===\n{before}");
-    println!("=== R-PBLA optimized ({} evaluations) ===\n{after}", result.evaluations);
+    println!(
+        "=== R-PBLA optimized ({} evaluations) ===\n{after}",
+        result.evaluations
+    );
     println!(
         "SNR improved from {:.2} dB to {:.2} dB; loss from {:.3} dB to {:.3} dB",
         before.worst_case_snr.0,

@@ -21,18 +21,10 @@ fn main() -> Result<(), CoreError> {
     let power = PowerBudget::new(params);
     let budget = 10_000;
 
-    println!(
-        "laser 0 dBm, detector −26 dBm, nonlinearity ceiling +20 dBm\n"
-    );
+    println!("laser 0 dBm, detector −26 dBm, nonlinearity ceiling +20 dBm\n");
     println!(
         "{:>5} {:>8} | {:>12} {:>10} | {:>12} {:>10} | {:>18}",
-        "mesh",
-        "tasks",
-        "random IL",
-        "WDM max",
-        "R-PBLA IL",
-        "WDM max",
-        "optimization gain"
+        "mesh", "tasks", "random IL", "WDM max", "R-PBLA IL", "WDM max", "optimization gain"
     );
 
     for n in [3usize, 4, 5, 6, 8] {
@@ -48,8 +40,7 @@ fn main() -> Result<(), CoreError> {
             Objective::MinimizeWorstCaseLoss,
         )?;
 
-        let random_mapping =
-            Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
+        let random_mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
         let (random_metrics, _) = problem.evaluate(&random_mapping);
         let optimized = run_dse(&problem, &Rpbla, budget, 23);
         let (opt_metrics, _) = problem.evaluate(&optimized.best_mapping);

@@ -1,0 +1,315 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use —
+//! [`Criterion`], benchmark groups, [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], [`black_box`], [`criterion_group!`] and
+//! [`criterion_main!`] — on a simple wall-clock harness: a calibration
+//! pass sizes the iteration count to a target measurement time, then
+//! several samples are timed and min/median/mean ns/iter are printed.
+//!
+//! Compatible with cargo's conventions: a name filter may be passed as
+//! the first free CLI argument (`cargo bench -- <filter>` or
+//! `cargo bench <filter>`), and when invoked with `--test` (as
+//! `cargo test --benches` does) every routine runs exactly once as a
+//! smoke test without timing.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`].
+pub use std::hint::black_box;
+
+/// How batched inputs are grouped; accepted for API compatibility, the
+/// harness always materializes one input per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup call per iteration.
+    PerIteration,
+}
+
+/// Times a routine under the harness.
+pub struct Bencher {
+    mode: Mode,
+    /// Nanoseconds per iteration for each measured sample.
+    samples: Vec<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Full measurement.
+    Measure { sample_count: usize },
+    /// `--test`: run the routine once, no timing.
+    Smoke,
+}
+
+impl Bencher {
+    /// Times `routine` (called back-to-back in calibrated batches).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine());
+            }
+            Mode::Measure { sample_count } => {
+                let iters = calibrate(|n| {
+                    let start = Instant::now();
+                    for _ in 0..n {
+                        black_box(routine());
+                    }
+                    start.elapsed()
+                });
+                self.samples = (0..sample_count)
+                    .map(|_| {
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            black_box(routine());
+                        }
+                        start.elapsed().as_secs_f64() * 1e9 / iters as f64
+                    })
+                    .collect();
+            }
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        match self.mode {
+            Mode::Smoke => {
+                black_box(routine(setup()));
+            }
+            Mode::Measure { sample_count } => {
+                let iters = calibrate(|n| {
+                    let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+                    let start = Instant::now();
+                    for input in inputs {
+                        black_box(routine(input));
+                    }
+                    start.elapsed()
+                });
+                self.samples = (0..sample_count)
+                    .map(|_| {
+                        let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+                        let start = Instant::now();
+                        for input in inputs {
+                            black_box(routine(input));
+                        }
+                        start.elapsed().as_secs_f64() * 1e9 / iters as f64
+                    })
+                    .collect();
+            }
+        }
+    }
+}
+
+/// Finds an iteration count whose batch takes roughly the target time.
+fn calibrate(mut run: impl FnMut(u64) -> Duration) -> u64 {
+    const TARGET: Duration = Duration::from_millis(60);
+    let mut iters = 1u64;
+    loop {
+        let t = run(iters);
+        if t >= TARGET || iters >= 1 << 24 {
+            return iters.max(1);
+        }
+        // Scale toward the target, at most 10× per step.
+        let scale = (TARGET.as_secs_f64() / t.as_secs_f64().max(1e-9)).clamp(2.0, 10.0);
+        iters = ((iters as f64 * scale) as u64).max(iters + 1);
+    }
+}
+
+/// Top-level harness state: name filter + run mode.
+pub struct Criterion {
+    filter: Option<String>,
+    smoke: bool,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut smoke = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => smoke = true,
+                "--bench" | "--nocapture" | "--quiet" | "-q" | "--verbose" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_owned()),
+            }
+        }
+        Criterion {
+            filter,
+            smoke,
+            sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let n = self.sample_size;
+        self.run_one(id, routine, n);
+        self
+    }
+
+    fn matches(&self, full_name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| full_name.contains(f))
+    }
+
+    fn run_one<R: FnMut(&mut Bencher)>(&mut self, full_name: &str, mut routine: R, samples: usize) {
+        if !self.matches(full_name) {
+            return;
+        }
+        let mut b = Bencher {
+            mode: if self.smoke {
+                Mode::Smoke
+            } else {
+                Mode::Measure {
+                    sample_count: samples,
+                }
+            },
+            samples: Vec::new(),
+        };
+        routine(&mut b);
+        if self.smoke {
+            println!("bench {full_name}: ok (smoke)");
+            return;
+        }
+        if b.samples.is_empty() {
+            println!("bench {full_name}: no measurement recorded");
+            return;
+        }
+        let mut sorted = b.samples.clone();
+        sorted.sort_by(f64::total_cmp);
+        let min = sorted[0];
+        let median = sorted[sorted.len() / 2];
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        println!(
+            "bench {full_name}: min {} · median {} · mean {}",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean)
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Benchmarks `routine` as `<group>/<id>`.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(&mut self, id: &str, routine: R) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        self.criterion.run_one(&full, routine, samples);
+        self
+    }
+
+    /// Ends the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` from one or more [`criterion_group!`] runners.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_once() {
+        let mut c = Criterion {
+            filter: None,
+            smoke: true,
+            sample_size: 10,
+        };
+        let mut calls = 0usize;
+        c.bench_function("t", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_mismatches() {
+        let mut c = Criterion {
+            filter: Some("needle".into()),
+            smoke: true,
+            sample_size: 10,
+        };
+        let mut calls = 0usize;
+        c.bench_function("haystack", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert_eq!(calls, 0);
+        let mut g = c.benchmark_group("has");
+        g.bench_function("needle_here", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        g.finish();
+        assert_eq!(calls, 1);
+    }
+}

@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides the two trait names and re-exports the no-op derive macros
+//! from the in-workspace `serde_derive` shim, so `use serde::{Serialize,
+//! Deserialize}` + `#[derive(Serialize, Deserialize)]` compile without
+//! the real dependency. No serialization machinery exists; the derives
+//! expand to nothing.
+
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}

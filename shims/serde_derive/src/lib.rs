@@ -1,0 +1,20 @@
+//! No-op `Serialize`/`Deserialize` derive macros.
+//!
+//! The workspace's types carry serde derives for downstream users, but
+//! the offline build environment has no registry, so nothing actually
+//! serializes. These derives expand to nothing: the attribute parses and
+//! type-checks, and no impls are emitted.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing (no `Serialize` impl is generated).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing (no `Deserialize` impl is generated).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

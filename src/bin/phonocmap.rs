@@ -162,19 +162,18 @@ fn build_problem(args: &[String]) -> Result<Setup, String> {
 
     let pitch = Length::from_mm(2.5);
     let (w, h) = fit_grid(cg.task_count());
-    let (topology, routing): (Topology, Box<dyn RoutingAlgorithm>) =
-        match topology_kind.as_str() {
-            "mesh" => (Topology::mesh(w, h, pitch), Box::new(XyRouting)),
-            "torus" => (
-                Topology::torus(w.max(3), h.max(3), pitch),
-                Box::new(XyRouting),
-            ),
-            "ring" => (
-                Topology::ring(cg.task_count().max(3), pitch),
-                Box::new(RingRouting),
-            ),
-            other => return Err(format!("unknown topology `{other}` (mesh|torus|ring)")),
-        };
+    let (topology, routing): (Topology, Box<dyn RoutingAlgorithm>) = match topology_kind.as_str() {
+        "mesh" => (Topology::mesh(w, h, pitch), Box::new(XyRouting)),
+        "torus" => (
+            Topology::torus(w.max(3), h.max(3), pitch),
+            Box::new(XyRouting),
+        ),
+        "ring" => (
+            Topology::ring(cg.task_count().max(3), pitch),
+            Box::new(RingRouting),
+        ),
+        other => return Err(format!("unknown topology `{other}` (mesh|torus|ring)")),
+    };
     let router = RouterRegistry::with_builtins()
         .get(&router_name)
         .ok_or_else(|| format!("unknown router `{router_name}`"))?;
@@ -205,6 +204,9 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         .map(|s| s.parse().map_err(|_| format!("bad budget `{s}`")))
         .transpose()?
         .unwrap_or(100_000);
+    if budget == 0 {
+        return Err("--budget must be at least 1".into());
+    }
     let optimizer = phonocmap::opt::optimizer(&algo_name)
         .ok_or_else(|| format!("unknown optimizer `{algo_name}`"))?;
 

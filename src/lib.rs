@@ -65,6 +65,8 @@ pub mod prelude {
     pub use phonoc_route::{RingRouting, RoutingAlgorithm, XyRouting, YxRouting};
     pub use phonoc_router::crossbar::{crossbar_router, xy_crossbar_router};
     pub use phonoc_router::crux::crux_router;
-    pub use phonoc_router::{NetlistBuilder, PassMode, Port, PortPair, RouterModel, RouterRegistry};
+    pub use phonoc_router::{
+        NetlistBuilder, PassMode, Port, PortPair, RouterModel, RouterRegistry,
+    };
     pub use phonoc_topo::{fit_grid, TileId, Topology, TopologyKind};
 }

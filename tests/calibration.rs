@@ -43,8 +43,7 @@ fn vopd_embedding() -> Mapping {
         10, // mem_ctrl (2,2)
         15, // disp   (3,3)
     ];
-    Mapping::from_assignment(tiles.into_iter().map(TileId).collect(), 16)
-        .expect("valid embedding")
+    Mapping::from_assignment(tiles.into_iter().map(TileId).collect(), 16).expect("valid embedding")
 }
 
 #[test]

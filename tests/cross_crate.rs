@@ -92,7 +92,13 @@ fn oversized_applications_are_rejected_up_front() {
     )
     .unwrap_err();
     assert!(
-        matches!(err, CoreError::TooManyTasks { tasks: 32, tiles: 16 }),
+        matches!(
+            err,
+            CoreError::TooManyTasks {
+                tasks: 32,
+                tiles: 16
+            }
+        ),
         "got {err}"
     );
 }
@@ -134,11 +140,7 @@ fn custom_router_flows_through_the_whole_stack() {
         b.route(Port::West, Port::East, &[("ej_w", Off), ("inj_e", Cross)]);
         b.route(Port::East, Port::West, &[("ej_e", Off), ("inj_w", Cross)]);
         b.route(Port::Local, Port::East, &[("inj_e", On)]);
-        b.route(
-            Port::Local,
-            Port::West,
-            &[("inj_e", Off), ("inj_w", On)],
-        );
+        b.route(Port::Local, Port::West, &[("inj_e", Off), ("inj_w", On)]);
         b.route(Port::West, Port::Local, &[("ej_w", On)]);
         b.route(Port::East, Port::Local, &[("ej_e", On)]);
         b.build().expect("tiny router validates")

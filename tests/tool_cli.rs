@@ -67,9 +67,21 @@ fn analyze_prints_a_report() {
 #[test]
 fn optimize_runs_with_a_small_budget() {
     let out = phonocmap(&[
-        "optimize", "--app", "PIP", "--budget", "500", "--algo", "rs", "--objective", "loss",
+        "optimize",
+        "--app",
+        "PIP",
+        "--budget",
+        "500",
+        "--algo",
+        "rs",
+        "--objective",
+        "loss",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("rs finished: 500 evaluations"));
     assert!(stdout.contains("task placement"));
@@ -94,7 +106,11 @@ fn optimize_accepts_cg_files() {
         "--algo",
         "r-pbla",
     ]);
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("file-pipeline"));
 }
@@ -103,7 +119,10 @@ fn optimize_accepts_cg_files() {
 fn bad_flags_fail_with_messages() {
     for (args, needle) in [
         (vec!["optimize", "--app", "nope"], "unknown benchmark"),
-        (vec!["optimize", "--app", "PIP", "--algo", "magic"], "unknown optimizer"),
+        (
+            vec!["optimize", "--app", "PIP", "--algo", "magic"],
+            "unknown optimizer",
+        ),
         (
             vec!["optimize", "--app", "PIP", "--topology", "hypercube"],
             "unknown topology",
@@ -114,7 +133,10 @@ fn bad_flags_fail_with_messages() {
         let out = phonocmap(&args);
         assert!(!out.status.success(), "{args:?} should fail");
         let err = String::from_utf8_lossy(&out.stderr);
-        assert!(err.contains(needle), "{args:?}: missing `{needle}` in {err}");
+        assert!(
+            err.contains(needle),
+            "{args:?}: missing `{needle}` in {err}"
+        );
     }
 }
 
