@@ -2,13 +2,35 @@
 //! every search algorithm pays per candidate, so its throughput bounds
 //! the whole design-space exploration (paper Table II ran 100 000+
 //! evaluations per cell).
+//!
+//! Medians from each run are recorded in `BENCH_evaluator.json` at the
+//! repository root so the perf trajectory stays machine-readable.
 
 use bench::{paper_problem, TABLE2_APPS};
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use phonoc_core::{DeltaScratch, Mapping, Objective};
-use phonoc_topo::TopologyKind;
+use phonoc_core::{DeltaScratch, EvalScratch, Mapping, MappingProblem, Objective};
+use phonoc_phys::PhysicalParameters;
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::{Topology, TopologyKind};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// An 8×8-mesh instance: no paper benchmark exceeds 32 tasks, so the
+/// scaling point uses a seeded synthetic CG with VOPD-like density.
+fn synthetic_8x8() -> MappingProblem {
+    let mut rng = StdRng::seed_from_u64(42);
+    let cg = phonoc_apps::synthetic::random(56, 60, &mut rng);
+    MappingProblem::new(
+        cg,
+        Topology::mesh(8, 8, bench::tile_pitch()),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .expect("synthetic 8x8 instance is valid")
+}
 
 fn evaluator_throughput(c: &mut Criterion) {
     let mut group = c.benchmark_group("evaluate_mapping");
@@ -36,20 +58,18 @@ fn evaluator_construction(c: &mut Criterion) {
     });
 }
 
-fn full_vs_delta(c: &mut Criterion) {
-    // The headline of the move-based search core: rescoring a single
-    // swap on VOPD/4×4 incrementally vs. a from-scratch evaluation of
-    // the swapped mapping. All paths produce bit-identical worst
-    // cases. Three delta measurements:
-    //  * `evaluate_delta_swap` — both objectives (crosstalk included),
-    //    on a random mapping: the dense worst case, roughly at parity
-    //    with full evaluation because a random VOPD placement couples
-    //    ~¾ of all communications to any swap.
-    //  * `evaluate_delta_swap_optimized` — the same, from an
-    //    R-PBLA-optimized placement: the actual search-time workload.
-    //  * `evaluate_delta_loss_swap` — the loss objective (Eq. 3): no
-    //    crosstalk, 1–2 orders of magnitude faster than full.
-    let problem = paper_problem("VOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+/// The full-vs-incremental comparison on one instance: rescoring a
+/// single swap incrementally vs. a from-scratch evaluation of the
+/// swapped mapping. All paths produce bit-identical worst cases.
+///
+///  * `full_reevaluate_swap` — the scratch-reusing full evaluation of
+///    the swapped mapping (the honest full-eval baseline after PR 2).
+///  * `evaluate_delta_swap` — the exact SNR-bearing delta on a random
+///    mapping: the dense worst case (a random placement couples a
+///    large fraction of all communications to any swap).
+///  * `evaluate_delta_loss_swap` — the loss objective (Eq. 3): no
+///    crosstalk, 1–2 orders of magnitude faster than full.
+fn full_vs_delta_on(c: &mut Criterion, name: &str, problem: &MappingProblem) {
     let evaluator = problem.evaluator();
     let tasks = problem.task_count();
     let tiles = problem.tile_count();
@@ -62,14 +82,15 @@ fn full_vs_delta(c: &mut Criterion) {
         .map(|_| mapping.random_swap_move(&mut rng))
         .collect();
 
-    let mut group = c.benchmark_group("full_vs_delta_vopd_4x4");
+    let mut group = c.benchmark_group(name);
     group.bench_function("full_reevaluate_swap", |b| {
+        let mut scratch = EvalScratch::default();
         let mut i = 0usize;
         b.iter(|| {
             let mv = moves[i % moves.len()];
             i += 1;
             let moved = mapping.with_move(mv);
-            black_box(evaluator.evaluate(&moved))
+            black_box(evaluator.evaluate_into(&moved, None, &mut scratch))
         });
     });
     group.bench_function("evaluate_delta_swap", |b| {
@@ -90,7 +111,16 @@ fn full_vs_delta(c: &mut Criterion) {
             black_box(evaluator.evaluate_delta_loss(&state, &mapping, mv, &mut scratch))
         });
     });
+    group.finish();
+}
+
+fn full_vs_delta(c: &mut Criterion) {
+    // The headline instance (VOPD/4×4) plus the search-time workload
+    // from an R-PBLA-optimized placement.
+    let problem = paper_problem("VOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+    full_vs_delta_on(c, "full_vs_delta_vopd_4x4", &problem);
     {
+        let evaluator = problem.evaluator();
         let optimized = phonoc_core::run_dse(
             &problem,
             phonoc_opt::registry::optimizer("r-pbla").unwrap().as_ref(),
@@ -105,6 +135,7 @@ fn full_vs_delta(c: &mut Criterion) {
                 .map(|_| optimized.random_swap_move(&mut rng))
                 .collect()
         };
+        let mut group = c.benchmark_group("full_vs_delta_vopd_4x4");
         group.bench_function("evaluate_delta_swap_optimized", |b| {
             let mut scratch = DeltaScratch::default();
             let mut i = 0usize;
@@ -115,15 +146,124 @@ fn full_vs_delta(c: &mut Criterion) {
             });
         });
         group.bench_function("full_reevaluate_swap_optimized", |b| {
+            let mut scratch = EvalScratch::default();
             let mut i = 0usize;
             b.iter(|| {
                 let mv = opt_moves[i % opt_moves.len()];
                 i += 1;
                 let moved = optimized.with_move(mv);
-                black_box(evaluator.evaluate(&moved))
+                black_box(evaluator.evaluate_into(&moved, None, &mut scratch))
             });
         });
+        group.finish();
     }
+
+    // Mesh scaling: the affected-edge index gets sparser as meshes
+    // grow, so the delta win should widen past 4×4 (ROADMAP "scale past
+    // 8×8").
+    let dvopd = paper_problem("DVOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+    full_vs_delta_on(c, "full_vs_delta_dvopd_6x6", &dvopd);
+    let synth = synthetic_8x8();
+    full_vs_delta_on(c, "full_vs_delta_synthetic_8x8", &synth);
+}
+
+/// Allocating full evaluation vs. the scratch-reusing path, on the
+/// paper-style sweep workload (a cycle of random mappings).
+///
+/// Three rungs: `evaluate_reference` is the original ~20-allocation
+/// pass (kept in-tree as the oracle/baseline), `evaluate_alloc` the
+/// current thin wrapper (fresh scratch + materialized metrics per
+/// call), and `evaluate_into_scratch` the reused-scratch path that
+/// search loops ride — zero allocation, one `log10` per evaluation.
+fn full_alloc_vs_scratch(c: &mut Criterion) {
+    for (name, problem) in [
+        (
+            "full_alloc_vs_scratch_vopd_4x4",
+            paper_problem("VOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr),
+        ),
+        (
+            "full_alloc_vs_scratch_dvopd_6x6",
+            paper_problem("DVOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr),
+        ),
+        ("full_alloc_vs_scratch_synthetic_8x8", synthetic_8x8()),
+    ] {
+        let evaluator = problem.evaluator();
+        let tasks = problem.task_count();
+        let tiles = problem.tile_count();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mappings: Vec<Mapping> = (0..64)
+            .map(|_| Mapping::random(tasks, tiles, &mut rng))
+            .collect();
+        let mut group = c.benchmark_group(name);
+        group.bench_function("evaluate_reference", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let m = &mappings[i % mappings.len()];
+                i += 1;
+                black_box(evaluator.evaluate_reference(m, None))
+            });
+        });
+        group.bench_function("evaluate_alloc", |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let m = &mappings[i % mappings.len()];
+                i += 1;
+                black_box(evaluator.evaluate(m))
+            });
+        });
+        group.bench_function("evaluate_into_scratch", |b| {
+            let mut scratch = EvalScratch::default();
+            let mut i = 0usize;
+            b.iter(|| {
+                let m = &mappings[i % mappings.len()];
+                i += 1;
+                black_box(evaluator.evaluate_into(m, None, &mut scratch))
+            });
+        });
+        group.finish();
+    }
+}
+
+/// Bound-then-verify SNR peeks vs. exact deltas on the dense worst
+/// case: a random VOPD/4×4 placement, threshold at the incumbent
+/// (current worst-case SNR) — exactly the greedy-descent workload that
+/// used to sit at parity with full evaluation.
+fn snr_peek_bound_vs_exact(c: &mut Criterion) {
+    let problem = paper_problem("VOPD", TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
+    let evaluator = problem.evaluator();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
+    let state = evaluator.init_state(&mapping);
+    let threshold = state.worst_case_snr();
+    let moves: Vec<phonoc_core::Move> = (0..64)
+        .map(|_| mapping.random_swap_move(&mut rng))
+        .collect();
+
+    let mut group = c.benchmark_group("snr_peek_bound_vs_exact_vopd_4x4");
+    group.bench_function("exact_delta_peek", |b| {
+        let mut scratch = DeltaScratch::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mv = moves[i % moves.len()];
+            i += 1;
+            black_box(evaluator.evaluate_delta_with(&state, &mapping, mv, &mut scratch))
+        });
+    });
+    group.bench_function("bounded_peek_vs_incumbent", |b| {
+        let mut scratch = DeltaScratch::default();
+        let mut i = 0usize;
+        b.iter(|| {
+            let mv = moves[i % moves.len()];
+            i += 1;
+            black_box(evaluator.evaluate_delta_bounded(
+                &state,
+                &mapping,
+                mv,
+                &mut scratch,
+                threshold,
+            ))
+        });
+    });
     group.finish();
 }
 
@@ -131,6 +271,8 @@ criterion_group!(
     benches,
     evaluator_throughput,
     evaluator_construction,
-    full_vs_delta
+    full_vs_delta,
+    full_alloc_vs_scratch,
+    snr_peek_bound_vs_exact
 );
 criterion_main!(benches);

@@ -15,41 +15,142 @@
 //! overbill delta evaluation by an order of magnitude, so the budget is
 //! tracked in integer **edge units**: a budget of `B` evaluations is
 //! `B × edge_count` units, a full evaluation costs `edge_count` units,
-//! and a delta costs `max(1, affected_edges)` units — the honest amount
-//! of evaluator work it triggered. All arithmetic is integral, so
-//! accounting is exact and deterministic. The one courtesy rule: an
-//! action that *starts* within budget is allowed to complete, with the
-//! spend saturating at the budget (`evaluations` then reports exactly
-//! the configured budget).
+//! and a peek costs `max(1, work)` units — the honest amount of
+//! evaluator work it triggered (affected edges for an exact SNR delta,
+//! moved edges for a loss delta, victims recomputed before rejection
+//! for a bounded peek). All arithmetic is integral, so accounting is
+//! exact and deterministic. The one courtesy rule: an action that
+//! *starts* within budget is allowed to complete, with the spend
+//! saturating at the budget (`evaluations` then reports exactly the
+//! configured budget).
+//!
+//! # Typed, objective-aware peeks
+//!
+//! Peeks dispatch on the problem [`Objective`] and return a [`MoveEval`]
+//! **typed by what was actually computed**, so stale figures cannot
+//! leak:
+//!
+//! * loss objective — [`MoveEval::Loss`] from the crosstalk-free fast
+//!   path (`evaluate_delta_loss`), one to two orders of magnitude
+//!   cheaper than an SNR delta;
+//! * SNR objective, exact ([`OptContext::peek_move`] /
+//!   [`OptContext::peek_moves`]) — [`MoveEval::Snr`] with the full
+//!   bit-exact delta;
+//! * SNR objective, improving-only ([`OptContext::peek_move_improving`]
+//!   / [`OptContext::peek_moves_improving`]) — bound-then-verify: moves
+//!   that cannot beat the cursor come back as [`MoveEval::Bounded`]
+//!   (admissible upper bound, cheap), candidates that might improve are
+//!   scored exactly. Greedy selection over an improving scan is
+//!   identical to one over exact peeks (property-tested).
+//!
+//! Only exact variants can be committed; [`OptContext::apply_scored_move`]
+//! rejects a bounded peek.
 //!
 //! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
 //! core so that new strategies can be added "without any changes in the
 //! tool core", paper Section I — implementations live in `phonoc-opt`).
 //! Swap-based strategies walk a *cursor* — [`OptContext::set_current`]
-//! to full-evaluate a starting point, [`OptContext::peek_move`] /
-//! [`OptContext::peek_moves`] to score candidate moves incrementally,
-//! and [`OptContext::apply_scored_move`] to commit one — while
-//! population strategies batch-score whole generations with
+//! to full-evaluate a starting point (on the context's reused
+//! [`EvalScratch`]), the peek family to score candidate moves
+//! incrementally, and [`OptContext::apply_scored_move`] to commit one —
+//! while population strategies batch-score whole generations with
 //! [`OptContext::evaluate_batch`].
 
-use crate::evaluator::{DeltaScratch, EvalState, ScoreDelta};
+use crate::evaluator::{BoundedDelta, DeltaScratch, EvalScratch, EvalState, ScoreDelta};
 use crate::mapping::{Mapping, Move};
-use crate::problem::MappingProblem;
+use crate::problem::{MappingProblem, Objective};
+use phonoc_phys::Db;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
 
-/// A scored candidate [`Move`], produced by [`OptContext::peek_move`]
-/// and consumed by [`OptContext::apply_scored_move`].
+/// A scored candidate [`Move`], produced by the peek entry points
+/// ([`OptContext::peek_move`], [`OptContext::peek_moves`], and their
+/// `_improving` variants) and consumed by
+/// [`OptContext::apply_scored_move`].
+///
+/// The variant is **typed by what was actually computed**, so stale
+/// fields cannot leak: a loss-objective peek never carries an SNR
+/// figure (none was evaluated), and a bound-rejected peek carries only
+/// its upper bound (the exact score was never derived).
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct MoveEval {
-    /// The move that was scored.
-    pub mv: Move,
-    /// Objective score of the mapping the move would produce (higher =
-    /// better) — bit-identical to a full evaluation of that mapping.
-    pub score: f64,
-    /// The underlying incremental evaluation.
-    pub delta: ScoreDelta,
+pub enum MoveEval {
+    /// Loss-objective peek: only the new worst-case insertion loss was
+    /// computed, via the crosstalk-free fast path
+    /// ([`crate::Evaluator::evaluate_delta_loss`]).
+    Loss {
+        /// The move that was scored.
+        mv: Move,
+        /// Objective score (the new worst-case IL in dB; higher =
+        /// better) — bit-identical to a full evaluation.
+        score: f64,
+        /// Worst-case insertion loss after the move.
+        new_worst_il: Db,
+        /// Edges whose paths the move changes (the delta's honest
+        /// cost).
+        moved_edges: usize,
+    },
+    /// SNR-objective exact peek: the full incremental delta.
+    Snr {
+        /// The move that was scored.
+        mv: Move,
+        /// Objective score (the new worst-case SNR in dB; higher =
+        /// better) — bit-identical to a full evaluation.
+        score: f64,
+        /// The underlying incremental evaluation.
+        delta: ScoreDelta,
+    },
+    /// Bound-rejected SNR peek: the move's exact score is `≤ bound ≤`
+    /// the threshold it was tested against (the cursor score, for the
+    /// `_improving` peeks), so it cannot improve. It carries no exact
+    /// score and **cannot be committed**.
+    Bounded {
+        /// The move that was bounded.
+        mv: Move,
+        /// Admissible upper bound on the move's score.
+        bound: Db,
+    },
+}
+
+impl MoveEval {
+    /// The move this evaluation describes.
+    #[must_use]
+    pub fn mv(&self) -> Move {
+        match *self {
+            MoveEval::Loss { mv, .. } | MoveEval::Snr { mv, .. } | MoveEval::Bounded { mv, .. } => {
+                mv
+            }
+        }
+    }
+
+    /// The objective score (higher = better). For exact variants this
+    /// is bit-identical to a full evaluation of the moved mapping; for
+    /// [`MoveEval::Bounded`] it is the *upper bound* — comparisons
+    /// against an incumbent the bound was tested at remain sound, since
+    /// the true score is no larger.
+    #[must_use]
+    pub fn score(&self) -> f64 {
+        match *self {
+            MoveEval::Loss { score, .. } | MoveEval::Snr { score, .. } => score,
+            MoveEval::Bounded { bound, .. } => bound.0,
+        }
+    }
+
+    /// Whether an exact score was computed (committable).
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        !matches!(self, MoveEval::Bounded { .. })
+    }
+
+    /// The full incremental delta, when one was computed
+    /// ([`MoveEval::Snr`] only).
+    #[must_use]
+    pub fn delta(&self) -> Option<&ScoreDelta> {
+        match self {
+            MoveEval::Snr { delta, .. } => Some(delta),
+            _ => None,
+        }
+    }
 }
 
 /// The cursor: the mapping a move-based strategy currently stands on,
@@ -76,6 +177,9 @@ pub struct OptContext<'p> {
     best: Option<(Mapping, f64)>,
     history: Vec<(usize, f64)>,
     cursor: Option<Cursor>,
+    /// Reused buffers for full evaluations: after warm-up,
+    /// [`OptContext::evaluate`] performs no heap allocation.
+    full_scratch: EvalScratch,
 }
 
 impl fmt::Debug for OptContext<'_> {
@@ -107,6 +211,7 @@ impl<'p> OptContext<'p> {
             best: None,
             history: Vec::new(),
             cursor: None,
+            full_scratch: EvalScratch::default(),
         }
     }
 
@@ -183,14 +288,22 @@ impl<'p> OptContext<'p> {
     /// Scores `mapping` under the problem objective (higher = better),
     /// consuming one full evaluation. Returns `None` — without
     /// evaluating — once the budget is exhausted; optimizers should then
-    /// return.
+    /// return. Runs on the context's reused [`EvalScratch`], so the
+    /// evaluation itself allocates nothing.
     pub fn evaluate(&mut self, mapping: &Mapping) -> Option<f64> {
         if self.exhausted() {
             return None;
         }
         self.charge(self.unit);
         self.full_evaluations += 1;
-        let (_, score) = self.problem.evaluate(mapping);
+        let summary = self
+            .problem
+            .evaluator()
+            .evaluate_into(mapping, None, &mut self.full_scratch);
+        let score = self
+            .problem
+            .objective()
+            .score_worst_cases(summary.worst_case_il, summary.worst_case_snr);
         self.record(mapping, score);
         Some(score)
     }
@@ -207,13 +320,16 @@ impl<'p> OptContext<'p> {
         if admit == 0 {
             return Vec::new();
         }
-        let metrics = self.problem.evaluator().evaluate_batch(&mappings[..admit]);
+        let summaries = self
+            .problem
+            .evaluator()
+            .evaluate_summaries_batch(&mappings[..admit]);
         let objective = self.problem.objective();
         let mut scores = Vec::with_capacity(admit);
-        for (mapping, m) in mappings.iter().zip(metrics) {
+        for (mapping, s) in mappings.iter().zip(summaries) {
             self.charge(self.unit);
             self.full_evaluations += 1;
-            let score = objective.score(&m);
+            let score = objective.score_worst_cases(s.worst_case_il, s.worst_case_snr);
             self.record(mapping, score);
             scores.push(score);
         }
@@ -278,8 +394,16 @@ impl<'p> OptContext<'p> {
     }
 
     /// Incrementally scores `mv` against the cursor without moving it,
-    /// consuming `max(1, affected_edges)` budget units. Returns `None`
-    /// once the budget is exhausted.
+    /// dispatching on the problem [`Objective`]:
+    ///
+    /// * loss objective — the crosstalk-free fast path
+    ///   ([`crate::Evaluator::evaluate_delta_loss`]), charged
+    ///   `max(1, moved_edges)` units, returning [`MoveEval::Loss`];
+    /// * SNR objective — the exact SNR-bearing delta, charged
+    ///   `max(1, affected_edges)` units, returning [`MoveEval::Snr`].
+    ///
+    /// Either way the score is bit-identical to a full evaluation of
+    /// the moved mapping. Returns `None` once the budget is exhausted.
     ///
     /// # Panics
     ///
@@ -289,27 +413,108 @@ impl<'p> OptContext<'p> {
             return None;
         }
         let cursor = self.cursor.as_mut().expect("peek_move without set_current");
-        let delta = self.problem.evaluator().evaluate_delta_with(
+        let evaluator = self.problem.evaluator();
+        let (ev, cost) = match self.problem.objective() {
+            Objective::MinimizeWorstCaseLoss => {
+                let (new_worst_il, moved_edges) = evaluator.evaluate_delta_loss(
+                    &cursor.state,
+                    &cursor.mapping,
+                    mv,
+                    &mut cursor.scratch,
+                );
+                (
+                    MoveEval::Loss {
+                        mv,
+                        score: new_worst_il.0,
+                        new_worst_il,
+                        moved_edges,
+                    },
+                    moved_edges,
+                )
+            }
+            Objective::MaximizeWorstCaseSnr => {
+                let delta = evaluator.evaluate_delta_with(
+                    &cursor.state,
+                    &cursor.mapping,
+                    mv,
+                    &mut cursor.scratch,
+                );
+                (
+                    MoveEval::Snr {
+                        mv,
+                        score: delta.new_worst_snr.0,
+                        delta,
+                    },
+                    delta.affected_edges,
+                )
+            }
+        };
+        self.charge((cost as u64).max(1));
+        self.delta_evaluations += 1;
+        self.note_peeked(mv, ev.score());
+        Some(ev)
+    }
+
+    /// Like [`OptContext::peek_move`], but only guarantees an exact
+    /// score for moves that can *improve* on the cursor: under the SNR
+    /// objective, candidates are run through the bound-then-verify peek
+    /// ([`crate::Evaluator::evaluate_delta_bounded`]) with the cursor
+    /// score as threshold, and non-improving moves come back as
+    /// [`MoveEval::Bounded`] at a fraction of the exact-delta cost
+    /// (charged by the work actually performed). Moves that can beat
+    /// the cursor are scored exactly, bit-identical to
+    /// [`OptContext::peek_move`]. Under the loss objective the fast
+    /// path is already cheap and exact, so this is identical to
+    /// `peek_move`.
+    ///
+    /// Greedy strategies (steepest or first improvement against the
+    /// cursor) select exactly the same moves as with exact peeks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cursor is set.
+    pub fn peek_move_improving(&mut self, mv: Move) -> Option<MoveEval> {
+        if matches!(self.problem.objective(), Objective::MinimizeWorstCaseLoss) {
+            return self.peek_move(mv);
+        }
+        if self.exhausted() {
+            return None;
+        }
+        let cursor = self.cursor.as_mut().expect("peek_move without set_current");
+        let threshold = Db(cursor.score);
+        let bounded = self.problem.evaluator().evaluate_delta_bounded(
             &cursor.state,
             &cursor.mapping,
             mv,
             &mut cursor.scratch,
+            threshold,
         );
-        let score = self
-            .problem
-            .objective()
-            .score_worst_cases(delta.new_worst_il, delta.new_worst_snr);
-        self.charge((delta.affected_edges as u64).max(1));
+        let (ev, cost) = match bounded {
+            BoundedDelta::Rejected { bound, cost } => (MoveEval::Bounded { mv, bound }, cost),
+            BoundedDelta::Exact(delta) => (
+                MoveEval::Snr {
+                    mv,
+                    score: delta.new_worst_snr.0,
+                    delta,
+                },
+                delta.affected_edges,
+            ),
+        };
+        self.charge((cost as u64).max(1));
         self.delta_evaluations += 1;
-        self.note_peeked(mv, score);
-        Some(MoveEval { mv, score, delta })
+        if ev.is_exact() {
+            self.note_peeked(mv, ev.score());
+        }
+        Some(ev)
     }
 
     /// Incrementally scores a batch of candidate moves in parallel (the
-    /// R-PBLA admitted-list scan). Only as many moves as the remaining
-    /// budget admits are *charged*: the returned vector covers the
-    /// charged prefix of `moves` and may be shorter than the input.
-    /// Deterministic: results and incumbent updates are in input order.
+    /// R-PBLA admitted-list scan), dispatching on the objective exactly
+    /// like [`OptContext::peek_move`]. Only as many moves as the
+    /// remaining budget admits are *charged*: the returned vector
+    /// covers the charged prefix of `moves` and may be shorter than the
+    /// input. Deterministic: results and incumbent updates are in input
+    /// order.
     ///
     /// # Panics
     ///
@@ -322,21 +527,100 @@ impl<'p> OptContext<'p> {
             .cursor
             .as_ref()
             .expect("peek_moves without set_current");
-        let deltas =
-            self.problem
-                .evaluator()
-                .evaluate_delta_batch(&cursor.state, &cursor.mapping, moves);
-        let objective = self.problem.objective();
-        let mut out = Vec::with_capacity(deltas.len());
-        for (&mv, delta) in moves.iter().zip(deltas) {
+        let evaluator = self.problem.evaluator();
+        let evals: Vec<(MoveEval, usize)> = match self.problem.objective() {
+            Objective::MinimizeWorstCaseLoss => evaluator
+                .evaluate_delta_loss_batch(&cursor.state, &cursor.mapping, moves)
+                .into_iter()
+                .zip(moves)
+                .map(|((new_worst_il, moved_edges), &mv)| {
+                    (
+                        MoveEval::Loss {
+                            mv,
+                            score: new_worst_il.0,
+                            new_worst_il,
+                            moved_edges,
+                        },
+                        moved_edges,
+                    )
+                })
+                .collect(),
+            Objective::MaximizeWorstCaseSnr => evaluator
+                .evaluate_delta_batch(&cursor.state, &cursor.mapping, moves)
+                .into_iter()
+                .zip(moves)
+                .map(|(delta, &mv)| {
+                    (
+                        MoveEval::Snr {
+                            mv,
+                            score: delta.new_worst_snr.0,
+                            delta,
+                        },
+                        delta.affected_edges,
+                    )
+                })
+                .collect(),
+        };
+        self.admit_peeked(evals)
+    }
+
+    /// Batch variant of [`OptContext::peek_move_improving`]: every move
+    /// is tested against the cursor score at the time of the call (the
+    /// parallel scan is deterministic and order-preserving). Improving
+    /// moves come back exact, non-improving ones as
+    /// [`MoveEval::Bounded`] — the selection a greedy step makes over
+    /// the result is identical to one over [`OptContext::peek_moves`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cursor is set.
+    pub fn peek_moves_improving(&mut self, moves: &[Move]) -> Vec<MoveEval> {
+        if matches!(self.problem.objective(), Objective::MinimizeWorstCaseLoss) {
+            return self.peek_moves(moves);
+        }
+        if self.exhausted() || moves.is_empty() {
+            return Vec::new();
+        }
+        let cursor = self
+            .cursor
+            .as_ref()
+            .expect("peek_moves without set_current");
+        let threshold = Db(cursor.score);
+        let evals: Vec<(MoveEval, usize)> = self
+            .problem
+            .evaluator()
+            .evaluate_delta_bounded_batch(&cursor.state, &cursor.mapping, moves, threshold)
+            .into_iter()
+            .zip(moves)
+            .map(|(bounded, &mv)| match bounded {
+                BoundedDelta::Rejected { bound, cost } => (MoveEval::Bounded { mv, bound }, cost),
+                BoundedDelta::Exact(delta) => (
+                    MoveEval::Snr {
+                        mv,
+                        score: delta.new_worst_snr.0,
+                        delta,
+                    },
+                    delta.affected_edges,
+                ),
+            })
+            .collect();
+        self.admit_peeked(evals)
+    }
+
+    /// Shared tail of the batch peeks: charges each evaluation in input
+    /// order until the budget runs out, tracking the incumbent.
+    fn admit_peeked(&mut self, evals: Vec<(MoveEval, usize)>) -> Vec<MoveEval> {
+        let mut out = Vec::with_capacity(evals.len());
+        for (ev, cost) in evals {
             if self.exhausted() {
                 break;
             }
-            let score = objective.score_worst_cases(delta.new_worst_il, delta.new_worst_snr);
-            self.charge((delta.affected_edges as u64).max(1));
+            self.charge((cost as u64).max(1));
             self.delta_evaluations += 1;
-            self.note_peeked(mv, score);
-            out.push(MoveEval { mv, score, delta });
+            if ev.is_exact() {
+                self.note_peeked(ev.mv(), ev.score());
+            }
+            out.push(ev);
         }
         out
     }
@@ -359,10 +643,18 @@ impl<'p> OptContext<'p> {
     ///
     /// # Panics
     ///
-    /// Panics if no cursor is set. Debug builds additionally assert that
-    /// the committed state bit-matches a full re-evaluation and that
-    /// `ev.score` is consistent with it.
+    /// Panics if no cursor is set, or if `ev` is a bound-rejected peek
+    /// ([`MoveEval::Bounded`] carries no exact score — re-peek the move
+    /// exactly if a strategy really wants to commit a non-improving
+    /// move). Debug builds additionally assert that the committed state
+    /// bit-matches a full re-evaluation and that the peeked score is
+    /// consistent with it.
     pub fn apply_scored_move(&mut self, ev: &MoveEval) {
+        assert!(
+            ev.is_exact(),
+            "cannot commit a bound-rejected peek ({:?})",
+            ev.mv()
+        );
         let cursor = self
             .cursor
             .as_mut()
@@ -370,7 +662,7 @@ impl<'p> OptContext<'p> {
         self.problem.evaluator().apply_move(
             &mut cursor.state,
             &mut cursor.mapping,
-            ev.mv,
+            ev.mv(),
             &mut cursor.scratch,
         );
         let score = self
@@ -378,7 +670,8 @@ impl<'p> OptContext<'p> {
             .objective()
             .score_worst_cases(cursor.state.worst_case_il(), cursor.state.worst_case_snr());
         debug_assert_eq!(
-            score, ev.score,
+            score,
+            ev.score(),
             "committed move score diverged from its peek"
         );
         cursor.score = score;
@@ -601,13 +894,13 @@ mod tests {
         for (a, b) in [(0usize, 1usize), (2, 5), (0, 8), (3, 4)] {
             let ev = ctx.peek_move(Move::Swap(a, b)).unwrap();
             let (_, full) = p.evaluate(&start.with_swap(a, b));
-            assert_eq!(ev.score, full, "swap ({a},{b})");
+            assert_eq!(ev.score(), full, "swap ({a},{b})");
         }
         // Commit one and verify the cursor advanced.
         let ev = ctx.peek_move(Move::Swap(1, 6)).unwrap();
         ctx.apply_scored_move(&ev);
         assert_eq!(ctx.current_mapping().unwrap(), &start.with_swap(1, 6));
-        assert_eq!(ctx.current_score(), Some(ev.score));
+        assert_eq!(ctx.current_score(), Some(ev.score()));
     }
 
     #[test]
@@ -657,7 +950,7 @@ mod tests {
         for a in 0..9 {
             for b in (a + 1)..9 {
                 if let Some(ev) = ctx.peek_move(Move::Swap(a, b)) {
-                    best_peek = best_peek.max(ev.score);
+                    best_peek = best_peek.max(ev.score());
                 }
             }
         }

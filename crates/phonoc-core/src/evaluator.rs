@@ -20,6 +20,35 @@
 //! that share a router — `O(Σ_tiles k_t²)` per mapping with tiny
 //! constants.
 //!
+//! # The allocation-free pipeline
+//!
+//! The hot entry point is [`Evaluator::evaluate_into`]: it buckets
+//! occupancies with a counting sort over flat, caller-owned buffers
+//! ([`EvalScratch`]), runs the same branch-free aggressor accumulation
+//! as the incremental path (entries carry port pair, endpoint tasks and
+//! prefix gain inline), selects the worst SNR in the linear ratio
+//! domain with a **single** `log10`, and returns an [`EvalSummary`] —
+//! zero heap allocation after the first call on a scratch. Per-edge
+//! SNRs are derived lazily from the cached noise/gain when
+//! [`EvalScratch::to_metrics`] materializes full [`NetworkMetrics`].
+//!
+//! Three wrappers sit on top, all **bit-identical** to each other and
+//! to the retained reference pass ([`Evaluator::evaluate_reference`],
+//! the original allocating implementation, kept as the property-test
+//! oracle and bench baseline):
+//!
+//! * [`Evaluator::evaluate`] / [`Evaluator::evaluate_subset`] — thin
+//!   allocating wrappers (fresh scratch + materialized metrics);
+//! * [`Evaluator::evaluate_batch`] /
+//!   [`Evaluator::evaluate_summaries_batch`] — deterministic parallel
+//!   batches with one reused scratch per worker thread;
+//! * the incremental move path (see [`EvalState`]), which shares the
+//!   accumulation kernel and summation order.
+//!
+//! On VOPD/4×4 the scratch path is ~3× faster than the reference pass
+//! (see `BENCH_evaluator.json`); search loops (the engine's full
+//! evaluations, GA/RS batches, Monte-Carlo sampling) all ride it.
+//!
 //! The crosstalk model follows the paper's worst case: *all* CG
 //! communications are simultaneously active, and noise generated in a
 //! router suffers no loss inside that router (simplification
@@ -30,7 +59,7 @@ use crate::mapping::Mapping;
 
 #[path = "evaluator_delta.rs"]
 mod delta;
-pub use delta::{DeltaScratch, EvalState, ScoreDelta};
+pub use delta::{BoundedDelta, DeltaScratch, EvalState, ScoreDelta};
 use phonoc_apps::CommunicationGraph;
 use phonoc_phys::{Db, LinearGain, PhysicalParameters};
 use phonoc_route::RoutingAlgorithm;
@@ -59,6 +88,122 @@ pub struct NetworkMetrics {
     pub worst_case_il: Db,
     /// `SNR_wc`: the minimum SNR (paper Eq. 4).
     pub worst_case_snr: Db,
+}
+
+/// The two worst-case figures of one evaluation — all a search objective
+/// needs — produced without materializing per-edge metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalSummary {
+    /// `IL_wc`: the most negative insertion loss (paper Eq. 3).
+    pub worst_case_il: Db,
+    /// `SNR_wc`: the minimum SNR (paper Eq. 4).
+    pub worst_case_snr: Db,
+}
+
+/// Reusable buffers for allocation-free full evaluation.
+///
+/// One scratch serves any number of sequential
+/// [`Evaluator::evaluate_into`] calls (across different evaluators and
+/// problem sizes — buffers grow to the largest shape seen); parallel
+/// batch entry points create one per worker thread. After the first call
+/// the hot path performs **zero** heap allocation.
+#[derive(Debug, Default, Clone)]
+pub struct EvalScratch {
+    /// Per edge: path index (`src_tile * tile_count + dst_tile`).
+    edge_path: Vec<usize>,
+    /// Per edge: whether it was active in the last evaluation.
+    edge_active: Vec<bool>,
+    /// Per tile: start of its occupancy range (`tile_count + 1`
+    /// entries; entry `t+1` doubles as the count during bucketing).
+    tile_offset: Vec<u32>,
+    /// Per tile: fill cursor for the counting sort.
+    cursor: Vec<u32>,
+    /// Per tile: bitmask of port pairs present in its occupancy list,
+    /// tested against the evaluator's per-victim coupling mask to skip
+    /// victims that cannot collect noise there.
+    tile_pairs: Vec<u32>,
+    /// Flat occupancies grouped by tile, `(edge, hop)` ascending within
+    /// each tile — exactly the order the allocating pass inserted them.
+    occ: Vec<delta::Occ>,
+    /// Per occupancy (parallel to `occ`): the hop's suffix gain, so the
+    /// accumulate loop never chases path pointers.
+    occ_suffix: Vec<f64>,
+    /// Per edge: accumulated linear crosstalk noise power.
+    noise: Vec<f64>,
+    /// Per edge: insertion loss in dB.
+    il: Vec<f64>,
+    /// Per edge: total linear path gain (SNR numerator).
+    gain: Vec<f64>,
+    /// The evaluator's SNR ceiling, latched per call so per-edge SNRs
+    /// can be derived lazily.
+    ceiling: f64,
+    worst_il: f64,
+    worst_snr: f64,
+    /// Edge count of the last evaluation.
+    edges: usize,
+}
+
+impl EvalScratch {
+    /// Grows the per-edge and per-tile buffers to the problem shape.
+    fn prepare(&mut self, edges: usize, tiles: usize) {
+        if self.edge_path.len() < edges {
+            self.edge_path.resize(edges, 0);
+            self.edge_active.resize(edges, false);
+            self.noise.resize(edges, 0.0);
+            self.il.resize(edges, 0.0);
+            self.gain.resize(edges, 0.0);
+        }
+        if self.tile_offset.len() < tiles + 1 {
+            self.tile_offset.resize(tiles + 1, 0);
+            self.cursor.resize(tiles, 0);
+            self.tile_pairs.resize(tiles, 0);
+        }
+    }
+
+    /// Per-edge SNR derived from the cached noise/gain — the canonical
+    /// formula (ceiling when noise-free, clamped), applied lazily so
+    /// the summary path pays a single `log10` instead of one per edge.
+    fn edge_snr(&self, e: usize) -> f64 {
+        let snr = if self.noise[e] > 0.0 {
+            10.0 * (self.gain[e] / self.noise[e]).log10()
+        } else {
+            self.ceiling
+        };
+        snr.min(self.ceiling)
+    }
+
+    /// Worst-case insertion loss of the last [`Evaluator::evaluate_into`]
+    /// call (paper Eq. 3).
+    #[must_use]
+    pub fn worst_case_il(&self) -> Db {
+        Db(self.worst_il)
+    }
+
+    /// Worst-case SNR of the last [`Evaluator::evaluate_into`] call
+    /// (paper Eq. 4).
+    #[must_use]
+    pub fn worst_case_snr(&self) -> Db {
+        Db(self.worst_snr)
+    }
+
+    /// Materializes full [`NetworkMetrics`] (allocating) from the last
+    /// [`Evaluator::evaluate_into`] call; inactive edges are omitted,
+    /// exactly as [`Evaluator::evaluate_subset`] reports them.
+    #[must_use]
+    pub fn to_metrics(&self) -> NetworkMetrics {
+        NetworkMetrics {
+            edges: (0..self.edges)
+                .filter(|&e| self.edge_active[e])
+                .map(|e| EdgeMetrics {
+                    edge: e,
+                    insertion_loss: Db(self.il[e]),
+                    snr: Db(self.edge_snr(e)),
+                })
+                .collect(),
+            worst_case_il: Db(self.worst_il),
+            worst_case_snr: Db(self.worst_snr),
+        }
+    }
 }
 
 /// Tuning knobs for the worst-case crosstalk analysis.
@@ -134,6 +279,11 @@ pub struct Evaluator {
     /// `interaction[v][a] > 0` — the branch-free coupling test used by
     /// the incremental path's victim marking.
     coupled: [[bool; 25]; 25],
+    /// Bit `a` of `row_mask[v]` set iff `interaction[v][a] > 0`: the
+    /// per-victim-pair coupling mask, tested against a router's
+    /// present-pairs mask to skip victims that cannot collect noise
+    /// there (an exact `+0.0` either way, so skipping is bit-exact).
+    row_mask: [u32; 25],
     /// Ceiling reported when a path collects zero noise.
     snr_ceiling: Db,
     options: EvaluatorOptions,
@@ -191,6 +341,13 @@ impl Evaluator {
                 tiles,
             });
         }
+        // Occupancy entries pack endpoint task ids into u16s; a CG past
+        // this bound would need a tile count whose precomputed path
+        // table (tiles²) is far beyond any realistic memory budget.
+        assert!(
+            cg.task_count() <= usize::from(u16::MAX),
+            "task indices must fit the packed occupancy entries"
+        );
 
         // Per-pair router losses as linear gains and dB.
         let mut pair_gain = [0.0f64; 25];
@@ -205,11 +362,15 @@ impl Evaluator {
         }
         let mut interaction = [[0.0f64; 25]; 25];
         let mut coupled = [[false; 25]; 25];
+        let mut row_mask = [0u32; 25];
         for v in PortPair::all() {
             for a in PortPair::all() {
                 let g = router.interaction_gain(v, a, params).0;
                 interaction[v.index()][a.index()] = g;
                 coupled[v.index()][a.index()] = g > 0.0;
+                if g > 0.0 {
+                    row_mask[v.index()] |= 1 << a.index();
+                }
             }
         }
 
@@ -290,6 +451,7 @@ impl Evaluator {
             paths,
             interaction,
             coupled,
+            row_mask,
             snr_ceiling: params.snr_ceiling,
             options,
         })
@@ -302,6 +464,11 @@ impl Evaluator {
     }
 
     /// Evaluates one mapping: per-edge IL and SNR plus the worst cases.
+    ///
+    /// This is a thin allocating wrapper over
+    /// [`Evaluator::evaluate_into`]: it builds a fresh [`EvalScratch`]
+    /// and materializes [`NetworkMetrics`] per call. Hot loops should
+    /// hold a scratch and call `evaluate_into` directly.
     ///
     /// # Panics
     ///
@@ -320,7 +487,9 @@ impl Evaluator {
     /// The paper's objective is the worst case over *all* communications
     /// being simultaneously active; this entry point supports the
     /// Monte-Carlo validation of that bound (see
-    /// [`crate::montecarlo`]) and duty-cycle studies.
+    /// [`crate::montecarlo`]) and duty-cycle studies. Like
+    /// [`Evaluator::evaluate`], it is an allocating wrapper over
+    /// [`Evaluator::evaluate_into`].
     ///
     /// # Panics
     ///
@@ -328,6 +497,23 @@ impl Evaluator {
     /// is provided with the wrong length.
     #[must_use]
     pub fn evaluate_subset(&self, mapping: &Mapping, active: Option<&[bool]>) -> NetworkMetrics {
+        let mut scratch = EvalScratch::default();
+        self.evaluate_into(mapping, active, &mut scratch);
+        scratch.to_metrics()
+    }
+
+    /// The original allocating full pass, retained verbatim as a
+    /// **reference implementation**: an independent oracle the property
+    /// tests compare [`Evaluator::evaluate_into`] against bit-for-bit,
+    /// and the baseline the `full_alloc_vs_scratch` bench measures the
+    /// scratch path's speedup over. Not a hot-path API — it allocates
+    /// roughly twenty vectors per call.
+    ///
+    /// # Panics
+    ///
+    /// As [`Evaluator::evaluate_subset`].
+    #[must_use]
+    pub fn evaluate_reference(&self, mapping: &Mapping, active: Option<&[bool]>) -> NetworkMetrics {
         assert_eq!(
             mapping.tile_count(),
             self.tile_count,
@@ -406,12 +592,7 @@ impl Evaluator {
                 continue;
             }
             let il = path.total_db;
-            let snr = if noise[e] > 0.0 {
-                10.0 * (path.total_gain / noise[e]).log10()
-            } else {
-                self.snr_ceiling.0
-            };
-            let snr = snr.min(self.snr_ceiling.0);
+            let snr = self.snr_of(path.total_gain, noise[e]);
             worst_il = worst_il.min(il);
             worst_snr = worst_snr.min(snr);
             edges.push(EdgeMetrics {
@@ -425,6 +606,191 @@ impl Evaluator {
         }
         NetworkMetrics {
             edges,
+            worst_case_il: Db(worst_il),
+            worst_case_snr: Db(worst_snr),
+        }
+    }
+
+    /// Allocation-free full evaluation into caller-provided buffers:
+    /// the engine of [`Evaluator::evaluate`] / `evaluate_subset`.
+    ///
+    /// Occupancies are bucketed per tile with a counting sort over flat
+    /// arrays and noise is accumulated with the same branch-free
+    /// multiply-select loop as the incremental path, in the same order —
+    /// results are **bit-identical** to the allocating wrappers (which
+    /// simply call this). After the first call on a given scratch the
+    /// hot path performs no heap allocation.
+    ///
+    /// Returns the two worst cases; per-edge metrics stay readable on
+    /// the scratch ([`EvalScratch::to_metrics`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mapping` does not match the topology, or if `active`
+    /// is provided with the wrong length.
+    pub fn evaluate_into(
+        &self,
+        mapping: &Mapping,
+        active: Option<&[bool]>,
+        scratch: &mut EvalScratch,
+    ) -> EvalSummary {
+        assert_eq!(
+            mapping.tile_count(),
+            self.tile_count,
+            "mapping built for a different topology"
+        );
+        let edges = self.edge_endpoints.len();
+        if let Some(active) = active {
+            assert_eq!(
+                active.len(),
+                edges,
+                "activity mask must cover every CG edge"
+            );
+        }
+        let tiles = self.tile_count;
+        scratch.prepare(edges, tiles);
+        scratch.edges = edges;
+        scratch.ceiling = self.snr_ceiling.0;
+
+        // Resolve each CG edge to its precomputed path; latch activity
+        // and the path's IL/gain, and count its hops per tile for the
+        // counting sort — one pass over the path table.
+        scratch.tile_offset[..=tiles].fill(0);
+        let mut total = 0usize;
+        for (e, &(s, d)) in self.edge_endpoints.iter().enumerate() {
+            let st = mapping.tile_of_task(s).0;
+            let dt = mapping.tile_of_task(d).0;
+            let idx = st * tiles + dt;
+            let path = self.path(idx);
+            scratch.edge_path[e] = idx;
+            scratch.il[e] = path.total_db;
+            scratch.gain[e] = path.total_gain;
+            let live = active.is_none_or(|a| a[e]);
+            scratch.edge_active[e] = live;
+            if live {
+                for hop in &path.hops {
+                    scratch.tile_offset[hop.tile + 1] += 1;
+                }
+                total += path.hops.len();
+            }
+        }
+
+        // Prefix-sum, then fill. The fill visits edges then hops
+        // ascending, so within a tile entries sit in `(edge, hop)`
+        // order — exactly the order the reference pass pushed them.
+        for t in 0..tiles {
+            scratch.tile_offset[t + 1] += scratch.tile_offset[t];
+        }
+        scratch.occ.resize(total, delta::Occ::default());
+        scratch.occ_suffix.resize(total, 0.0);
+        scratch.cursor[..tiles].copy_from_slice(&scratch.tile_offset[..tiles]);
+        scratch.tile_pairs[..tiles].fill(0);
+        for e in 0..edges {
+            if !scratch.edge_active[e] {
+                continue;
+            }
+            let (src, dst) = self.edge_endpoints[e];
+            for (h, hop) in self.path(scratch.edge_path[e]).hops.iter().enumerate() {
+                let slot = scratch.cursor[hop.tile] as usize;
+                scratch.cursor[hop.tile] += 1;
+                scratch.tile_pairs[hop.tile] |= 1 << hop.pair;
+                scratch.occ[slot] = delta::Occ {
+                    edge: e as u32,
+                    hop: h as u32,
+                    pair: hop.pair as u16,
+                    src: src as u16,
+                    dst: dst as u16,
+                    prefix: hop.prefix,
+                };
+                scratch.occ_suffix[slot] = hop.suffix;
+            }
+        }
+
+        // Noise accumulation: tiles ascending, victims in list order,
+        // aggressors via the shared branch-free inner loop. Everything
+        // the loop reads sits inline in the occupancy arrays (borrows
+        // split per field so the slices stay hoisted).
+        scratch.noise[..edges].fill(0.0);
+        let EvalScratch {
+            occ,
+            occ_suffix,
+            noise,
+            tile_offset,
+            tile_pairs,
+            ..
+        } = scratch;
+        for t in 0..tiles {
+            let (lo, hi) = (tile_offset[t] as usize, tile_offset[t + 1] as usize);
+            if hi - lo < 2 {
+                continue;
+            }
+            let present = tile_pairs[t];
+            let hops_here = &occ[lo..hi];
+            for (local, victim) in hops_here.iter().enumerate() {
+                // Victims whose interaction row has no coupling partner
+                // among the pairs present here would accumulate an
+                // exact 0.0 — skip them outright (bit-identical, since
+                // `x + 0.0 == x` for the non-negative noise sums).
+                if self.row_mask[victim.pair as usize] & present == 0 {
+                    continue;
+                }
+                let acc = self.aggressor_sum_packed(
+                    victim.edge,
+                    victim.pair,
+                    victim.src,
+                    victim.dst,
+                    hops_here,
+                );
+                noise[victim.edge as usize] += acc * occ_suffix[lo + local];
+            }
+        }
+
+        // Worst-case min-scan. The worst SNR is selected in the linear
+        // ratio domain and converted with a *single* `log10` — exact,
+        // because `log10` is monotone, so the minimum dB value is
+        // attained at the minimum gain/noise ratio and computed by the
+        // very same expression the per-edge formula uses (per-edge SNRs
+        // stay available lazily via the cached noise/gain).
+        let mut worst_il = 0.0f64;
+        let mut min_ratio = f64::INFINITY;
+        let mut any_active = false;
+        for e in 0..edges {
+            if !scratch.edge_active[e] {
+                continue;
+            }
+            any_active = true;
+            worst_il = worst_il.min(scratch.il[e]);
+            if scratch.noise[e] > 0.0 {
+                min_ratio = min_ratio.min(scratch.gain[e] / scratch.noise[e]);
+            }
+        }
+        let worst_snr = if !any_active {
+            self.snr_ceiling.0
+        } else if min_ratio.is_finite() {
+            (10.0 * min_ratio.log10()).min(self.snr_ceiling.0)
+        } else {
+            // Every active edge is noise-free: all SNRs sit at the
+            // ceiling.
+            self.snr_ceiling.0
+        };
+        scratch.worst_il = worst_il;
+        scratch.worst_snr = worst_snr;
+        debug_assert_eq!(
+            worst_snr,
+            (0..edges)
+                .filter(|&e| scratch.edge_active[e])
+                .map(|e| scratch.edge_snr(e))
+                .fold(
+                    if any_active {
+                        f64::INFINITY
+                    } else {
+                        self.snr_ceiling.0
+                    },
+                    f64::min
+                ),
+            "ratio-domain worst-SNR selection diverged from the per-edge scan"
+        );
+        EvalSummary {
             worst_case_il: Db(worst_il),
             worst_case_snr: Db(worst_snr),
         }

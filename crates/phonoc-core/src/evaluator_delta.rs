@@ -54,20 +54,30 @@
 //! workspace property tests (`crates/phonoc-core/tests/`,
 //! `tests/properties.rs`) pin the equality on random mappings and moves.
 
-use super::{Evaluator, NetworkMetrics, PathInfo};
+use super::{EvalScratch, EvalSummary, Evaluator, NetworkMetrics, PathInfo};
 use crate::mapping::{Mapping, Move};
 use crate::parallel;
 use phonoc_phys::Db;
 
 /// One occupancy of a router: edge `edge`'s hop `hop` traverses it with
 /// port pair `pair`, arriving with linear gain `prefix`. Lists are kept
-/// ascending by `(edge, hop)` — the full pass's insertion order.
-#[derive(Debug, Clone, Copy, PartialEq)]
-struct Occ {
-    edge: u32,
-    hop: u32,
-    pair: u16,
-    prefix: f64,
+/// ascending by `(edge, hop)` — the full pass's insertion order. Shared
+/// with the scratch-reusing full evaluator ([`super::EvalScratch`]), so
+/// both passes run the same branch-free accumulate over the same entry
+/// layout.
+///
+/// The edge's endpoint tasks ride along as packed `u16`s (the evaluator
+/// asserts they fit at construction) so the inner accumulate loop runs
+/// the same-source/destination exclusions without a gather into the
+/// endpoint table.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub(super) struct Occ {
+    pub(super) edge: u32,
+    pub(super) hop: u32,
+    pub(super) pair: u16,
+    pub(super) src: u16,
+    pub(super) dst: u16,
+    pub(super) prefix: f64,
 }
 
 /// Mapping-dependent caches enabling incremental re-evaluation.
@@ -174,6 +184,27 @@ impl ScoreDelta {
     }
 }
 
+/// Outcome of a bound-then-verify SNR peek
+/// ([`Evaluator::evaluate_delta_bounded`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedDelta {
+    /// The move cannot lift the worst-case SNR above the threshold it
+    /// was tested against: its exact new worst-case SNR is `≤ bound ≤
+    /// threshold`. The exact value was **not** fully computed — a
+    /// rejected peek must never be committed.
+    Rejected {
+        /// An admissible upper bound on the move's new worst-case SNR.
+        bound: Db,
+        /// Victim noise recomputations performed before rejection (0
+        /// when the structural bound already rejected) — the honest
+        /// evaluator work, used for budget accounting.
+        cost: usize,
+    },
+    /// The move may beat the threshold: the full delta was computed
+    /// and is bit-identical to [`Evaluator::evaluate_delta`].
+    Exact(ScoreDelta),
+}
+
 /// Reusable buffers for delta evaluation.
 ///
 /// One scratch serves any number of sequential
@@ -204,6 +235,9 @@ pub struct DeltaScratch {
     /// *current* state layout, so only kept hops use them.
     acc_new: Vec<f64>,
     acc_mark: Vec<u32>,
+    /// Lazy-recompute memo for the bound-then-verify path: `acc_new`
+    /// at this flat index has been computed this epoch.
+    acc_done: Vec<u32>,
     /// Kept victim hops needing recomputation: `(edge, hop, tile,
     /// pair)`.
     dirty_hops: Vec<(u32, u32, u32, u16)>,
@@ -234,6 +268,7 @@ impl DeltaScratch {
         }
         if self.acc_mark.len() < flat_hops {
             self.acc_mark.resize(flat_hops, 0);
+            self.acc_done.resize(flat_hops, 0);
             self.acc_new.resize(flat_hops, 0.0);
         }
         self.epoch = self.epoch.wrapping_add(1);
@@ -243,6 +278,7 @@ impl DeltaScratch {
             self.affected_mark.fill(0);
             self.tile_mark.fill(0);
             self.acc_mark.fill(0);
+            self.acc_done.fill(0);
             self.epoch = 1;
         }
         self.moved.clear();
@@ -325,12 +361,15 @@ impl Evaluator {
         let mut suffix = vec![0.0f64; total_hops];
         let mut tile_hops: Vec<Vec<Occ>> = vec![Vec::new(); self.tile_count];
         for (e, path) in edge_paths.iter().enumerate() {
+            let (src, dst) = self.edge_endpoints[e];
             for (h, hop) in path.hops.iter().enumerate() {
                 suffix[hop_offset[e] + h] = hop.suffix;
                 tile_hops[hop.tile].push(Occ {
                     edge: e as u32,
                     hop: h as u32,
                     pair: hop.pair as u16,
+                    src: src as u16,
+                    dst: dst as u16,
                     prefix: hop.prefix,
                 });
             }
@@ -382,7 +421,7 @@ impl Evaluator {
         }
     }
 
-    fn path(&self, idx: usize) -> &PathInfo {
+    pub(super) fn path(&self, idx: usize) -> &PathInfo {
         self.paths[idx]
             .as_ref()
             .expect("distinct tasks map to distinct tiles")
@@ -390,7 +429,7 @@ impl Evaluator {
 
     /// Per-edge SNR from total path gain and accumulated noise, matching
     /// the full pass formula (ceiling when noise-free, clamped).
-    fn snr_of(&self, total_gain: f64, noise: f64) -> f64 {
+    pub(super) fn snr_of(&self, total_gain: f64, noise: f64) -> f64 {
         let snr = if noise > 0.0 {
             10.0 * (total_gain / noise).log10()
         } else {
@@ -424,19 +463,46 @@ impl Evaluator {
     ///
     /// Branch-free: excluded entries contribute an exact `+0.0` via a
     /// multiply-select, which is bit-identical to skipping them (all
-    /// terms are non-negative, so `acc + 0.0 == acc` to the bit).
-    fn aggressor_sum(&self, ve: usize, v_pair: u16, hops_here: &[Occ]) -> f64 {
+    /// terms are non-negative, so `acc + 0.0 == acc` to the bit). The
+    /// exclusion tests run entirely on the entries' inline endpoint
+    /// fields — no lookups leave the occupancy list.
+    pub(super) fn aggressor_sum(&self, ve: usize, v_pair: u16, hops_here: &[Occ]) -> f64 {
         let (v_src, v_dst) = self.edge_endpoints[ve];
+        self.aggressor_sum_packed(ve as u32, v_pair, v_src as u16, v_dst as u16, hops_here)
+    }
+
+    /// [`Evaluator::aggressor_sum`] with the victim's identity already
+    /// packed — the form the scratch-reusing full pass uses, where the
+    /// victim's own occupancy entry carries everything needed. The
+    /// default exclusion configuration (same-source only) gets a
+    /// specialized loop; both compute the identical ordered sum.
+    #[inline]
+    pub(super) fn aggressor_sum_packed(
+        &self,
+        ve: u32,
+        v_pair: u16,
+        v_src: u16,
+        v_dst: u16,
+        hops_here: &[Occ],
+    ) -> f64 {
+        let row = &self.interaction[v_pair as usize];
         let ex_src = self.options.exclude_same_source;
         let ex_dst = self.options.exclude_same_destination;
-        let row = &self.interaction[v_pair as usize];
         let mut acc = 0.0;
-        for occ in hops_here {
-            let ae = occ.edge as usize;
-            let (a_src, a_dst) = self.edge_endpoints[ae];
-            let excluded = (ae == ve) | (ex_src & (a_src == v_src)) | (ex_dst & (a_dst == v_dst));
-            let select = f64::from(u8::from(!excluded));
-            acc += occ.prefix * row[occ.pair as usize] * select;
+        if ex_src & !ex_dst {
+            for occ in hops_here {
+                let excluded = (occ.edge == ve) | (occ.src == v_src);
+                let select = f64::from(u8::from(!excluded));
+                acc += occ.prefix * row[occ.pair as usize] * select;
+            }
+        } else {
+            for occ in hops_here {
+                let excluded = (occ.edge == ve)
+                    | (ex_src & (occ.src == v_src))
+                    | (ex_dst & (occ.dst == v_dst));
+                let select = f64::from(u8::from(!excluded));
+                acc += occ.prefix * row[occ.pair as usize] * select;
+            }
         }
         acc
     }
@@ -557,12 +623,242 @@ impl Evaluator {
         })
     }
 
+    /// Loss-objective fast path over a batch of moves (the IL-only
+    /// admitted-list scan). Results are in input order; each worker
+    /// thread reuses one scratch, so the outcome is deterministic and
+    /// bit-identical to a sequential [`Evaluator::evaluate_delta_loss`]
+    /// loop.
+    #[must_use]
+    pub fn evaluate_delta_loss_batch(
+        &self,
+        state: &EvalState,
+        mapping: &Mapping,
+        moves: &[Move],
+    ) -> Vec<(Db, usize)> {
+        parallel::parallel_map_with(moves, DeltaScratch::default, |scratch, &mv| {
+            self.evaluate_delta_loss(state, mapping, mv, scratch)
+        })
+    }
+
+    /// Bound-then-verify SNR peek: scores `mv` only as far as needed to
+    /// decide whether its new worst-case SNR can exceed `threshold`.
+    ///
+    /// Crosstalk can only *hurt* SNR, so two admissible upper bounds
+    /// reject most non-improving moves long before the full delta:
+    ///
+    /// 1. **Structural bound** — the new worst case cannot exceed the
+    ///    (unchanged) minimum SNR over unaffected edges; when the
+    ///    current worst edge is not touched by the move, this rejects
+    ///    after the marking pass alone, with zero noise recomputation.
+    /// 2. **Running verify bound** — otherwise affected victims are
+    ///    recomputed exactly, one at a time with *lazy* dirty-hop
+    ///    accumulation, and the peek exits as soon as the running
+    ///    minimum drops to the threshold (the minimum only decreases,
+    ///    so rejection is sound).
+    ///
+    /// If no bound fires, the returned [`BoundedDelta::Exact`] is
+    /// bit-identical to [`Evaluator::evaluate_delta`] — accepted moves
+    /// always carry exact scores. This is what breaks the dense-
+    /// placement parity ceiling: on a random VOPD/4×4 placement a swap
+    /// couples into ~¾ of all communications, so the exact delta sits
+    /// at parity with full evaluation, but most candidate moves cannot
+    /// beat the incumbent and are rejected at a fraction of that cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move is out of range for `mapping`.
+    #[must_use]
+    pub fn evaluate_delta_bounded(
+        &self,
+        state: &EvalState,
+        mapping: &Mapping,
+        mv: Move,
+        scratch: &mut DeltaScratch,
+        threshold: Db,
+    ) -> BoundedDelta {
+        if !self.delta_collect_moved(state, mapping, mv, scratch) {
+            // Neutral move: the exact delta is free.
+            return BoundedDelta::Exact(ScoreDelta {
+                old_worst_il: Db(state.worst_il),
+                old_worst_snr: Db(state.worst_snr),
+                new_worst_il: Db(state.worst_il),
+                new_worst_snr: Db(state.worst_snr),
+                affected_edges: 0,
+            });
+        }
+        self.delta_patch_and_mark(state, scratch);
+
+        let (worst_il, unaffected_snr) = self.delta_scan_il_and_unaffected_snr(state, scratch);
+        if unaffected_snr <= threshold.0 {
+            return BoundedDelta::Rejected {
+                bound: Db(unaffected_snr),
+                cost: 0,
+            };
+        }
+
+        // Verify: exact per-victim SNRs (dirty accumulations computed
+        // lazily, each at most once), tracking the affected minimum in
+        // the linear ratio domain exactly like the peek path — one
+        // `log10` per *decrease* of the minimum, at which point the
+        // early-exit test runs.
+        let mut min_ratio = f64::INFINITY;
+        let mut any_noise_free = false;
+        for i in 0..scratch.affected.len() {
+            let v = scratch.affected[i];
+            let (noise, gain) = self.lazy_victim_noise(state, scratch, v);
+            scratch.new_noise[v] = noise;
+            if noise > 0.0 {
+                let ratio = gain / noise;
+                if ratio < min_ratio {
+                    min_ratio = ratio;
+                    let affected_snr = (10.0 * min_ratio.log10()).min(self.snr_ceiling.0);
+                    if affected_snr <= threshold.0 {
+                        return BoundedDelta::Rejected {
+                            bound: Db(unaffected_snr.min(affected_snr)),
+                            cost: i + 1,
+                        };
+                    }
+                }
+            } else {
+                any_noise_free = true;
+            }
+        }
+
+        // Survived every bound: assemble the exact worst cases with the
+        // same expressions as the exact peek path.
+        let affected_snr = if min_ratio.is_finite() {
+            (10.0 * min_ratio.log10()).min(self.snr_ceiling.0)
+        } else if any_noise_free {
+            self.snr_ceiling.0
+        } else {
+            f64::INFINITY
+        };
+        let worst_snr = unaffected_snr.min(affected_snr);
+        debug_assert_eq!(
+            worst_snr,
+            self.canonical_worst_snr(state, scratch),
+            "bounded verify diverged from the canonical scan"
+        );
+        BoundedDelta::Exact(ScoreDelta {
+            old_worst_il: Db(state.worst_il),
+            old_worst_snr: Db(state.worst_snr),
+            new_worst_il: Db(worst_il),
+            new_worst_snr: Db(worst_snr),
+            affected_edges: scratch.affected.len(),
+        })
+    }
+
+    /// [`Evaluator::evaluate_delta_bounded`] over a batch of moves, all
+    /// tested against the same threshold, in parallel. Results are in
+    /// input order; each worker thread reuses one scratch, so the
+    /// outcome is deterministic and identical to a sequential loop.
+    #[must_use]
+    pub fn evaluate_delta_bounded_batch(
+        &self,
+        state: &EvalState,
+        mapping: &Mapping,
+        moves: &[Move],
+        threshold: Db,
+    ) -> Vec<BoundedDelta> {
+        parallel::parallel_map_with(moves, DeltaScratch::default, |scratch, &mv| {
+            self.evaluate_delta_bounded(state, mapping, mv, scratch, threshold)
+        })
+    }
+
+    /// Memoized lazy accumulation for kept hop `flat` of victim `v`:
+    /// hops marked dirty are recomputed (at most once per epoch)
+    /// against the patched list at `tile`; clean hops read the cached
+    /// state — exactly the values the eager recompute pass produces.
+    fn lazy_acc(
+        &self,
+        state: &EvalState,
+        scratch: &mut DeltaScratch,
+        flat: usize,
+        v: usize,
+        pair: u16,
+        tile: usize,
+    ) -> f64 {
+        if scratch.acc_mark[flat] != scratch.epoch {
+            return state.acc[flat];
+        }
+        if scratch.acc_done[flat] != scratch.epoch {
+            let slot = scratch.slot_of(tile);
+            let acc = self.aggressor_sum(v, pair, &scratch.patched_lists[slot]);
+            scratch.acc_new[flat] = acc;
+            scratch.acc_done[flat] = scratch.epoch;
+        }
+        scratch.acc_new[flat]
+    }
+
+    /// Exact `(noise, total gain)` of affected victim `v` against the
+    /// patched occupancies, computing dirty accumulations on demand —
+    /// the lazy twin of the eager resum, summing in the same canonical
+    /// tile order with the same terms (bit-identical by construction).
+    fn lazy_victim_noise(
+        &self,
+        state: &EvalState,
+        scratch: &mut DeltaScratch,
+        v: usize,
+    ) -> (f64, f64) {
+        let base = state.hop_offset[v];
+        if scratch.is_moved(v) {
+            let head = scratch.head_len[v] as usize;
+            let path = self.path(scratch.new_path[v]);
+            let mut noise = 0.0f64;
+            for &h in &path.tile_order {
+                let h = h as usize;
+                let hop = path.hops[h];
+                let acc = if h < head {
+                    // Shared-head hops are entrywise identical to the
+                    // old path, so the cached flat layout still applies.
+                    self.lazy_acc(state, scratch, base + h, v, hop.pair as u16, hop.tile)
+                } else {
+                    let slot = scratch.slot_of(hop.tile);
+                    let hops_here = &scratch.patched_lists[slot];
+                    if hops_here.len() >= 2 {
+                        self.aggressor_sum(v, hop.pair as u16, hops_here)
+                    } else {
+                        0.0
+                    }
+                };
+                noise += acc * hop.suffix;
+            }
+            (noise, path.total_gain)
+        } else {
+            let path = self.path(state.path_of_edge[v]);
+            let mut noise = 0.0f64;
+            for &h in &path.tile_order {
+                let h = h as usize;
+                let hop = path.hops[h];
+                let acc = self.lazy_acc(state, scratch, base + h, v, hop.pair as u16, hop.tile);
+                noise += acc * state.suffix[base + h];
+            }
+            (noise, path.total_gain)
+        }
+    }
+
     /// Evaluates many independent mappings in parallel (population
     /// strategies, random sweeps). Results are in input order and
-    /// identical to calling [`Evaluator::evaluate`] per mapping.
+    /// identical to calling [`Evaluator::evaluate`] per mapping; each
+    /// worker thread reuses one [`EvalScratch`], so only the returned
+    /// [`NetworkMetrics`] are allocated.
     #[must_use]
     pub fn evaluate_batch(&self, mappings: &[Mapping]) -> Vec<NetworkMetrics> {
-        parallel::parallel_map(mappings, |m| self.evaluate(m))
+        parallel::parallel_map_with(mappings, EvalScratch::default, |scratch, m| {
+            self.evaluate_into(m, None, scratch);
+            scratch.to_metrics()
+        })
+    }
+
+    /// Worst-cases-only parallel batch — the form search loops consume.
+    /// Same ordering and determinism guarantees as
+    /// [`Evaluator::evaluate_batch`], with **zero** per-mapping
+    /// allocation (worker scratches are reused across their chunk).
+    #[must_use]
+    pub fn evaluate_summaries_batch(&self, mappings: &[Mapping]) -> Vec<EvalSummary> {
+        parallel::parallel_map_with(mappings, EvalScratch::default, |scratch, m| {
+            self.evaluate_into(m, None, scratch)
+        })
     }
 
     /// Commits `mv`: updates `mapping`, and patches `state`'s caches so
@@ -677,27 +973,26 @@ impl Evaluator {
             && self.evaluate(mapping) == state.to_metrics()
     }
 
-    /// The shared peek/commit computation: fills `scratch` with the
-    /// moved-edge set, patched tile lists and recomputed victims, and
-    /// returns the new worst cases. The commit path additionally caches
-    /// every affected victim's SNR; the peek path derives the worst SNR
-    /// with a single `log10`.
-    fn compute_delta(
+    /// Phase 1 of a delta: starts a scratch epoch and collects the
+    /// moved edges — new path index + bitwise-shared head length (XY
+    /// routes with an unmoved source often keep their leading hops
+    /// — identical tile, pair and prefix — which then need no
+    /// patching at all). Returns `false` for neutral moves (free↔free
+    /// or identity), where nothing changes.
+    fn delta_collect_moved(
         &self,
         state: &EvalState,
         mapping: &Mapping,
         mv: Move,
         scratch: &mut DeltaScratch,
-        commit: bool,
-    ) -> (f64, f64) {
+    ) -> bool {
         let edges = self.edge_endpoints.len();
         let tasks = mapping.task_count();
         scratch.begin(edges, self.tile_count, state.acc.len());
 
         let (a, b) = mv.positions(mapping);
         if a == b || a >= tasks || edges == 0 {
-            // Neutral move (free↔free or identity): nothing changes.
-            return (state.worst_il, state.worst_snr);
+            return false;
         }
 
         // Tasks that change tiles, and the tile each task sits on after
@@ -715,10 +1010,6 @@ impl Evaluator {
             }
         };
 
-        // Moved edges: new path index + bitwise-shared head length (XY
-        // routes with an unmoved source often keep their leading hops
-        // — identical tile, pair and prefix — which then need no
-        // patching at all).
         for &t in [Some(task_a), task_b].iter().flatten() {
             for &e in &self.task_edges[t] {
                 if scratch.moved_mark[e] != scratch.epoch {
@@ -746,12 +1037,20 @@ impl Evaluator {
                 }
             }
         }
+        true
+    }
 
+    /// Phase 2 of a delta: patches the occupancy lists of every tile a
+    /// moved edge really changes, and marks the kept victim hops some
+    /// changed occupancy couples into (filling `dirty_hops` and the
+    /// affected set).
+    fn delta_patch_and_mark(&self, state: &EvalState, scratch: &mut DeltaScratch) {
         // Patch every tile that really changes: old-path hops beyond the
         // shared head are removals, new-path hops beyond it are
         // insertions.
         for i in 0..scratch.moved.len() {
             let e = scratch.moved[i];
+            let (src, dst) = self.edge_endpoints[e];
             let head = scratch.head_len[e] as usize;
             for hop in &self.path(state.path_of_edge[e]).hops[head..] {
                 self.touch_tile(state, scratch, hop.tile);
@@ -767,6 +1066,8 @@ impl Evaluator {
                     edge: e as u32,
                     hop: (head + off) as u32,
                     pair: hop.pair as u16,
+                    src: src as u16,
+                    dst: dst as u16,
                     prefix: hop.prefix,
                 });
             }
@@ -807,6 +1108,51 @@ impl Evaluator {
                 list.sort_unstable_by_key(|o| (o.edge, o.hop));
             }
         }
+    }
+
+    /// Worst-IL min-scan plus the minimum SNR over *unaffected* edges —
+    /// the structural part every delta (exact or bounded) needs.
+    fn delta_scan_il_and_unaffected_snr(
+        &self,
+        state: &EvalState,
+        scratch: &DeltaScratch,
+    ) -> (f64, f64) {
+        let edges = self.edge_endpoints.len();
+        let mut worst_il = 0.0f64;
+        let mut unaffected_snr = f64::INFINITY;
+        for e in 0..edges {
+            let il = if scratch.is_moved(e) {
+                self.path(scratch.new_path[e]).total_db
+            } else {
+                state.il[e]
+            };
+            worst_il = worst_il.min(il);
+            if !scratch.is_affected(e) {
+                unaffected_snr = unaffected_snr.min(state.snr[e]);
+            }
+        }
+        (worst_il, unaffected_snr)
+    }
+
+    /// The shared peek/commit computation: fills `scratch` with the
+    /// moved-edge set, patched tile lists and recomputed victims
+    /// (composing the phase helpers above), and returns the new worst
+    /// cases. The commit path additionally caches every affected
+    /// victim's SNR; the peek path derives the worst SNR with a single
+    /// `log10`.
+    fn compute_delta(
+        &self,
+        state: &EvalState,
+        mapping: &Mapping,
+        mv: Move,
+        scratch: &mut DeltaScratch,
+        commit: bool,
+    ) -> (f64, f64) {
+        if !self.delta_collect_moved(state, mapping, mv, scratch) {
+            // Neutral move (free↔free or identity): nothing changes.
+            return (state.worst_il, state.worst_snr);
+        }
+        self.delta_patch_and_mark(state, scratch);
 
         // Recompute the dirty kept hops against the patched occupancies.
         // (These may include shared-head hops of moved edges whose tile
@@ -891,19 +1237,7 @@ impl Evaluator {
         }
 
         // Worst-case min-scans over cached + recomputed per-edge values.
-        let mut worst_il = 0.0f64;
-        let mut unaffected_snr = f64::INFINITY;
-        for e in 0..edges {
-            let il = if scratch.is_moved(e) {
-                self.path(scratch.new_path[e]).total_db
-            } else {
-                state.il[e]
-            };
-            worst_il = worst_il.min(il);
-            if !scratch.is_affected(e) {
-                unaffected_snr = unaffected_snr.min(state.snr[e]);
-            }
-        }
+        let (worst_il, unaffected_snr) = self.delta_scan_il_and_unaffected_snr(state, scratch);
         let worst_snr = if commit {
             let mut worst = unaffected_snr;
             for &v in &scratch.affected {

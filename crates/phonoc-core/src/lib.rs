@@ -12,23 +12,30 @@
 //!   [`mapping::Move`] neighbourhood operations.
 //! * [`evaluator`] — worst-case insertion loss and SNR evaluation
 //!   (Eqs. 3–4) over precomputed per-tile-pair paths and router
-//!   interaction matrices. Three scoring tiers:
-//!   [`Evaluator::evaluate`] (full), [`Evaluator::evaluate_delta`] /
-//!   [`Evaluator::apply_move`] (incremental, **bit-identical** to full
-//!   — see [`evaluator::EvalState`]), and
-//!   [`Evaluator::evaluate_batch`] / `evaluate_delta_batch` (parallel
-//!   across CPU cores with deterministic, input-ordered results).
+//!   interaction matrices. Four scoring tiers, all **bit-identical**
+//!   to each other: [`Evaluator::evaluate_into`] (allocation-free full
+//!   evaluation on a reused [`evaluator::EvalScratch`]) with the thin
+//!   allocating wrapper [`Evaluator::evaluate`];
+//!   [`Evaluator::evaluate_delta`] / [`Evaluator::apply_move`]
+//!   (incremental — see [`evaluator::EvalState`]) plus the
+//!   loss-objective fast path `evaluate_delta_loss` and the
+//!   bound-then-verify SNR peek `evaluate_delta_bounded`; and the
+//!   parallel batches ([`Evaluator::evaluate_batch`],
+//!   `evaluate_summaries_batch`, `evaluate_delta_batch`) with
+//!   deterministic, input-ordered results.
 //! * [`problem`] — [`problem::MappingProblem`]: CG + topology + router +
 //!   routing + parameters + objective.
 //! * [`engine`] — the budgeted, seeded search harness: the
 //!   [`engine::MappingOptimizer`] trait, full/batch evaluation, and the
-//!   move cursor ([`engine::OptContext::set_current`] /
-//!   [`engine::OptContext::peek_move`] /
-//!   [`engine::OptContext::apply_scored_move`]) with **delta-aware
+//!   move cursor ([`engine::OptContext::set_current`], the typed
+//!   objective-aware peek family [`engine::OptContext::peek_move`] /
+//!   `peek_moves` / `peek_move_improving` / `peek_moves_improving`,
+//!   and [`engine::OptContext::apply_scored_move`]) with **work-aware
 //!   budget accounting**: a full evaluation costs `edge_count` integer
-//!   units, an incremental peek only its affected-edge count.
+//!   units, a peek only the evaluator work it actually triggered.
 //! * [`parallel`] — the deterministic fork–join primitive behind batch
-//!   evaluation (std-thread based; no external dependencies).
+//!   evaluation (std-thread based; no external dependencies; tiny
+//!   batches stay on the caller thread via a per-worker chunk floor).
 //! * [`analysis`] — human-facing per-communication reports with BER and
 //!   power-budget verdicts.
 //! * [`error`] — shared error type.
@@ -107,7 +114,8 @@ pub use analysis::{analyze, EdgeReport, NetworkReport};
 pub use engine::{run_dse, DseResult, MappingOptimizer, MoveEval, OptContext};
 pub use error::CoreError;
 pub use evaluator::{
-    DeltaScratch, EdgeMetrics, EvalState, Evaluator, EvaluatorOptions, NetworkMetrics, ScoreDelta,
+    BoundedDelta, DeltaScratch, EdgeMetrics, EvalScratch, EvalState, EvalSummary, Evaluator,
+    EvaluatorOptions, NetworkMetrics, ScoreDelta,
 };
 pub use mapping::{Mapping, Move};
 pub use montecarlo::{activity_study, ActivityStudy};
@@ -120,7 +128,8 @@ pub mod prelude {
     pub use crate::engine::{run_dse, DseResult, MappingOptimizer, MoveEval, OptContext};
     pub use crate::error::CoreError;
     pub use crate::evaluator::{
-        EvalState, Evaluator, EvaluatorOptions, NetworkMetrics, ScoreDelta,
+        EvalScratch, EvalState, EvalSummary, Evaluator, EvaluatorOptions, NetworkMetrics,
+        ScoreDelta,
     };
     pub use crate::mapping::{Mapping, Move};
     pub use crate::montecarlo::{activity_study, ActivityStudy};

@@ -102,12 +102,15 @@ pub fn activity_study(
     let mut min_snr = f64::INFINITY;
     let mut sum_snr = 0.0f64;
     let mut free = 0usize;
+    // One reused scratch for the whole sampling loop: after the first
+    // sample, evaluations are allocation-free.
+    let mut scratch = crate::evaluator::EvalScratch::default();
     for _ in 0..samples {
         for slot in &mut mask {
             *slot = rng.gen_bool(activity);
         }
-        let metrics = evaluator.evaluate_subset(mapping, Some(&mask));
-        let snr = metrics.worst_case_snr.0;
+        let summary = evaluator.evaluate_into(mapping, Some(&mask), &mut scratch);
+        let snr = summary.worst_case_snr.0;
         min_snr = min_snr.min(snr);
         sum_snr += snr;
         if (snr - ceiling.0).abs() < 1e-12 {

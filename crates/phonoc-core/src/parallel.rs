@@ -5,17 +5,33 @@
 //! evaluator needs — an order-preserving parallel map over a slice —
 //! built on [`std::thread::scope`]. Results are returned in input
 //! order regardless of scheduling, so every caller stays deterministic.
-//! If `rayon` is ever vendored, only this module needs to change.
+//! Tiny batches are not worth a fork: a per-thread chunk floor
+//! ([`MIN_CHUNK`]) keeps short admitted-list scans and small
+//! populations on the caller thread and scales the worker count with
+//! the batch size, so multi-core machines stop paying thread-spawn
+//! overhead for work that finishes faster than a spawn. If `rayon` is
+//! ever vendored, only this module needs to change.
 
 use std::num::NonZeroUsize;
 
+/// Minimum items handed to each worker thread. Spawning a thread costs
+/// tens of microseconds; the items flowing through here (full or delta
+/// evaluations) cost single-digit microseconds each, so a batch must
+/// amortize the spawn over at least this many items per worker before
+/// forking pays. Below `2 × MIN_CHUNK` items, batches run on the caller
+/// thread; above it, worker count scales with `n / MIN_CHUNK` up to the
+/// machine's parallelism.
+pub(crate) const MIN_CHUNK: usize = 16;
+
 /// Number of worker threads to use for `n` items: the machine's
-/// available parallelism, capped by the item count.
+/// available parallelism, capped so every worker gets at least
+/// [`MIN_CHUNK`] items.
 fn workers_for(n: usize) -> usize {
     std::thread::available_parallelism()
         .map(NonZeroUsize::get)
         .unwrap_or(1)
-        .min(n)
+        .min(n / MIN_CHUNK)
+        .max(1)
 }
 
 /// Maps `f` over `items` in parallel, returning results in input order.
@@ -85,6 +101,46 @@ mod tests {
     fn tiny_batches_work() {
         assert_eq!(parallel_map(&[] as &[usize], |&x| x), Vec::<usize>::new());
         assert_eq!(parallel_map(&[7usize], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn chunk_floor_results_are_input_ordered_and_identical() {
+        // Sizes straddling every boundary of the chunk floor: empty,
+        // sub-floor (sequential), exactly one floor, just above, several
+        // floors, and far beyond any plausible core count × floor. The
+        // result must always equal the sequential map, in input order.
+        for n in [
+            0,
+            1,
+            MIN_CHUNK - 1,
+            MIN_CHUNK,
+            MIN_CHUNK + 1,
+            3 * MIN_CHUNK,
+            1024,
+        ] {
+            let items: Vec<usize> = (0..n).collect();
+            let expected: Vec<usize> = items.iter().map(|&x| x * 7 + 1).collect();
+            let out = parallel_map(&items, |&x| x * 7 + 1);
+            assert_eq!(out, expected, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn tiny_batches_never_fork() {
+        // Below the floor, the map must run on the caller thread — the
+        // scratch from `init` is then shared across *all* items, so the
+        // counter reaches exactly n.
+        let n = MIN_CHUNK * 2 - 1;
+        let items: Vec<usize> = (0..n).collect();
+        let out = parallel_map_with(
+            &items,
+            || 0usize,
+            |count, &x| {
+                *count += 1;
+                (x, *count)
+            },
+        );
+        assert_eq!(out.last().copied(), Some((n - 1, n)));
     }
 
     #[test]

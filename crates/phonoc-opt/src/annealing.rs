@@ -90,17 +90,17 @@ impl MappingOptimizer for SimulatedAnnealing {
                 let Some(ev) = ctx.peek_move(mv) else {
                     return;
                 };
-                let delta = ev.score - current_score;
+                let delta = ev.score() - current_score;
                 let accept = delta >= 0.0
                     || ctx
                         .rng()
                         .gen_bool((delta / temperature).exp().clamp(0.0, 1.0));
                 if accept {
                     ctx.apply_scored_move(&ev);
-                    current_score = ev.score;
-                    if ev.score > best_score {
+                    current_score = ev.score();
+                    if ev.score() > best_score {
                         best = ctx.current_mapping().expect("cursor set").clone();
-                        best_score = ev.score;
+                        best_score = ev.score();
                     }
                 }
             }

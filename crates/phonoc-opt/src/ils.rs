@@ -10,8 +10,10 @@
 //! large building blocks (grid embeddings do).
 //!
 //! The descent runs on the incremental move API: each candidate swap is
-//! delta-scored with [`OptContext::peek_move`] and the first improving
-//! one committed with [`OptContext::apply_scored_move`].
+//! delta-scored with [`OptContext::peek_move_improving`] — the
+//! objective-aware peek that rejects non-improving SNR moves via a
+//! cheap admissible bound and scores the rest exactly — and the first
+//! improving one committed with [`OptContext::apply_scored_move`].
 
 use phonoc_core::{MappingOptimizer, Move, OptContext};
 use rand::Rng;
@@ -67,12 +69,12 @@ impl MappingOptimizer for IteratedLocalSearch {
                         if a >= b || (a >= tasks && b >= tasks) {
                             continue;
                         }
-                        let Some(ev) = ctx.peek_move(Move::Swap(a, b)) else {
+                        let Some(ev) = ctx.peek_move_improving(Move::Swap(a, b)) else {
                             break 'rounds;
                         };
-                        if ev.score > current_score {
+                        if ev.score() > current_score {
                             ctx.apply_scored_move(&ev);
-                            current_score = ev.score;
+                            current_score = ev.score();
                             improved = true;
                             break;
                         }

@@ -12,14 +12,21 @@
 //!
 //! Strategies whose neighbourhood is the pairwise swap walk the engine's
 //! **move cursor**: `OptContext::set_current` full-evaluates a starting
-//! point once, `peek_move` / `peek_moves` score candidate
-//! [`Move`](phonoc_core::Move)s *incrementally* (bit-identical to a full
-//! evaluation, charged only for the edges a swap perturbs, scanned in
-//! parallel for whole admitted lists), and `apply_scored_move` commits
-//! the chosen one. [`Rpbla`], [`SimulatedAnnealing`], [`TabuSearch`] and
-//! [`IteratedLocalSearch`] all run on this path, which is why their
-//! descents fit many more probes into the same evaluation budget than a
-//! naive re-evaluating loop would.
+//! point once, the typed peek family scores candidate
+//! [`Move`](phonoc_core::Move)s *incrementally*, and `apply_scored_move`
+//! commits the chosen one. Peeks are objective-aware
+//! (`MoveEval::Loss`/`Snr`/`Bounded`): IL runs ride the crosstalk-free
+//! loss fast path, SNR runs the exact delta — or, for greedy steps
+//! ([`Rpbla`], [`IteratedLocalSearch`] via `peek_move_improving` /
+//! `peek_moves_improving`), the bound-then-verify peek that rejects
+//! non-improving swaps at a fraction of the exact cost without ever
+//! changing the selected move. [`SimulatedAnnealing`] and
+//! [`TabuSearch`] need exact scores for worsening moves too and stay on
+//! exact peeks. All variants are bit-identical to a full evaluation
+//! where a score is produced, charged only for the work the evaluator
+//! actually did, and scanned in parallel for whole admitted lists —
+//! which is why these descents fit many more probes into the same
+//! evaluation budget than a naive re-evaluating loop would.
 //!
 //! Population strategies ([`RandomSearch`], [`GeneticAlgorithm`]) score
 //! independent mappings and instead use `OptContext::evaluate_batch`,

@@ -21,11 +21,16 @@
 //!   which depends on the randomized starting point — the *randomized*
 //!   part of the name, together with the random restarts.
 //! * The list scan runs on the **incremental move API**
-//!   ([`OptContext::peek_moves`]): each candidate swap is delta-scored
-//!   in parallel against the current solution and charged only for the
-//!   edges it perturbs, so one descent step costs a fraction of the
-//!   `O(n²)` full evaluations the naive scan would pay. Budget
-//!   accounting stays fair — cheaper moves simply buy more of them.
+//!   ([`OptContext::peek_moves_improving`]): each candidate swap is
+//!   delta-scored in parallel against the current solution and charged
+//!   only for the work it triggers. The scan is objective-aware — IL
+//!   runs ride the crosstalk-free loss fast path, SNR runs the
+//!   bound-then-verify peek that rejects non-improving swaps cheaply
+//!   while scoring potential improvements exactly — so one descent
+//!   step costs a small fraction of the `O(n²)` full evaluations the
+//!   naive scan would pay. Budget accounting stays fair — cheaper
+//!   moves simply buy more of them. Bounded peeks never change which
+//!   move the steepest-descent step selects (property-tested).
 //! * Restarts continue until the shared evaluation budget is exhausted,
 //!   so a comparison against RS/GA at equal budget is fair.
 
@@ -48,11 +53,13 @@ pub(crate) fn admitted_moves(tasks: usize, tiles: usize) -> Vec<Move> {
 }
 
 /// First maximum-score entry (ties break on the earliest, as the
-/// sequential scan did).
+/// sequential scan did). Bound-rejected entries compare by their upper
+/// bound, which never exceeds the cursor score — so they can never
+/// outrank an improving exact entry.
 pub(crate) fn best_of(evals: &[MoveEval]) -> Option<&MoveEval> {
     let mut best: Option<&MoveEval> = None;
     for ev in evals {
-        if best.is_none_or(|b| ev.score > b.score) {
+        if best.is_none_or(|b| ev.score() > b.score()) {
             best = Some(ev);
         }
     }
@@ -81,13 +88,15 @@ impl MappingOptimizer for Rpbla {
             }
 
             // Steepest descent over the swap neighbourhood, scored
-            // incrementally and in parallel.
+            // incrementally and in parallel. The improving scan only
+            // pays for exact deltas on moves that can actually beat the
+            // cursor; everything else is bound-rejected cheaply.
             loop {
-                let scanned = ctx.peek_moves(&moves);
+                let scanned = ctx.peek_moves_improving(&moves);
                 let truncated = scanned.len() < moves.len();
                 match best_of(&scanned) {
                     // Uphill move (for a maximized score) found: take it.
-                    Some(best) if best.score > ctx.current_score().expect("cursor set") => {
+                    Some(best) if best.score() > ctx.current_score().expect("cursor set") => {
                         let best = *best;
                         ctx.apply_scored_move(&best);
                     }

@@ -53,15 +53,15 @@ impl MappingOptimizer for TabuSearch {
             let truncated = scanned.len() < moves.len();
             let mut best: Option<&MoveEval> = None;
             for ev in &scanned {
-                let Move::Swap(a, b) = ev.mv else {
+                let Move::Swap(a, b) = ev.mv() else {
                     continue;
                 };
                 let is_tabu = tabu.get(&(a, b)).is_some_and(|&until| until > iteration);
                 // Aspiration: a new global best is always admissible.
-                if is_tabu && ev.score <= global_best {
+                if is_tabu && ev.score() <= global_best {
                     continue;
                 }
-                if best.is_none_or(|x| ev.score > x.score) {
+                if best.is_none_or(|x| ev.score() > x.score()) {
                     best = Some(ev);
                 }
             }
@@ -74,8 +74,8 @@ impl MappingOptimizer for TabuSearch {
                 continue;
             };
             ctx.apply_scored_move(&best);
-            global_best = global_best.max(best.score);
-            if let Move::Swap(a, b) = best.mv {
+            global_best = global_best.max(best.score());
+            if let Move::Swap(a, b) = best.mv() {
                 tabu.insert((a, b), iteration + tenure);
             }
             if truncated {
