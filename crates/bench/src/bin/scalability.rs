@@ -2,52 +2,68 @@
 //! worst-case loss and SNR "scale up with the network size", ultimately
 //! hitting the laser power budget and WDM nonlinearity walls.
 //!
-//! Sweeps square meshes from 3×3 to 10×10 with a synthetic pipeline
-//! occupying every tile, reports optimized worst-case IL/SNR, the laser
-//! power each configuration needs, and how many WDM channels fit.
+//! Rides the scenario subsystem (`phonoc_apps::scenario`): for each
+//! mesh size the study optimizes a full-occupancy scenario of the
+//! chosen family (pipeline by default — the classic full-chain
+//! stress), reports optimized worst-case IL/SNR, the laser power each
+//! configuration needs, and how many WDM channels fit. Now reaches
+//! 12×12 and 16×16.
 //!
 //! ```text
-//! cargo run --release -p bench --bin scalability [--budget N] [--seed S]
+//! cargo run --release -p bench --bin scalability
+//!     [--budget N] [--seed S] [--family pipeline|star|...] [--density PCT]
 //! ```
 
-use bench::{arg_value, tile_pitch, write_results_file};
-use phonoc_core::{run_dse, MappingProblem, Objective};
+use bench::sweep::scenario_problem_with_objective;
+use bench::{arg_value, write_results_file};
+use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
+use phonoc_core::{run_dse, Objective};
 use phonoc_opt::Rpbla;
 use phonoc_phys::{PhysicalParameters, PowerBudget};
-use phonoc_route::XyRouting;
-use phonoc_router::crux::crux_router;
-use phonoc_topo::Topology;
 use std::fmt::Write as _;
 
 fn main() {
-    let budget: usize = arg_value("--budget").unwrap_or(20_000);
+    let budget: usize = arg_value("--budget").unwrap_or(5_000);
     let seed: u64 = arg_value("--seed").unwrap_or(5);
+    let density_pct: u32 = arg_value("--density").unwrap_or(100);
+    let family_name: String = arg_value("--family").unwrap_or_else(|| "pipeline".into());
+    let Some(family) = ScenarioFamily::by_name(&family_name) else {
+        eprintln!("error: unknown scenario family `{family_name}`");
+        std::process::exit(1);
+    };
     let params = PhysicalParameters::default();
     let power = PowerBudget::new(params);
 
-    println!("Scalability sweep: full-occupancy pipeline on n×n meshes, R-PBLA, {budget} evals\n");
     println!(
-        "{:>5} {:>7} {:>12} {:>12} {:>16} {:>12} {:>14}",
-        "mesh", "tasks", "IL_wc (dB)", "SNR_wc (dB)", "laser (dBm)", "feasible", "WDM channels"
+        "Scalability sweep: full-occupancy `{}` scenarios on n×n meshes, R-PBLA, {budget} evals\n",
+        family.name()
+    );
+    println!(
+        "{:>5} {:>7} {:>7} {:>12} {:>12} {:>16} {:>12} {:>14}",
+        "mesh",
+        "tasks",
+        "edges",
+        "IL_wc (dB)",
+        "SNR_wc (dB)",
+        "laser (dBm)",
+        "feasible",
+        "WDM channels"
     );
 
-    let mut csv =
-        String::from("n,tasks,worst_il_db,worst_snr_db,required_laser_dbm,feasible,max_wdm\n");
-    for n in 3..=10 {
-        let tasks = n * n;
-        let cg = phonoc_apps::synthetic::pipeline(tasks);
-        let topo = Topology::mesh(n, n, tile_pitch());
-        let problem = MappingProblem::new(
-            cg,
-            topo,
-            crux_router(),
-            Box::new(XyRouting),
-            params,
-            Objective::MinimizeWorstCaseLoss,
-        )
-        .expect("pipeline problems are valid");
-        let loss_result = run_dse(&problem, &Rpbla, budget, seed);
-        let (metrics, _) = problem.evaluate(&loss_result.best_mapping);
+    let mut csv = String::from(
+        "n,tasks,edges,worst_il_db,worst_snr_db,required_laser_dbm,feasible,max_wdm\n",
+    );
+    for n in [3, 4, 5, 6, 8, 10, 12, 16] {
+        let spec = ScenarioSpec {
+            family,
+            mesh: n,
+            density_pct,
+            seed,
+        };
+        let problem = scenario_problem_with_objective(&spec, Objective::MinimizeWorstCaseLoss);
+        let edges = problem.cg().edge_count();
+        let result = run_dse(&problem, &Rpbla, budget, seed);
+        let (metrics, _) = problem.evaluate(&result.best_mapping);
 
         let il = metrics.worst_case_il;
         let snr = metrics.worst_case_snr;
@@ -55,13 +71,23 @@ fn main() {
         let feasible = power.is_feasible(il);
         let wdm = power.max_wdm_channels(il);
         println!(
-            "{:>4}² {:>7} {:>12.3} {:>12.2} {:>16.2} {:>12} {:>14}",
-            n, tasks, il.0, snr.0, laser.0, feasible, wdm
+            "{:>4}² {:>7} {:>7} {:>12.3} {:>12.2} {:>16.2} {:>12} {:>14}",
+            n,
+            spec.task_count(),
+            edges,
+            il.0,
+            snr.0,
+            laser.0,
+            feasible,
+            wdm
         );
         let _ = writeln!(
             csv,
-            "{n},{tasks},{:.3},{:.2},{:.2},{feasible},{wdm}",
-            il.0, snr.0, laser.0
+            "{n},{},{edges},{:.3},{:.2},{:.2},{feasible},{wdm}",
+            spec.task_count(),
+            il.0,
+            snr.0,
+            laser.0
         );
     }
     println!(

@@ -1,0 +1,22 @@
+//! The scenario-matrix sweep runner: peek-strategy timings and
+//! optimizer-registry results for every (family × mesh × density ×
+//! seed) cell, written as `BENCH_sweep.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin sweep [--smoke] [--out PATH]
+//!     [--samples N] [--moves N] [--budget N]
+//! ```
+//!
+//! `--smoke` runs the CI configuration (4×4/6×6, one seed); the default
+//! is the full 4×4–16×16 matrix behind the committed
+//! `BENCH_sweep.json` at the repository root. The driver is shared with
+//! the `phonocmap sweep` subcommand ([`bench::sweep::run_sweep_cli`]).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) = bench::sweep::run_sweep_cli(&args, "cargo run --release -p bench --bin sweep")
+    {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod sweep;
+
 use phonoc_core::{MappingProblem, Objective};
 use phonoc_phys::{Length, PhysicalParameters};
 use phonoc_route::XyRouting;

@@ -1,0 +1,730 @@
+//! The scenario-matrix sweep: runs a
+//! [`ScenarioMatrix`] through
+//! the evaluator's SNR peek strategies and the optimizer registry, and
+//! renders the outcome as machine-readable JSON (`BENCH_sweep.json`).
+//!
+//! Per scenario the harness measures the cost (ns/peek, fastest of N
+//! interleaved passes) of scoring a fixed cycle of random swaps against
+//! a random placement under every strategy:
+//!
+//! * `full` — a scratch re-evaluation of the moved mapping
+//!   ([`phonoc_core::Evaluator::evaluate_into`]);
+//! * `delta` — the exact incremental SNR delta;
+//! * `bounded` — the bound-then-verify peek with the threshold at the
+//!   incumbent (the improving-scan workload);
+//! * `hybrid_exact` / `hybrid_improving` — the adaptive router the
+//!   engine's peeks use ([`phonoc_core::PeekCostModel`]): per move,
+//!   full-vs-delta (exact peeks) or full-vs-bounded (improving scans).
+//!
+//! Every strategy computes bit-identical exact scores, so the sweep is
+//! purely a *cost* comparison; the per-scenario `winner` records which
+//! single strategy was fastest and `hybrid_over_best` how close the
+//! adaptive router came (the CI gate checks it stays within 10%). Each
+//! scenario then runs the optimizer registry (budgeted, seeded) so the
+//! sweep also tracks end-to-end search quality per workload family.
+//!
+//! The committed `BENCH_sweep.json` at the repository root holds the
+//! full-matrix numbers; CI regenerates a smoke subset on every push and
+//! uploads it as an artifact (`scripts/bench_gate.py` compares the two
+//! advisorily).
+
+use crate::tile_pitch;
+use phonoc_apps::scenario::{ScenarioMatrix, ScenarioSpec};
+use phonoc_core::{
+    DeltaScratch, EvalScratch, Mapping, MappingProblem, Move, Objective, PeekCostModel,
+};
+use phonoc_phys::PhysicalParameters;
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt::Write as _;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Sweep parameters: the matrix plus measurement effort.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// The scenario space to enumerate.
+    pub matrix: ScenarioMatrix,
+    /// Timed samples per strategy (the fastest is kept — every sample
+    /// times identical work, so the minimum is the least-disturbed
+    /// observation).
+    pub samples: usize,
+    /// Random swaps per timed sample.
+    pub moves_per_sample: usize,
+    /// Optimizer budget in full-evaluation-equivalents.
+    pub budget: usize,
+    /// Registry names of the optimizers to run per scenario.
+    pub optimizers: Vec<String>,
+    /// Whether this is the CI smoke configuration.
+    pub smoke: bool,
+}
+
+impl SweepConfig {
+    /// The full sweep behind the committed `BENCH_sweep.json`.
+    #[must_use]
+    pub fn full() -> SweepConfig {
+        SweepConfig {
+            matrix: ScenarioMatrix::full(),
+            samples: 7,
+            moves_per_sample: 64,
+            budget: 1_500,
+            optimizers: vec!["rs".into(), "r-pbla".into()],
+            smoke: false,
+        }
+    }
+
+    /// The CI smoke sweep: small sizes, one seed, fewer samples.
+    #[must_use]
+    pub fn smoke() -> SweepConfig {
+        SweepConfig {
+            matrix: ScenarioMatrix::smoke(),
+            samples: 5,
+            moves_per_sample: 48,
+            budget: 300,
+            optimizers: vec!["rs".into(), "r-pbla".into()],
+            smoke: true,
+        }
+    }
+}
+
+/// Representative peek costs (ns per move, fastest-of-N passes) of one
+/// scenario, per strategy.
+#[derive(Debug, Clone, Copy)]
+pub struct PeekTimings {
+    /// Full scratch re-evaluation of the moved mapping.
+    pub full_ns: u64,
+    /// Exact incremental SNR delta.
+    pub delta_ns: u64,
+    /// Bound-then-verify peek against the incumbent.
+    pub bounded_ns: u64,
+    /// Adaptive full-vs-delta routing (the exact-peek workload).
+    pub hybrid_exact_ns: u64,
+    /// Adaptive full-vs-bounded routing (the improving-scan workload).
+    pub hybrid_improving_ns: u64,
+}
+
+impl PeekTimings {
+    /// Fastest single exact strategy (`full` or `delta`).
+    #[must_use]
+    pub fn exact_winner(&self) -> &'static str {
+        if self.full_ns <= self.delta_ns {
+            "full"
+        } else {
+            "delta"
+        }
+    }
+
+    /// Fastest single improving-scan strategy (`full` or `bounded`).
+    #[must_use]
+    pub fn improving_winner(&self) -> &'static str {
+        if self.full_ns <= self.bounded_ns {
+            "full"
+        } else {
+            "bounded"
+        }
+    }
+
+    /// `hybrid_exact / min(full, delta)` — 1.0 means the router matched
+    /// the best single strategy exactly.
+    #[must_use]
+    pub fn hybrid_over_best_exact(&self) -> f64 {
+        self.hybrid_exact_ns as f64 / self.full_ns.min(self.delta_ns).max(1) as f64
+    }
+
+    /// `hybrid_improving / min(full, bounded)`.
+    #[must_use]
+    pub fn hybrid_over_best_improving(&self) -> f64 {
+        self.hybrid_improving_ns as f64 / self.full_ns.min(self.bounded_ns).max(1) as f64
+    }
+
+    /// Field-wise minimum with another observation of the *same*
+    /// workload (see the retry pass in [`run_sweep`]).
+    #[must_use]
+    pub fn min_merge(&self, other: &PeekTimings) -> PeekTimings {
+        PeekTimings {
+            full_ns: self.full_ns.min(other.full_ns),
+            delta_ns: self.delta_ns.min(other.delta_ns),
+            bounded_ns: self.bounded_ns.min(other.bounded_ns),
+            hybrid_exact_ns: self.hybrid_exact_ns.min(other.hybrid_exact_ns),
+            hybrid_improving_ns: self.hybrid_improving_ns.min(other.hybrid_improving_ns),
+        }
+    }
+}
+
+/// One optimizer-registry run inside a scenario.
+#[derive(Debug, Clone)]
+pub struct OptOutcome {
+    /// Registry name.
+    pub algo: String,
+    /// Best worst-case-SNR score found (dB).
+    pub best_score: f64,
+    /// Budget consumed (full-evaluation-equivalents).
+    pub evaluations: usize,
+    /// Full evaluations (including hybrid full-backed peeks).
+    pub full_evaluations: usize,
+    /// Delta evaluations.
+    pub delta_evaluations: usize,
+    /// Wall-clock of the run, in milliseconds.
+    pub ms: u64,
+}
+
+/// Everything measured for one scenario.
+#[derive(Debug, Clone)]
+pub struct ScenarioOutcome {
+    /// The spec that was measured.
+    pub spec: ScenarioSpec,
+    /// Stable scenario id (`family-NxN-dD-sS`).
+    pub id: String,
+    /// Tasks generated ( = tiles of the mesh).
+    pub tasks: usize,
+    /// CG edges generated.
+    pub edges: usize,
+    /// Representative peek costs per strategy.
+    pub timings: PeekTimings,
+    /// Fraction of the move cycle the hybrid router sent to full
+    /// evaluation (deterministic per spec).
+    pub hybrid_full_share: f64,
+    /// Optimizer-registry runs.
+    pub optimizers: Vec<OptOutcome>,
+}
+
+/// A finished sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Whether the smoke configuration ran.
+    pub smoke: bool,
+    /// Per-scenario outcomes, in matrix order.
+    pub scenarios: Vec<ScenarioOutcome>,
+}
+
+impl SweepReport {
+    /// The acceptance headline: the worst `hybrid/best` ratio across
+    /// every scenario and both workloads (1.10 = 10% slower than the
+    /// best single strategy somewhere).
+    #[must_use]
+    pub fn max_hybrid_over_best(&self) -> f64 {
+        self.scenarios
+            .iter()
+            .flat_map(|s| {
+                [
+                    s.timings.hybrid_over_best_exact(),
+                    s.timings.hybrid_over_best_improving(),
+                ]
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Assembles the standard sweep problem for a spec: the generated CG on
+/// its fully occupied mesh of Crux routers, XY routing, Table I
+/// physics, SNR objective.
+///
+/// # Panics
+///
+/// Panics if the scenario cannot be assembled — specs are validated by
+/// construction, so this is a programming error.
+#[must_use]
+pub fn scenario_problem(spec: &ScenarioSpec) -> MappingProblem {
+    scenario_problem_with_objective(spec, Objective::MaximizeWorstCaseSnr)
+}
+
+/// [`scenario_problem`] under an explicit objective (the scalability
+/// study optimizes worst-case loss, as the paper's power-wall argument
+/// does).
+///
+/// # Panics
+///
+/// Same as [`scenario_problem`].
+#[must_use]
+pub fn scenario_problem_with_objective(
+    spec: &ScenarioSpec,
+    objective: Objective,
+) -> MappingProblem {
+    MappingProblem::new(
+        spec.build(),
+        Topology::mesh(spec.mesh, spec.mesh, tile_pitch()),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        objective,
+    )
+    .expect("scenario problems are valid")
+}
+
+/// Minimum wall-clock a timed sample should cover: passes far below
+/// the scheduler quantum measure mostly timer noise, which would drown
+/// the ≤10% hybrid acceptance margin.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+
+/// Times `pass` (one traversal of the move cycle), repeated `reps`
+/// times, and returns ns per move.
+fn time_reps(reps: usize, moves: usize, pass: &mut dyn FnMut()) -> u64 {
+    let t = Instant::now();
+    for _ in 0..reps {
+        pass();
+    }
+    (t.elapsed().as_nanos() / (reps.max(1) * moves.max(1)) as u128) as u64
+}
+
+/// Repetitions per sample so one sample spans [`TARGET_SAMPLE_NS`],
+/// from a single calibration pass.
+fn reps_for(pass: &mut dyn FnMut()) -> usize {
+    let t = Instant::now();
+    pass();
+    let single = t.elapsed().as_nanos().max(1);
+    ((TARGET_SAMPLE_NS / single).max(1) as usize).min(256)
+}
+
+/// Times the five peek strategies on a spec's standard workload.
+/// Returns the per-strategy timings plus the hybrid's (deterministic)
+/// full-routing share. The workload is a pure function of the spec, so
+/// repeated calls time identical work — which is what lets the retry
+/// pass in [`run_sweep`] merge observations with a plain minimum.
+fn time_strategies(
+    problem: &MappingProblem,
+    spec: &ScenarioSpec,
+    cfg: &SweepConfig,
+) -> (PeekTimings, f64) {
+    // Settle pause: optimizer runs and problem precomputes are long CPU
+    // bursts, after which (on the single-core CI boxes) the scheduler
+    // briefly preempts this process far more often — enough to skew
+    // even fastest-of-N timings. A short sleep lets deferred kernel
+    // work and daemons drain before the clock starts.
+    std::thread::sleep(std::time::Duration::from_millis(150));
+    let evaluator = problem.evaluator();
+
+    // The measured workload: a random placement (the dense case PR 2
+    // identified) and a fixed cycle of random swaps, all seeded off the
+    // spec so reruns measure the identical work.
+    let mut rng = StdRng::seed_from_u64(spec.seed.wrapping_mul(0xC0FF_EE00).wrapping_add(13));
+    let mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
+    let state = evaluator.init_state(&mapping);
+    let model = PeekCostModel::of(&state);
+    let threshold = state.worst_case_snr();
+    let moves: Vec<Move> = (0..cfg.moves_per_sample)
+        .map(|_| mapping.random_swap_move(&mut rng))
+        .collect();
+    // The engine's own routing decision (PeekCostModel::routes_full) —
+    // reported as the deterministic full-share; the timed hybrid passes
+    // recompute it per move, exactly as the engine does.
+    let hybrid_full_share = moves
+        .iter()
+        .filter(|&&mv| model.routes_full(evaluator.moved_edge_count(&mapping, mv), false))
+        .count() as f64
+        / moves.len().max(1) as f64;
+
+    // One shared scratch pair for *all five* strategies: with separate
+    // allocations per strategy, heap-layout luck (cache-set conflicts)
+    // skews identical-work passes by up to ~10%, which would drown the
+    // hybrid acceptance margin. Shared buffers make same-work passes
+    // the same memory traffic to the byte.
+    let mut full_scratch = EvalScratch::default();
+    let mut delta_scratch = DeltaScratch::default();
+    let one_pass = |which: usize, fs: &mut EvalScratch, ds: &mut DeltaScratch| match which {
+        0 => {
+            for &mv in &moves {
+                let moved = mapping.with_move(mv);
+                black_box(evaluator.evaluate_into(&moved, None, fs));
+            }
+        }
+        1 => {
+            for &mv in &moves {
+                black_box(evaluator.evaluate_delta_with(&state, &mapping, mv, ds));
+            }
+        }
+        2 => {
+            for &mv in &moves {
+                black_box(evaluator.evaluate_delta_bounded(&state, &mapping, mv, ds, threshold));
+            }
+        }
+        // The hybrid passes route *inside* the timed loop — the engine
+        // pays `moved_edge_count` + `routes_full` on every peek, so the
+        // measured hybrid must too.
+        3 => {
+            for &mv in &moves {
+                if model.routes_full(evaluator.moved_edge_count(&mapping, mv), false) {
+                    let moved = mapping.with_move(mv);
+                    black_box(evaluator.evaluate_into(&moved, None, fs));
+                } else {
+                    black_box(evaluator.evaluate_delta_with(&state, &mapping, mv, ds));
+                }
+            }
+        }
+        _ => {
+            for &mv in &moves {
+                if model.routes_full(evaluator.moved_edge_count(&mapping, mv), true) {
+                    let moved = mapping.with_move(mv);
+                    black_box(evaluator.evaluate_into(&moved, None, fs));
+                } else {
+                    black_box(
+                        evaluator.evaluate_delta_bounded(&state, &mapping, mv, ds, threshold),
+                    );
+                }
+            }
+        }
+    };
+
+    // Interleave strategies sample by sample, so machine drift during
+    // the scenario disturbs all five equally; keep the fastest
+    // observation per strategy (identical work each pass, so the min is
+    // the least-disturbed measurement). Repetitions are calibrated per
+    // strategy (off its warm-up pass), so a fast strategy's sample
+    // spans the same wall-clock target as a slow one's instead of a
+    // fraction of it.
+    for which in 0..5 {
+        one_pass(which, &mut full_scratch, &mut delta_scratch); // warm-up
+    }
+    let mut reps = [1usize; 5];
+    for (which, slot) in reps.iter_mut().enumerate() {
+        *slot = reps_for(&mut || one_pass(which, &mut full_scratch, &mut delta_scratch));
+    }
+    let mut best = [u64::MAX; 5];
+    for _ in 0..cfg.samples {
+        for (which, slot) in best.iter_mut().enumerate() {
+            *slot = (*slot).min(time_reps(reps[which], moves.len(), &mut || {
+                one_pass(which, &mut full_scratch, &mut delta_scratch);
+            }));
+        }
+    }
+    let [full_ns, delta_ns, bounded_ns, hybrid_exact_ns, hybrid_improving_ns] = best;
+    (
+        PeekTimings {
+            full_ns,
+            delta_ns,
+            bounded_ns,
+            hybrid_exact_ns,
+            hybrid_improving_ns,
+        },
+        hybrid_full_share,
+    )
+}
+
+/// Measures one scenario: peek-strategy timings plus optimizer runs.
+///
+/// # Panics
+///
+/// Panics if an optimizer name is not in the registry.
+#[must_use]
+pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutcome {
+    let problem = scenario_problem(spec);
+    let edges = problem.cg().edge_count();
+    let (timings, hybrid_full_share) = time_strategies(&problem, spec, cfg);
+
+    let optimizers = cfg
+        .optimizers
+        .iter()
+        .map(|name| {
+            let opt = phonoc_opt::registry::optimizer(name)
+                .unwrap_or_else(|| panic!("unknown optimizer `{name}`"));
+            let t = Instant::now();
+            let result = phonoc_core::run_dse(&problem, opt.as_ref(), cfg.budget, spec.seed);
+            OptOutcome {
+                algo: name.clone(),
+                best_score: result.best_score,
+                evaluations: result.evaluations,
+                full_evaluations: result.full_evaluations,
+                delta_evaluations: result.delta_evaluations,
+                ms: t.elapsed().as_millis() as u64,
+            }
+        })
+        .collect();
+
+    ScenarioOutcome {
+        spec: *spec,
+        id: spec.id(),
+        tasks: problem.task_count(),
+        edges,
+        timings,
+        hybrid_full_share,
+        optimizers,
+    }
+}
+
+/// Ratio above which a scenario's timings are re-measured: spikes past
+/// this are (in every case inspected) one strategy's samples being
+/// poisoned by a background burst, not a real routing miss.
+const RETRY_THRESHOLD: f64 = 1.05;
+/// Re-measurement rounds for flagged scenarios.
+const RETRY_ROUNDS: usize = 4;
+
+/// Runs the whole sweep, invoking `progress` after each scenario (for
+/// live console output).
+///
+/// After the first pass, scenarios whose adaptive-router ratio exceeds
+/// `RETRY_THRESHOLD` are re-timed up to `RETRY_ROUNDS` more times
+/// and merged with a field-wise minimum — every pass times identical
+/// deterministic work, so the fastest observation across passes is
+/// simply a better sample of the same quantity (shared machines
+/// occasionally poison all of one strategy's samples with a periodic
+/// background burst).
+#[must_use]
+pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&ScenarioOutcome)) -> SweepReport {
+    let mut scenarios = Vec::new();
+    for spec in cfg.matrix.specs() {
+        let outcome = measure_scenario(&spec, cfg);
+        progress(&outcome);
+        scenarios.push(outcome);
+    }
+    for _ in 0..RETRY_ROUNDS {
+        for outcome in &mut scenarios {
+            let t = &outcome.timings;
+            if t.hybrid_over_best_exact() <= RETRY_THRESHOLD
+                && t.hybrid_over_best_improving() <= RETRY_THRESHOLD
+            {
+                continue;
+            }
+            let problem = scenario_problem(&outcome.spec);
+            let (fresh, _) = time_strategies(&problem, &outcome.spec, cfg);
+            outcome.timings = outcome.timings.min_merge(&fresh);
+        }
+    }
+    SweepReport {
+        smoke: cfg.smoke,
+        scenarios,
+    }
+}
+
+/// The shared command-line driver behind `phonocmap sweep` and the
+/// standalone `sweep` bin: parses `--smoke`, `--samples N`, `--moves N`,
+/// `--budget N` and `--out PATH`, runs the sweep with live progress,
+/// prints the acceptance summary and writes the JSON — recording the
+/// exact invocation (prefix + overrides) as the file's provenance.
+///
+/// # Errors
+///
+/// Returns a message for unparseable flag values or an unwritable
+/// output path.
+pub fn run_sweep_cli(args: &[String], command_prefix: &str) -> Result<(), String> {
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg = if smoke {
+        SweepConfig::smoke()
+    } else {
+        SweepConfig::full()
+    };
+    let mut command = format!("{command_prefix}{}", if smoke { " --smoke" } else { "" });
+    if let Some(v) = flag("--samples") {
+        cfg.samples = v.parse().map_err(|_| format!("bad samples `{v}`"))?;
+        let _ = write!(command, " --samples {v}");
+    }
+    if let Some(v) = flag("--moves") {
+        cfg.moves_per_sample = v.parse().map_err(|_| format!("bad moves `{v}`"))?;
+        let _ = write!(command, " --moves {v}");
+    }
+    if let Some(v) = flag("--budget") {
+        cfg.budget = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
+        let _ = write!(command, " --budget {v}");
+    }
+    let out = flag("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
+
+    println!(
+        "scenario sweep ({} mode): {} scenarios, {} samples x {} moves, optimizer budget {}\n",
+        if cfg.smoke { "smoke" } else { "full" },
+        cfg.matrix.len(),
+        cfg.samples,
+        cfg.moves_per_sample,
+        cfg.budget
+    );
+    println!(
+        "{:<26} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>8}",
+        "scenario", "edges", "full", "delta", "bounded", "hyb-ex", "hyb-imp", "winner", "hyb/best"
+    );
+    let report = run_sweep(&cfg, |s| {
+        let t = &s.timings;
+        println!(
+            "{:<26} {:>6} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>8.3}",
+            s.id,
+            s.edges,
+            t.full_ns,
+            t.delta_ns,
+            t.bounded_ns,
+            t.hybrid_exact_ns,
+            t.hybrid_improving_ns,
+            t.exact_winner(),
+            t.hybrid_over_best_exact()
+                .max(t.hybrid_over_best_improving()),
+        );
+    });
+    println!(
+        "\nworst hybrid/best ratio across the sweep: {:.3} (acceptance: <= 1.10)",
+        report.max_hybrid_over_best()
+    );
+    std::fs::write(&out, report_to_json(&report, &command))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the report as the `phonocmap-bench-sweep/1` JSON document
+/// (hand-rolled — the workspace builds offline, without `serde_json`).
+#[must_use]
+pub fn report_to_json(report: &SweepReport, command: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/1\",");
+    let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
+    let _ = writeln!(
+        out,
+        "  \"mode\": \"{}\",",
+        if report.smoke { "smoke" } else { "full" }
+    );
+    let _ = writeln!(
+        out,
+        "  \"peek_units\": \"ns per peek; fastest of N timed passes of a fixed random-swap cycle against a random placement (min = least-disturbed observation on a shared machine)\","
+    );
+    out.push_str("  \"notes\": [\n");
+    let _ = writeln!(
+        out,
+        "    \"All five strategies compute bit-identical exact scores; this file compares only their cost.\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"Strategies are interleaved sample-by-sample on shared scratch buffers; scenarios whose hybrid/best ratio exceeds {RETRY_THRESHOLD} are re-timed up to {RETRY_ROUNDS} times and min-merged (identical deterministic work), because background bursts occasionally poison one strategy's samples.\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"The PeekCostModel crossovers (mean path length 7.0; hub-concentration early crossovers) were calibrated from this matrix; cells in the hub band at 6x6-8x8 have seed-dependent winners with ~10-15% margins either way, so an occasional seed may sit slightly above 1.10 while its sibling is at parity.\""
+    );
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"summary\": {{");
+    let _ = writeln!(out, "    \"scenarios\": {},", report.scenarios.len());
+    let _ = writeln!(
+        out,
+        "    \"max_hybrid_over_best\": {:.4}",
+        report.max_hybrid_over_best()
+    );
+    let _ = writeln!(out, "  }},");
+    out.push_str("  \"scenarios\": [\n");
+    for (i, s) in report.scenarios.iter().enumerate() {
+        let t = &s.timings;
+        out.push_str("    {\n");
+        let _ = writeln!(out, "      \"id\": \"{}\",", json_escape(&s.id));
+        let _ = writeln!(out, "      \"family\": \"{}\",", s.spec.family.name());
+        let _ = writeln!(out, "      \"mesh\": {},", s.spec.mesh);
+        let _ = writeln!(out, "      \"density_pct\": {},", s.spec.density_pct);
+        let _ = writeln!(out, "      \"seed\": {},", s.spec.seed);
+        let _ = writeln!(out, "      \"tasks\": {},", s.tasks);
+        let _ = writeln!(out, "      \"edges\": {},", s.edges);
+        let _ = writeln!(
+            out,
+            "      \"peek_ns\": {{\"full\": {}, \"delta\": {}, \"bounded\": {}, \"hybrid_exact\": {}, \"hybrid_improving\": {}}},",
+            t.full_ns, t.delta_ns, t.bounded_ns, t.hybrid_exact_ns, t.hybrid_improving_ns
+        );
+        let _ = writeln!(out, "      \"exact_winner\": \"{}\",", t.exact_winner());
+        let _ = writeln!(
+            out,
+            "      \"improving_winner\": \"{}\",",
+            t.improving_winner()
+        );
+        let _ = writeln!(
+            out,
+            "      \"hybrid_over_best_exact\": {:.4},",
+            t.hybrid_over_best_exact()
+        );
+        let _ = writeln!(
+            out,
+            "      \"hybrid_over_best_improving\": {:.4},",
+            t.hybrid_over_best_improving()
+        );
+        let _ = writeln!(
+            out,
+            "      \"hybrid_full_share\": {:.4},",
+            s.hybrid_full_share
+        );
+        out.push_str("      \"optimizers\": [");
+        for (j, o) in s.optimizers.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"algo\": \"{}\", \"best_score\": {:.4}, \"evaluations\": {}, \"full_evaluations\": {}, \"delta_evaluations\": {}, \"ms\": {}}}",
+                if j == 0 { "" } else { ", " },
+                json_escape(&o.algo),
+                o.best_score,
+                o.evaluations,
+                o.full_evaluations,
+                o.delta_evaluations,
+                o.ms
+            );
+        }
+        out.push_str("]\n");
+        let _ = writeln!(
+            out,
+            "    }}{}",
+            if i + 1 == report.scenarios.len() {
+                ""
+            } else {
+                ","
+            }
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use phonoc_apps::scenario::ScenarioFamily;
+
+    fn tiny_config() -> SweepConfig {
+        SweepConfig {
+            matrix: ScenarioMatrix::new(
+                vec![ScenarioFamily::Pipeline, ScenarioFamily::Random],
+                vec![4],
+                vec![100],
+                vec![1],
+            ),
+            samples: 1,
+            moves_per_sample: 4,
+            budget: 20,
+            optimizers: vec!["rs".into()],
+            smoke: true,
+        }
+    }
+
+    #[test]
+    fn sweep_runs_and_renders_valid_shaped_json() {
+        let cfg = tiny_config();
+        let mut seen = 0;
+        let report = run_sweep(&cfg, |_| seen += 1);
+        assert_eq!(seen, 2);
+        assert_eq!(report.scenarios.len(), 2);
+        for s in &report.scenarios {
+            assert!(s.edges > 0 && s.tasks == 16);
+            assert_eq!(s.optimizers.len(), 1);
+            assert!(s.optimizers[0].best_score.is_finite());
+            assert!((0.0..=1.0).contains(&s.hybrid_full_share));
+        }
+        let json = report_to_json(&report, "test");
+        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/1\""));
+        assert!(json.contains("\"pipeline-4x4-d100-s1\""));
+        assert!(json.contains("\"max_hybrid_over_best\""));
+        // Balanced braces/brackets — a cheap structural sanity check in
+        // lieu of a JSON parser (the workspace builds offline).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn scenario_problem_assembles_every_smoke_cell() {
+        for spec in ScenarioMatrix::smoke().specs() {
+            let p = scenario_problem(&spec);
+            assert_eq!(p.task_count(), spec.task_count(), "{}", spec.id());
+        }
+    }
+}

@@ -7,6 +7,10 @@
 //!   Section III with their exact task counts.
 //! * [`synthetic`] — pipeline/star/random generators for scalability
 //!   studies.
+//! * [`scenario`] — the design-space sweep's workload space: more
+//!   generator families (hotspot, tree, clustered, MPEG-like) and the
+//!   [`scenario::ScenarioMatrix`] enumerating (family × mesh × density
+//!   × seed) cells deterministically.
 //!
 //! # Example
 //!
@@ -22,6 +26,7 @@
 
 pub mod benchmarks;
 pub mod cg;
+pub mod scenario;
 pub mod synthetic;
 pub mod text;
 

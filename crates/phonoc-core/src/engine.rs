@@ -35,7 +35,8 @@
 //!   cheaper than an SNR delta;
 //! * SNR objective, exact ([`OptContext::peek_move`] /
 //!   [`OptContext::peek_moves`]) — [`MoveEval::Snr`] with the full
-//!   bit-exact delta;
+//!   bit-exact delta, or [`MoveEval::Full`] when the active
+//!   [`PeekStrategy`] routed the move to a full scratch re-evaluation;
 //! * SNR objective, improving-only ([`OptContext::peek_move_improving`]
 //!   / [`OptContext::peek_moves_improving`]) — bound-then-verify: moves
 //!   that cannot beat the cursor come back as [`MoveEval::Bounded`]
@@ -45,6 +46,35 @@
 //!
 //! Only exact variants can be committed; [`OptContext::apply_scored_move`]
 //! rejects a bounded peek.
+//!
+//! # The adaptive (hybrid) evaluation strategy
+//!
+//! The PR 2 benches overturned the "deltas are always cheaper"
+//! assumption: after the scratch optimization, a full
+//! [`crate::Evaluator::evaluate_into`] re-evaluation beats even the
+//! *exact* SNR delta on dense random placements at every measured mesh
+//! size — the delta only wins when a move perturbs few communications
+//! relative to the whole problem. SNR-objective peeks therefore route
+//! **per move** under a [`PeekStrategy`]:
+//!
+//! * [`PeekStrategy::Hybrid`] (the default) consults a
+//!   [`PeekCostModel`] calibrated from the problem's occupancy density
+//!   at [`OptContext::set_current`] time: moves whose cheap moved-edge
+//!   estimate ([`crate::Evaluator::moved_edge_count`], two index
+//!   lookups) predicts more delta work than a full pass are scored by a
+//!   full scratch re-evaluation ([`MoveEval::Full`]), the rest by the
+//!   exact delta (or the bound-then-verify peek in `_improving` scans);
+//! * [`PeekStrategy::Delta`] / [`PeekStrategy::Full`] pin one backend —
+//!   for benchmarking the router itself and for tests that exercise one
+//!   path's accounting.
+//!
+//! All routes are **bit-identical**, so the strategy can never change a
+//! committed score or a greedy selection (property-tested in
+//! `tests/hybrid_properties.rs`) — only the wall-clock cost and the
+//! *honest* budget charge: a full-backed peek is billed `edge_count`
+//! units (and counted as a full evaluation), a delta peek its
+//! `affected_edges`. Cheaper routes simply buy more peeks out of the
+//! same budget.
 //!
 //! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
 //! core so that new strategies can be added "without any changes in the
@@ -56,13 +86,32 @@
 //! while population strategies batch-score whole generations with
 //! [`OptContext::evaluate_batch`].
 
-use crate::evaluator::{BoundedDelta, DeltaScratch, EvalScratch, EvalState, ScoreDelta};
+use crate::evaluator::{
+    BoundedDelta, DeltaScratch, EvalScratch, EvalState, EvalSummary, PeekCostModel, ScoreDelta,
+};
 use crate::mapping::{Mapping, Move};
+use crate::parallel;
 use crate::problem::{MappingProblem, Objective};
 use phonoc_phys::Db;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
+
+/// How SNR-objective peeks score a candidate move (loss-objective peeks
+/// always ride the crosstalk-free fast path, which no alternative
+/// approaches). See the [module docs](self) for the measured rationale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PeekStrategy {
+    /// Route each move adaptively through the [`PeekCostModel`]
+    /// calibrated at [`OptContext::set_current`] time (default).
+    #[default]
+    Hybrid,
+    /// Always the incremental delta (exact, or bound-then-verify in the
+    /// `_improving` peeks) — the pre-hybrid behaviour.
+    Delta,
+    /// Always a full scratch re-evaluation of the moved mapping.
+    Full,
+}
 
 /// A scored candidate [`Move`], produced by the peek entry points
 /// ([`OptContext::peek_move`], [`OptContext::peek_moves`], and their
@@ -100,6 +149,22 @@ pub enum MoveEval {
         /// The underlying incremental evaluation.
         delta: ScoreDelta,
     },
+    /// Full-scratch peek: the moved mapping was re-evaluated from
+    /// scratch because the active [`PeekStrategy`] predicted the delta
+    /// would cost more ([`PeekStrategy::Hybrid`]) or was pinned to full
+    /// evaluation ([`PeekStrategy::Full`]). Exact and committable —
+    /// bit-identical to the delta-backed [`MoveEval::Snr`] — and billed
+    /// the full pass's honest cost (`edge_count` budget units, counted
+    /// as a full evaluation).
+    Full {
+        /// The move that was scored.
+        mv: Move,
+        /// Objective score (the new worst-case SNR in dB; higher =
+        /// better).
+        score: f64,
+        /// The full evaluation's worst cases.
+        summary: EvalSummary,
+    },
     /// Bound-rejected SNR peek: the move's exact score is `≤ bound ≤`
     /// the threshold it was tested against (the cursor score, for the
     /// `_improving` peeks), so it cannot improve. It carries no exact
@@ -117,9 +182,10 @@ impl MoveEval {
     #[must_use]
     pub fn mv(&self) -> Move {
         match *self {
-            MoveEval::Loss { mv, .. } | MoveEval::Snr { mv, .. } | MoveEval::Bounded { mv, .. } => {
-                mv
-            }
+            MoveEval::Loss { mv, .. }
+            | MoveEval::Snr { mv, .. }
+            | MoveEval::Full { mv, .. }
+            | MoveEval::Bounded { mv, .. } => mv,
         }
     }
 
@@ -131,7 +197,9 @@ impl MoveEval {
     #[must_use]
     pub fn score(&self) -> f64 {
         match *self {
-            MoveEval::Loss { score, .. } | MoveEval::Snr { score, .. } => score,
+            MoveEval::Loss { score, .. }
+            | MoveEval::Snr { score, .. }
+            | MoveEval::Full { score, .. } => score,
             MoveEval::Bounded { bound, .. } => bound.0,
         }
     }
@@ -154,12 +222,37 @@ impl MoveEval {
 }
 
 /// The cursor: the mapping a move-based strategy currently stands on,
-/// with its incremental evaluation state.
+/// with its incremental evaluation state and the hybrid peek's cost
+/// model (recalibrated whenever the cursor is re-seated *and* after
+/// every committed move, so routing always reflects the current
+/// placement's density).
 struct Cursor {
     mapping: Mapping,
     state: EvalState,
     score: f64,
     scratch: DeltaScratch,
+    model: PeekCostModel,
+}
+
+/// The shared hybrid routing decision: whether `strategy` sends `mv`
+/// to a full scratch re-evaluation. One source of truth for the
+/// sequential peeks ([`OptContext::peek_move`] and friends) and the
+/// batch scan, which must route identically.
+fn route_full(
+    strategy: PeekStrategy,
+    evaluator: &crate::Evaluator,
+    cursor: &Cursor,
+    mv: Move,
+    improving: bool,
+) -> bool {
+    match strategy {
+        PeekStrategy::Delta => false,
+        PeekStrategy::Full => true,
+        PeekStrategy::Hybrid => {
+            let moved = evaluator.moved_edge_count(&cursor.mapping, mv);
+            cursor.model.routes_full(moved, improving)
+        }
+    }
 }
 
 /// The search-side view of a problem: evaluation with budget
@@ -177,6 +270,8 @@ pub struct OptContext<'p> {
     best: Option<(Mapping, f64)>,
     history: Vec<(usize, f64)>,
     cursor: Option<Cursor>,
+    /// How SNR-objective peeks are routed (see [`PeekStrategy`]).
+    strategy: PeekStrategy,
     /// Reused buffers for full evaluations: after warm-up,
     /// [`OptContext::evaluate`] performs no heap allocation.
     full_scratch: EvalScratch,
@@ -211,7 +306,30 @@ impl<'p> OptContext<'p> {
             best: None,
             history: Vec::new(),
             cursor: None,
+            strategy: PeekStrategy::default(),
             full_scratch: EvalScratch::default(),
+        }
+    }
+
+    /// The active SNR-peek routing strategy.
+    #[must_use]
+    pub fn peek_strategy(&self) -> PeekStrategy {
+        self.strategy
+    }
+
+    /// Pins (or restores) the SNR-peek routing strategy for subsequent
+    /// peeks. Every strategy produces bit-identical exact scores, so
+    /// this can never change what a search *selects* — only what each
+    /// peek costs (wall clock and honest budget units).
+    pub fn set_peek_strategy(&mut self, strategy: PeekStrategy) {
+        self.strategy = strategy;
+        // A cursor seated under a non-hybrid strategy skipped its
+        // per-commit recalibrations; refresh the model so hybrid
+        // routing never consults stale density statistics.
+        if strategy == PeekStrategy::Hybrid {
+            if let Some(cursor) = self.cursor.as_mut() {
+                cursor.model = PeekCostModel::of(&cursor.state);
+            }
         }
     }
 
@@ -251,7 +369,8 @@ impl<'p> OptContext<'p> {
         self.used_units.div_ceil(self.unit) as usize
     }
 
-    /// Full evaluations performed (each charged `edge_count` units).
+    /// Full evaluations performed (each charged `edge_count` units),
+    /// including peeks the [`PeekStrategy`] routed to a full pass.
     #[must_use]
     pub fn full_evaluations(&self) -> usize {
         self.full_evaluations
@@ -372,11 +491,13 @@ impl<'p> OptContext<'p> {
             .score_worst_cases(state.worst_case_il(), state.worst_case_snr());
         self.record(&mapping, score);
         let scratch = self.cursor.take().map(|c| c.scratch).unwrap_or_default();
+        let model = PeekCostModel::of(&state);
         self.cursor = Some(Cursor {
             mapping,
             state,
             score,
             scratch,
+            model,
         });
         Some(score)
     }
@@ -393,14 +514,62 @@ impl<'p> OptContext<'p> {
         self.cursor.as_ref().map(|c| c.score)
     }
 
+    /// Whether the active [`PeekStrategy`] routes `mv` to a full
+    /// scratch re-evaluation (SNR objective only — the caller has
+    /// already dispatched on the objective). Improving scans route
+    /// against the bound-then-verify peek's discounted cost estimate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no cursor is set.
+    fn routes_to_full(&self, mv: Move, improving: bool) -> bool {
+        let cursor = self.cursor.as_ref().expect("peek_move without set_current");
+        route_full(
+            self.strategy,
+            self.problem.evaluator(),
+            cursor,
+            mv,
+            improving,
+        )
+    }
+
+    /// Scores `mv` with a full scratch re-evaluation of the moved
+    /// mapping (the strategy routed it here): billed the honest full
+    /// cost — `edge_count` budget units, counted as a full evaluation.
+    /// The score is bit-identical to the delta-backed peek; the moved
+    /// mapping is materialized (the one allocation of this path).
+    fn peek_move_full(&mut self, mv: Move) -> MoveEval {
+        let moved = self
+            .cursor
+            .as_ref()
+            .expect("peek_move without set_current")
+            .mapping
+            .with_move(mv);
+        let summary = self
+            .problem
+            .evaluator()
+            .evaluate_into(&moved, None, &mut self.full_scratch);
+        let score = self
+            .problem
+            .objective()
+            .score_worst_cases(summary.worst_case_il, summary.worst_case_snr);
+        self.charge(self.unit);
+        self.full_evaluations += 1;
+        self.note_peeked(mv, score);
+        MoveEval::Full { mv, score, summary }
+    }
+
     /// Incrementally scores `mv` against the cursor without moving it,
     /// dispatching on the problem [`Objective`]:
     ///
     /// * loss objective — the crosstalk-free fast path
     ///   ([`crate::Evaluator::evaluate_delta_loss`]), charged
     ///   `max(1, moved_edges)` units, returning [`MoveEval::Loss`];
-    /// * SNR objective — the exact SNR-bearing delta, charged
-    ///   `max(1, affected_edges)` units, returning [`MoveEval::Snr`].
+    /// * SNR objective — routed per the active [`PeekStrategy`]: the
+    ///   exact SNR-bearing delta, charged `max(1, affected_edges)`
+    ///   units and returning [`MoveEval::Snr`], or a full scratch
+    ///   re-evaluation, charged `edge_count` units and returning
+    ///   [`MoveEval::Full`].
     ///
     /// Either way the score is bit-identical to a full evaluation of
     /// the moved mapping. Returns `None` once the budget is exhausted.
@@ -411,6 +580,11 @@ impl<'p> OptContext<'p> {
     pub fn peek_move(&mut self, mv: Move) -> Option<MoveEval> {
         if self.exhausted() {
             return None;
+        }
+        if matches!(self.problem.objective(), Objective::MaximizeWorstCaseSnr)
+            && self.routes_to_full(mv, false)
+        {
+            return Some(self.peek_move_full(mv));
         }
         let cursor = self.cursor.as_mut().expect("peek_move without set_current");
         let evaluator = self.problem.evaluator();
@@ -465,7 +639,11 @@ impl<'p> OptContext<'p> {
     /// the cursor are scored exactly, bit-identical to
     /// [`OptContext::peek_move`]. Under the loss objective the fast
     /// path is already cheap and exact, so this is identical to
-    /// `peek_move`.
+    /// `peek_move`. Moves the active [`PeekStrategy`] routes to full
+    /// evaluation come back as exact [`MoveEval::Full`]s whether they
+    /// improve or not — which never changes what a greedy scan selects,
+    /// since exact scores and bounds order identically around the
+    /// cursor threshold.
     ///
     /// Greedy strategies (steepest or first improvement against the
     /// cursor) select exactly the same moves as with exact peeks.
@@ -479,6 +657,9 @@ impl<'p> OptContext<'p> {
         }
         if self.exhausted() {
             return None;
+        }
+        if self.routes_to_full(mv, true) {
+            return Some(self.peek_move_full(mv));
         }
         let cursor = self.cursor.as_mut().expect("peek_move without set_current");
         let threshold = Db(cursor.score);
@@ -509,11 +690,12 @@ impl<'p> OptContext<'p> {
     }
 
     /// Incrementally scores a batch of candidate moves in parallel (the
-    /// R-PBLA admitted-list scan), dispatching on the objective exactly
-    /// like [`OptContext::peek_move`]. Only as many moves as the
-    /// remaining budget admits are *charged*: the returned vector
-    /// covers the charged prefix of `moves` and may be shorter than the
-    /// input. Deterministic: results and incumbent updates are in input
+    /// R-PBLA admitted-list scan), dispatching on the objective and the
+    /// active [`PeekStrategy`] exactly like [`OptContext::peek_move`].
+    /// Only as many moves as the remaining budget admits are *charged*:
+    /// the returned vector covers the charged prefix of `moves` and may
+    /// be shorter than the input. Deterministic: routing decisions are
+    /// made up front, and results and incumbent updates are in input
     /// order.
     ///
     /// # Panics
@@ -523,43 +705,31 @@ impl<'p> OptContext<'p> {
         if self.exhausted() || moves.is_empty() {
             return Vec::new();
         }
-        let cursor = self
-            .cursor
-            .as_ref()
-            .expect("peek_moves without set_current");
-        let evaluator = self.problem.evaluator();
         let evals: Vec<(MoveEval, usize)> = match self.problem.objective() {
-            Objective::MinimizeWorstCaseLoss => evaluator
-                .evaluate_delta_loss_batch(&cursor.state, &cursor.mapping, moves)
-                .into_iter()
-                .zip(moves)
-                .map(|((new_worst_il, moved_edges), &mv)| {
-                    (
-                        MoveEval::Loss {
-                            mv,
-                            score: new_worst_il.0,
-                            new_worst_il,
+            Objective::MinimizeWorstCaseLoss => {
+                let cursor = self
+                    .cursor
+                    .as_ref()
+                    .expect("peek_moves without set_current");
+                self.problem
+                    .evaluator()
+                    .evaluate_delta_loss_batch(&cursor.state, &cursor.mapping, moves)
+                    .into_iter()
+                    .zip(moves)
+                    .map(|((new_worst_il, moved_edges), &mv)| {
+                        (
+                            MoveEval::Loss {
+                                mv,
+                                score: new_worst_il.0,
+                                new_worst_il,
+                                moved_edges,
+                            },
                             moved_edges,
-                        },
-                        moved_edges,
-                    )
-                })
-                .collect(),
-            Objective::MaximizeWorstCaseSnr => evaluator
-                .evaluate_delta_batch(&cursor.state, &cursor.mapping, moves)
-                .into_iter()
-                .zip(moves)
-                .map(|(delta, &mv)| {
-                    (
-                        MoveEval::Snr {
-                            mv,
-                            score: delta.new_worst_snr.0,
-                            delta,
-                        },
-                        delta.affected_edges,
-                    )
-                })
-                .collect(),
+                        )
+                    })
+                    .collect()
+            }
+            Objective::MaximizeWorstCaseSnr => self.scan_snr_batch(moves, false),
         };
         self.admit_peeked(evals)
     }
@@ -567,9 +737,11 @@ impl<'p> OptContext<'p> {
     /// Batch variant of [`OptContext::peek_move_improving`]: every move
     /// is tested against the cursor score at the time of the call (the
     /// parallel scan is deterministic and order-preserving). Improving
-    /// moves come back exact, non-improving ones as
-    /// [`MoveEval::Bounded`] — the selection a greedy step makes over
-    /// the result is identical to one over [`OptContext::peek_moves`].
+    /// moves come back exact, non-improving ones as [`MoveEval::Bounded`]
+    /// — except moves the strategy routed to full evaluation, which are
+    /// always exact [`MoveEval::Full`]s. Either way the selection a
+    /// greedy step makes over the result is identical to one over
+    /// [`OptContext::peek_moves`].
     ///
     /// # Panics
     ///
@@ -581,34 +753,88 @@ impl<'p> OptContext<'p> {
         if self.exhausted() || moves.is_empty() {
             return Vec::new();
         }
+        let evals = self.scan_snr_batch(moves, true);
+        self.admit_peeked(evals)
+    }
+
+    /// The shared SNR batch scan: routes every move up front per the
+    /// active [`PeekStrategy`] (cheap index lookups, sequential and
+    /// deterministic), then scores the whole batch in one
+    /// order-preserving parallel pass — each worker holds both a
+    /// full-evaluation and a delta scratch. `improving` selects the
+    /// bound-then-verify peek (threshold at the cursor score) for
+    /// delta-routed moves. Returns `(eval, honest cost)` pairs in input
+    /// order; the caller charges them.
+    fn scan_snr_batch(&self, moves: &[Move], improving: bool) -> Vec<(MoveEval, usize)> {
         let cursor = self
             .cursor
             .as_ref()
             .expect("peek_moves without set_current");
+        let evaluator = self.problem.evaluator();
+        let unit = self.unit as usize;
         let threshold = Db(cursor.score);
-        let evals: Vec<(MoveEval, usize)> = self
-            .problem
-            .evaluator()
-            .evaluate_delta_bounded_batch(&cursor.state, &cursor.mapping, moves, threshold)
-            .into_iter()
-            .zip(moves)
-            .map(|(bounded, &mv)| match bounded {
-                BoundedDelta::Rejected { bound, cost } => (MoveEval::Bounded { mv, bound }, cost),
-                BoundedDelta::Exact(delta) => (
-                    MoveEval::Snr {
-                        mv,
-                        score: delta.new_worst_snr.0,
-                        delta,
-                    },
-                    delta.affected_edges,
-                ),
+        let routed: Vec<(Move, bool)> = moves
+            .iter()
+            .map(|&mv| {
+                (
+                    mv,
+                    route_full(self.strategy, evaluator, cursor, mv, improving),
+                )
             })
             .collect();
-        self.admit_peeked(evals)
+        parallel::parallel_map_with(
+            &routed,
+            || (EvalScratch::default(), DeltaScratch::default()),
+            |(full_scratch, delta_scratch), &(mv, full)| {
+                if full {
+                    let moved = cursor.mapping.with_move(mv);
+                    let summary = evaluator.evaluate_into(&moved, None, full_scratch);
+                    let score = summary.worst_case_snr.0;
+                    (MoveEval::Full { mv, score, summary }, unit)
+                } else if improving {
+                    match evaluator.evaluate_delta_bounded(
+                        &cursor.state,
+                        &cursor.mapping,
+                        mv,
+                        delta_scratch,
+                        threshold,
+                    ) {
+                        BoundedDelta::Rejected { bound, cost } => {
+                            (MoveEval::Bounded { mv, bound }, cost)
+                        }
+                        BoundedDelta::Exact(delta) => (
+                            MoveEval::Snr {
+                                mv,
+                                score: delta.new_worst_snr.0,
+                                delta,
+                            },
+                            delta.affected_edges,
+                        ),
+                    }
+                } else {
+                    let delta = evaluator.evaluate_delta_with(
+                        &cursor.state,
+                        &cursor.mapping,
+                        mv,
+                        delta_scratch,
+                    );
+                    (
+                        MoveEval::Snr {
+                            mv,
+                            score: delta.new_worst_snr.0,
+                            delta,
+                        },
+                        delta.affected_edges,
+                    )
+                }
+            },
+        )
     }
 
     /// Shared tail of the batch peeks: charges each evaluation in input
-    /// order until the budget runs out, tracking the incumbent.
+    /// order until the budget runs out, tracking the incumbent. Full-
+    /// backed peeks count as full evaluations, everything else as delta
+    /// evaluations — the same books the sequential peeks keep.
     fn admit_peeked(&mut self, evals: Vec<(MoveEval, usize)>) -> Vec<MoveEval> {
         let mut out = Vec::with_capacity(evals.len());
         for (ev, cost) in evals {
@@ -616,7 +842,11 @@ impl<'p> OptContext<'p> {
                 break;
             }
             self.charge((cost as u64).max(1));
-            self.delta_evaluations += 1;
+            if matches!(ev, MoveEval::Full { .. }) {
+                self.full_evaluations += 1;
+            } else {
+                self.delta_evaluations += 1;
+            }
             if ev.is_exact() {
                 self.note_peeked(ev.mv(), ev.score());
             }
@@ -675,6 +905,17 @@ impl<'p> OptContext<'p> {
             "committed move score diverged from its peek"
         );
         cursor.score = score;
+        // Recalibrate the hybrid cost model on the committed state:
+        // descents change path lengths and occupancy, and routing
+        // should track the placement the peeks actually score (a cheap
+        // `O(tiles + edges)` pass, paid once per commit). Skipped when
+        // no peek will ever consult the model — the loss objective
+        // rides its own fast path, and pinned strategies never route.
+        if self.strategy == PeekStrategy::Hybrid
+            && matches!(self.problem.objective(), Objective::MaximizeWorstCaseSnr)
+        {
+            cursor.model = PeekCostModel::of(&cursor.state);
+        }
         let mapping = cursor.mapping.clone();
         self.record(&mapping, score);
     }
@@ -738,7 +979,7 @@ pub struct DseResult {
 }
 
 /// Runs `optimizer` on `problem` with an evaluation `budget` and RNG
-/// `seed`.
+/// `seed`, under the default [`PeekStrategy::Hybrid`] peek routing.
 ///
 /// # Panics
 ///
@@ -751,7 +992,28 @@ pub fn run_dse(
     budget: usize,
     seed: u64,
 ) -> DseResult {
+    run_dse_with_strategy(problem, optimizer, budget, seed, PeekStrategy::default())
+}
+
+/// [`run_dse`] with an explicit SNR-peek [`PeekStrategy`]. Exact scores
+/// are bit-identical under every strategy; pinning one changes only
+/// what each peek costs (and therefore how many fit in the budget) —
+/// used by strategy benchmarks and by tests that exercise one routing
+/// path's accounting.
+///
+/// # Panics
+///
+/// Same as [`run_dse`].
+#[must_use]
+pub fn run_dse_with_strategy(
+    problem: &MappingProblem,
+    optimizer: &dyn MappingOptimizer,
+    budget: usize,
+    seed: u64,
+    strategy: PeekStrategy,
+) -> DseResult {
     let mut ctx = OptContext::new(problem, budget, seed);
+    ctx.set_peek_strategy(strategy);
     optimizer.optimize(&mut ctx);
     ctx.into_result(optimizer.name())
 }
@@ -919,6 +1181,9 @@ mod tests {
         .unwrap();
         let budget = 10;
         let mut ctx = OptContext::new(&p, budget, 1);
+        // Pin the delta backend: this test documents *delta* budget
+        // accounting, independent of what the hybrid router would pick.
+        ctx.set_peek_strategy(PeekStrategy::Delta);
         let m = ctx.random_mapping();
         ctx.set_current(m).unwrap();
         let tiles = p.tile_count();

@@ -111,11 +111,13 @@ pub mod pareto;
 pub mod problem;
 
 pub use analysis::{analyze, EdgeReport, NetworkReport};
-pub use engine::{run_dse, DseResult, MappingOptimizer, MoveEval, OptContext};
+pub use engine::{
+    run_dse, run_dse_with_strategy, DseResult, MappingOptimizer, MoveEval, OptContext, PeekStrategy,
+};
 pub use error::CoreError;
 pub use evaluator::{
     BoundedDelta, DeltaScratch, EdgeMetrics, EvalScratch, EvalState, EvalSummary, Evaluator,
-    EvaluatorOptions, NetworkMetrics, ScoreDelta,
+    EvaluatorOptions, NetworkMetrics, PeekCostModel, ScoreDelta,
 };
 pub use mapping::{Mapping, Move};
 pub use montecarlo::{activity_study, ActivityStudy};
@@ -125,11 +127,14 @@ pub use problem::{MappingProblem, Objective};
 /// Convenient glob import for downstream code and examples.
 pub mod prelude {
     pub use crate::analysis::{analyze, NetworkReport};
-    pub use crate::engine::{run_dse, DseResult, MappingOptimizer, MoveEval, OptContext};
+    pub use crate::engine::{
+        run_dse, run_dse_with_strategy, DseResult, MappingOptimizer, MoveEval, OptContext,
+        PeekStrategy,
+    };
     pub use crate::error::CoreError;
     pub use crate::evaluator::{
         EvalScratch, EvalState, EvalSummary, Evaluator, EvaluatorOptions, NetworkMetrics,
-        ScoreDelta,
+        PeekCostModel, ScoreDelta,
     };
     pub use crate::mapping::{Mapping, Move};
     pub use crate::montecarlo::{activity_study, ActivityStudy};

@@ -6,7 +6,7 @@
 //! built on [`std::thread::scope`]. Results are returned in input
 //! order regardless of scheduling, so every caller stays deterministic.
 //! Tiny batches are not worth a fork: a per-thread chunk floor
-//! ([`MIN_CHUNK`]) keeps short admitted-list scans and small
+//! (`MIN_CHUNK`) keeps short admitted-list scans and small
 //! populations on the caller thread and scales the worker count with
 //! the batch size, so multi-core machines stop paying thread-spawn
 //! overhead for work that finishes faster than a spawn. If `rayon` is

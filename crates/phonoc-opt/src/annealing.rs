@@ -123,7 +123,7 @@ mod tests {
     use super::*;
     use crate::random_search::RandomSearch;
     use crate::test_support::tiny_problem;
-    use phonoc_core::run_dse;
+    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
@@ -131,7 +131,14 @@ mod tests {
         let r = run_dse(&p, &SimulatedAnnealing::default(), 500, 17);
         assert_eq!(r.evaluations, 500);
         assert!(r.best_mapping.is_valid());
-        assert!(r.delta_evaluations > 0, "sa must walk on the move API");
+        let rd = run_dse_with_strategy(
+            &p,
+            &SimulatedAnnealing::default(),
+            500,
+            17,
+            PeekStrategy::Delta,
+        );
+        assert!(rd.delta_evaluations > 0, "sa must walk on the move API");
     }
 
     #[test]

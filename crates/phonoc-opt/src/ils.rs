@@ -100,7 +100,7 @@ mod tests {
     use super::*;
     use crate::random_search::RandomSearch;
     use crate::test_support::tiny_problem;
-    use phonoc_core::run_dse;
+    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
@@ -108,7 +108,14 @@ mod tests {
         let r = run_dse(&p, &IteratedLocalSearch::default(), 600, 4);
         assert_eq!(r.evaluations, 600);
         assert!(r.best_mapping.is_valid());
-        assert!(r.delta_evaluations > 0, "ils must descend on the move API");
+        let rd = run_dse_with_strategy(
+            &p,
+            &IteratedLocalSearch::default(),
+            600,
+            4,
+            PeekStrategy::Delta,
+        );
+        assert!(rd.delta_evaluations > 0, "ils must descend on the move API");
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! "extend the library themselves with other algorithms". This crate
 //! implements all three plus three extensions (simulated annealing, tabu
 //! search and iterated local search) and an exhaustive oracle for tiny
-//! instances; all of them are plain [`MappingOptimizer`] implementations,
+//! instances; all of them are plain [`MappingOptimizer`](phonoc_core::MappingOptimizer)
+//! implementations,
 //! so adding another requires no change anywhere else.
 //!
 //! # Move-based vs. population-based scoring

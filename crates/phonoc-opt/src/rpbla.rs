@@ -121,7 +121,7 @@ mod tests {
     use super::*;
     use crate::random_search::RandomSearch;
     use crate::test_support::tiny_problem;
-    use phonoc_core::run_dse;
+    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
@@ -129,8 +129,14 @@ mod tests {
         let r = run_dse(&p, &Rpbla, 400, 9);
         assert_eq!(r.evaluations, 400);
         assert!(r.best_mapping.is_valid());
-        // The descent scans run on the delta path.
-        assert!(r.delta_evaluations > 0, "R-PBLA must use incremental scans");
+        // The descent scans run on the peek API; pin the delta backend
+        // (the hybrid router legitimately picks full passes on a dense
+        // 3×3) to check the incremental path is really exercised.
+        let rd = run_dse_with_strategy(&p, &Rpbla, 400, 9, PeekStrategy::Delta);
+        assert!(
+            rd.delta_evaluations > 0,
+            "R-PBLA must use incremental scans"
+        );
     }
 
     #[test]

@@ -89,7 +89,7 @@ impl MappingOptimizer for TabuSearch {
 mod tests {
     use super::*;
     use crate::test_support::tiny_problem;
-    use phonoc_core::run_dse;
+    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
@@ -97,7 +97,8 @@ mod tests {
         let r = run_dse(&p, &TabuSearch::default(), 400, 13);
         assert_eq!(r.evaluations, 400);
         assert!(r.best_mapping.is_valid());
-        assert!(r.delta_evaluations > 0, "tabu must use incremental scans");
+        let rd = run_dse_with_strategy(&p, &TabuSearch::default(), 400, 13, PeekStrategy::Delta);
+        assert!(rd.delta_evaluations > 0, "tabu must use incremental scans");
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Bit-error-rate estimation from SNR (extension).
 //!
 //! The paper's companion work (Xie et al., DAC 2010 — the paper's
-//! reference [12]) analyzes bit error rate alongside crosstalk. We provide
+//! reference \[12\]) analyzes bit error rate alongside crosstalk. We provide
 //! the standard on-off-keying estimate so the mapping tool can report BER
 //! for any evaluated mapping:
 //!

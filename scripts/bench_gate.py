@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Advisory bench gate: sanity-checks a freshly generated sweep report
+against the committed baselines.
+
+Usage:
+    python3 scripts/bench_gate.py BENCH_sweep_smoke.json [BENCH_evaluator.json]
+
+Checks (all *advisory* — the script always exits 0 unless --strict is
+passed or an input file is malformed):
+
+1. Hybrid regression: per scenario, the adaptive peek must stay within
+   GENEROUS_HYBRID_FACTOR of the best single strategy. The committed
+   full-matrix acceptance bound is 1.10; CI smoke runs on shared
+   runners, so the advisory threshold is looser.
+2. Anchor drift: scenarios whose shape matches a committed
+   BENCH_evaluator.json anchor (mesh 4/6/8 full evaluation) must land
+   within GENEROUS_ANCHOR_FACTOR of the recorded median in either
+   direction — catching order-of-magnitude evaluator regressions
+   without flaking on machine differences.
+
+Everything is stdlib-only (CI runners have bare python3).
+"""
+
+import json
+import sys
+
+GENEROUS_HYBRID_FACTOR = 1.5
+GENEROUS_ANCHOR_FACTOR = 10.0
+
+# BENCH_evaluator.json anchors comparable to sweep cells: the committed
+# reused-scratch full-evaluation medians per mesh size.
+ANCHORS = {
+    4: ("full_alloc_vs_scratch_vopd_4x4", "evaluate_into_scratch"),
+    6: ("full_alloc_vs_scratch_dvopd_6x6", "evaluate_into_scratch"),
+    8: ("full_alloc_vs_scratch_synthetic_8x8", "evaluate_into_scratch"),
+}
+
+
+def load(path):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"bench_gate: cannot load {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def check_hybrid(sweep):
+    advisories = []
+    for sc in sweep.get("scenarios", []):
+        peek = sc["peek_ns"]
+        best_exact = min(peek["full"], peek["delta"])
+        best_improving = min(peek["full"], peek["bounded"])
+        for label, ns, best in [
+            ("exact", peek["hybrid_exact"], best_exact),
+            ("improving", peek["hybrid_improving"], best_improving),
+        ]:
+            ratio = ns / max(best, 1)
+            if ratio > GENEROUS_HYBRID_FACTOR:
+                advisories.append(
+                    f"{sc['id']}: hybrid_{label} {ns} ns is {ratio:.2f}x the best "
+                    f"single strategy ({best} ns; advisory threshold "
+                    f"{GENEROUS_HYBRID_FACTOR}x)"
+                )
+    return advisories
+
+
+def check_anchors(sweep, evaluator):
+    advisories = []
+    results = evaluator.get("results_ns", {})
+    for sc in sweep.get("scenarios", []):
+        anchor = ANCHORS.get(sc["mesh"])
+        if anchor is None:
+            continue
+        group, key = anchor
+        baseline = results.get(group, {}).get(key)
+        if not baseline:
+            continue
+        # The anchor evaluates a whole mapping; the sweep's `full` peek
+        # is the same work (scratch re-evaluation of a moved mapping) on
+        # a *different* CG, so only order-of-magnitude drift is flagged.
+        measured = sc["peek_ns"]["full"]
+        ratio = measured / baseline
+        if ratio > GENEROUS_ANCHOR_FACTOR or ratio < 1.0 / GENEROUS_ANCHOR_FACTOR:
+            advisories.append(
+                f"{sc['id']}: full-eval peek {measured} ns vs committed "
+                f"{group}.{key} = {baseline} ns ({ratio:.1f}x; advisory "
+                f"threshold {GENEROUS_ANCHOR_FACTOR}x either way)"
+            )
+    return advisories
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    strict = "--strict" in argv
+    if not args:
+        print(__doc__)
+        return 2
+    sweep = load(args[0])
+    advisories = check_hybrid(sweep)
+    if len(args) > 1:
+        advisories += check_anchors(sweep, load(args[1]))
+
+    n = len(sweep.get("scenarios", []))
+    summary = sweep.get("summary", {})
+    print(
+        f"bench_gate: {n} scenarios, "
+        f"max_hybrid_over_best={summary.get('max_hybrid_over_best', 'n/a')}"
+    )
+    if advisories:
+        print(f"bench_gate: {len(advisories)} advisory finding(s):")
+        for a in advisories:
+            print(f"  - {a}")
+        if strict:
+            return 1
+        print("bench_gate: advisory mode — not failing the build")
+    else:
+        print("bench_gate: all checks within generous thresholds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -10,6 +10,7 @@
 //!                    [--topology mesh|torus|ring] [--router crux]
 //!                    [--budget 100000] [--seed 42]
 //! phonocmap optimize --file my_app.cg ...      # text-format CG input
+//! phonocmap sweep [--smoke] [--out BENCH_sweep.json]
 //! ```
 //!
 //! The CG text format is documented in `phonoc_apps::text`.
@@ -32,6 +33,7 @@ fn main() -> ExitCode {
         "show-app" => cmd_show_app(&args),
         "analyze" => cmd_analyze(&args),
         "optimize" => cmd_optimize(&args),
+        "sweep" => cmd_sweep(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -54,6 +56,9 @@ commands:
   show-app <name> [--dot]      benchmark communication graph
   analyze  --app <name> | --file <cg>   evaluate a random mapping
   optimize --app <name> | --file <cg>   search for the best mapping
+  sweep [--smoke] [--out PATH]          scenario-matrix sweep: peek-strategy
+        [--samples N] [--moves N]       timings + optimizer results as JSON
+        [--budget N]
 options (analyze/optimize):
   --topology mesh|torus|ring   (default mesh)
   --router   crux|crossbar|xy-crossbar   (default crux)
@@ -195,6 +200,12 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     let mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
     print!("{}", analyze(&problem, &mapping));
     Ok(())
+}
+
+fn cmd_sweep(args: &[String]) -> Result<(), String> {
+    // One shared driver with the standalone `sweep` bin: same flags,
+    // same progress output, same JSON provenance.
+    bench::sweep::run_sweep_cli(args, "phonocmap sweep")
 }
 
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
