@@ -21,7 +21,12 @@
 //! single strategy was fastest and `hybrid_over_best` how close the
 //! adaptive router came (the CI gate checks it stays within 10%). Each
 //! scenario then runs the optimizer registry (budgeted, seeded) so the
-//! sweep also tracks end-to-end search quality per workload family.
+//! sweep also tracks end-to-end search *quality* per workload family —
+//! R-PBLA runs once per [`phonoc_core::NeighborhoodPolicy`]
+//! (`r-pbla@exhaustive` / `@sampled` / `@locality` registry specs), so
+//! every cell records how the neighbourhood streams compare to the
+//! truncated exhaustive scan at the same budget. A `--neighborhood`
+//! flag restricts the comparison to one policy.
 //!
 //! The committed `BENCH_sweep.json` at the repository root holds the
 //! full-matrix numbers; CI regenerates a smoke subset on every push and
@@ -63,7 +68,9 @@ pub struct SweepConfig {
 }
 
 impl SweepConfig {
-    /// The full sweep behind the committed `BENCH_sweep.json`.
+    /// The full sweep behind the committed `BENCH_sweep.json`: R-PBLA
+    /// runs under all three pinned neighbourhood streams so every cell
+    /// records the quality comparison.
     #[must_use]
     pub fn full() -> SweepConfig {
         SweepConfig {
@@ -71,20 +78,37 @@ impl SweepConfig {
             samples: 7,
             moves_per_sample: 64,
             budget: 1_500,
-            optimizers: vec!["rs".into(), "r-pbla".into()],
+            optimizers: vec![
+                "rs".into(),
+                "r-pbla@exhaustive".into(),
+                "r-pbla@sampled".into(),
+                "r-pbla@locality".into(),
+            ],
             smoke: false,
         }
     }
 
-    /// The CI smoke sweep: small sizes, one seed, fewer samples.
+    /// The CI smoke sweep: small sizes, one seed, fewer samples; runs
+    /// the sampled neighbourhood beside the exhaustive baseline so the
+    /// stream machinery is exercised end-to-end on every push. The
+    /// optimizer budget matches [`SweepConfig::full`] so smoke cells
+    /// share ids *and* budgets with the committed `BENCH_sweep.json` —
+    /// which is what lets `scripts/bench_gate.py` compare per-cell
+    /// scores (deterministic per seed) against the baseline, not just
+    /// timings. Small-mesh optimizer runs are milliseconds, so this
+    /// costs smoke nothing.
     #[must_use]
     pub fn smoke() -> SweepConfig {
         SweepConfig {
             matrix: ScenarioMatrix::smoke(),
             samples: 5,
             moves_per_sample: 48,
-            budget: 300,
-            optimizers: vec!["rs".into(), "r-pbla".into()],
+            budget: 1_500,
+            optimizers: vec![
+                "rs".into(),
+                "r-pbla@exhaustive".into(),
+                "r-pbla@sampled".into(),
+            ],
             smoke: true,
         }
     }
@@ -157,8 +181,11 @@ impl PeekTimings {
 /// One optimizer-registry run inside a scenario.
 #[derive(Debug, Clone)]
 pub struct OptOutcome {
-    /// Registry name.
+    /// Registry spec (`name[@neighborhood]`, e.g. `r-pbla@sampled`).
     pub algo: String,
+    /// The neighbourhood policy the run pinned (`auto` when the spec
+    /// left the context default).
+    pub neighborhood: &'static str,
     /// Best worst-case-SNR score found (dB).
     pub best_score: f64,
     /// Budget consumed (full-evaluation-equivalents).
@@ -417,12 +444,21 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
         .optimizers
         .iter()
         .map(|name| {
-            let opt = phonoc_opt::registry::optimizer(name)
-                .unwrap_or_else(|| panic!("unknown optimizer `{name}`"));
+            let (opt, policy) = phonoc_opt::registry::optimizer_spec(name)
+                .unwrap_or_else(|| panic!("unknown optimizer spec `{name}`"));
+            let policy = policy.unwrap_or_default();
             let t = Instant::now();
-            let result = phonoc_core::run_dse(&problem, opt.as_ref(), cfg.budget, spec.seed);
+            let result = phonoc_core::run_dse_configured(
+                &problem,
+                opt.as_ref(),
+                cfg.budget,
+                spec.seed,
+                phonoc_core::PeekStrategy::default(),
+                policy,
+            );
             OptOutcome {
                 algo: name.clone(),
+                neighborhood: policy.name(),
                 best_score: result.best_score,
                 evaluations: result.evaluations,
                 full_evaluations: result.full_evaluations,
@@ -489,9 +525,16 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&ScenarioOutcome)) 
 
 /// The shared command-line driver behind `phonocmap sweep` and the
 /// standalone `sweep` bin: parses `--smoke`, `--samples N`, `--moves N`,
-/// `--budget N` and `--out PATH`, runs the sweep with live progress,
-/// prints the acceptance summary and writes the JSON — recording the
-/// exact invocation (prefix + overrides) as the file's provenance.
+/// `--budget N`, `--neighborhood POLICY` and `--out PATH`, runs the
+/// sweep with live progress, prints the acceptance summary and writes
+/// the JSON — recording the exact invocation (prefix + overrides) as
+/// the file's provenance.
+///
+/// `--neighborhood` takes a [`phonoc_core::NeighborhoodPolicy`] name
+/// (`auto`, `exhaustive`, `sampled`, `locality`) and restricts the
+/// per-cell optimizer comparison to `rs` plus R-PBLA under that single
+/// policy; without it the default set compares the exhaustive baseline
+/// against the sampled and locality streams on every cell.
 ///
 /// # Errors
 ///
@@ -522,6 +565,12 @@ pub fn run_sweep_cli(args: &[String], command_prefix: &str) -> Result<(), String
     if let Some(v) = flag("--budget") {
         cfg.budget = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
         let _ = write!(command, " --budget {v}");
+    }
+    if let Some(v) = flag("--neighborhood") {
+        let policy = phonoc_core::NeighborhoodPolicy::by_name(&v)
+            .ok_or_else(|| format!("bad neighborhood `{v}` (auto|exhaustive|sampled|locality)"))?;
+        cfg.optimizers = vec!["rs".into(), format!("r-pbla@{policy}")];
+        let _ = write!(command, " --neighborhood {policy}");
     }
     let out = flag("--out").unwrap_or_else(|| "BENCH_sweep.json".into());
 
@@ -567,13 +616,15 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the report as the `phonocmap-bench-sweep/1` JSON document
+/// Renders the report as the `phonocmap-bench-sweep/2` JSON document
 /// (hand-rolled — the workspace builds offline, without `serde_json`).
+/// Version 2 adds the per-optimizer `neighborhood` field and the
+/// `r-pbla@policy` quality comparison rows.
 #[must_use]
 pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/1\",");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/2\",");
     let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
     let _ = writeln!(
         out,
@@ -595,7 +646,11 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"The PeekCostModel crossovers (mean path length 7.0; hub-concentration early crossovers) were calibrated from this matrix; cells in the hub band at 6x6-8x8 have seed-dependent winners with ~10-15% margins either way, so an occasional seed may sit slightly above 1.10 while its sibling is at parity.\""
+        "    \"The PeekCostModel crossovers (mean path length 7.0; hub-concentration early crossovers) were calibrated from this matrix; cells in the hub band at 6x6-8x8 have seed-dependent winners with ~10-15% margins either way, so an occasional seed may sit slightly above 1.10 while its sibling is at parity.\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"Optimizer rows compare neighborhood streams at one shared budget: r-pbla@exhaustive is the canonical truncated-scan baseline, r-pbla@sampled/@locality the budget-aware streams. Scores are deterministic per (cell, algo); on 12x12+ cells the admitted list outgrows the budget and the sampled/locality streams should win.\""
     );
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"summary\": {{");
@@ -647,9 +702,10 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
         for (j, o) in s.optimizers.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}{{\"algo\": \"{}\", \"best_score\": {:.4}, \"evaluations\": {}, \"full_evaluations\": {}, \"delta_evaluations\": {}, \"ms\": {}}}",
+                "{}{{\"algo\": \"{}\", \"neighborhood\": \"{}\", \"best_score\": {:.4}, \"evaluations\": {}, \"full_evaluations\": {}, \"delta_evaluations\": {}, \"ms\": {}}}",
                 if j == 0 { "" } else { ", " },
                 json_escape(&o.algo),
+                o.neighborhood,
                 o.best_score,
                 o.evaluations,
                 o.full_evaluations,
@@ -688,7 +744,7 @@ mod tests {
             samples: 1,
             moves_per_sample: 4,
             budget: 20,
-            optimizers: vec!["rs".into()],
+            optimizers: vec!["rs".into(), "r-pbla@sampled".into()],
             smoke: true,
         }
     }
@@ -702,14 +758,17 @@ mod tests {
         assert_eq!(report.scenarios.len(), 2);
         for s in &report.scenarios {
             assert!(s.edges > 0 && s.tasks == 16);
-            assert_eq!(s.optimizers.len(), 1);
-            assert!(s.optimizers[0].best_score.is_finite());
+            assert_eq!(s.optimizers.len(), 2);
+            assert_eq!(s.optimizers[0].neighborhood, "auto");
+            assert_eq!(s.optimizers[1].neighborhood, "sampled");
+            assert!(s.optimizers.iter().all(|o| o.best_score.is_finite()));
             assert!((0.0..=1.0).contains(&s.hybrid_full_share));
         }
         let json = report_to_json(&report, "test");
-        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/1\""));
+        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/2\""));
         assert!(json.contains("\"pipeline-4x4-d100-s1\""));
         assert!(json.contains("\"max_hybrid_over_best\""));
+        assert!(json.contains("\"neighborhood\": \"auto\""));
         // Balanced braces/brackets — a cheap structural sanity check in
         // lieu of a JSON parser (the workspace builds offline).
         assert_eq!(

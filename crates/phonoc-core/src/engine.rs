@@ -76,6 +76,19 @@
 //! `affected_edges`. Cheaper routes simply buy more peeks out of the
 //! same budget.
 //!
+//! # Neighbourhood policies
+//!
+//! Orthogonal to *how* a move is scored (the peek strategy) is *which*
+//! moves a swap-based search looks at: the [`NeighborhoodPolicy`] on
+//! the context selects the move stream (`exhaustive` admitted list,
+//! seeded `sampled` subsets, Manhattan-`locality` restriction, or
+//! size-`auto`) that the `Neighborhood` abstraction in `phonoc-opt`
+//! materializes. The engine only stores and hands out the policy —
+//! scoring, routing and budget accounting are unchanged underneath, so
+//! every policy inherits the bit-exactness and honest-ledger guarantees
+//! above. Set it per run with [`run_dse_with_policy`] /
+//! [`run_dse_configured`].
+//!
 //! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
 //! core so that new strategies can be added "without any changes in the
 //! tool core", paper Section I — implementations live in `phonoc-opt`).
@@ -111,6 +124,74 @@ pub enum PeekStrategy {
     Delta,
     /// Always a full scratch re-evaluation of the moved mapping.
     Full,
+}
+
+/// How swap-based optimizers enumerate their neighbourhood — the
+/// engine-level knob behind the `Neighborhood` move streams implemented
+/// in `phonoc-opt`. The policy lives on the [`OptContext`] (set it with
+/// [`OptContext::set_neighborhood_policy`] or run through
+/// [`run_dse_with_policy`]) so one setting reaches every optimizer a
+/// sweep runs, while the hybrid peek router and the honest budget
+/// ledger keep working unchanged underneath: a policy only changes
+/// *which* moves a scan looks at, never how a looked-at move is scored
+/// or billed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum NeighborhoodPolicy {
+    /// Resolve per problem size: the exhaustive admitted list up to
+    /// 8×8-class meshes (where a full scan still fits the paper's
+    /// budgets), seeded uniform sampling beyond. The default.
+    #[default]
+    Auto,
+    /// The full admitted swap list in its canonical order — the
+    /// original behaviour, kept as the small-mesh default and the test
+    /// oracle.
+    Exhaustive,
+    /// Seeded uniform swap sampling without replacement over the
+    /// admitted pairs: each scan pass draws a fresh duplicate-free
+    /// subset, so best-of-scanned selection is unbiased instead of
+    /// lexicographically truncated.
+    Sampled,
+    /// Distance-restricted swaps: only moves whose two exchanged tiles
+    /// (under the *current* cursor mapping) lie within a Manhattan
+    /// radius of each other, widening adaptively when a scan goes dry.
+    Locality,
+}
+
+impl NeighborhoodPolicy {
+    /// Every policy, in the canonical order.
+    pub const ALL: [NeighborhoodPolicy; 4] = [
+        NeighborhoodPolicy::Auto,
+        NeighborhoodPolicy::Exhaustive,
+        NeighborhoodPolicy::Sampled,
+        NeighborhoodPolicy::Locality,
+    ];
+
+    /// Stable lowercase identifier (used by CLI flags and sweep JSON).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            NeighborhoodPolicy::Auto => "auto",
+            NeighborhoodPolicy::Exhaustive => "exhaustive",
+            NeighborhoodPolicy::Sampled => "sampled",
+            NeighborhoodPolicy::Locality => "locality",
+        }
+    }
+
+    /// Looks a policy up by its [`NeighborhoodPolicy::name`]
+    /// (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<NeighborhoodPolicy> {
+        let lower = name.to_lowercase();
+        NeighborhoodPolicy::ALL
+            .into_iter()
+            .find(|p| p.name() == lower)
+    }
+}
+
+impl fmt::Display for NeighborhoodPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// A scored candidate [`Move`], produced by the peek entry points
@@ -272,6 +353,10 @@ pub struct OptContext<'p> {
     cursor: Option<Cursor>,
     /// How SNR-objective peeks are routed (see [`PeekStrategy`]).
     strategy: PeekStrategy,
+    /// How swap neighbourhoods are enumerated (see
+    /// [`NeighborhoodPolicy`]); consumed by the `Neighborhood` streams
+    /// in `phonoc-opt`.
+    policy: NeighborhoodPolicy,
     /// Reused buffers for full evaluations: after warm-up,
     /// [`OptContext::evaluate`] performs no heap allocation.
     full_scratch: EvalScratch,
@@ -307,8 +392,43 @@ impl<'p> OptContext<'p> {
             history: Vec::new(),
             cursor: None,
             strategy: PeekStrategy::default(),
+            policy: NeighborhoodPolicy::default(),
             full_scratch: EvalScratch::default(),
         }
+    }
+
+    /// The active neighbourhood-enumeration policy.
+    #[must_use]
+    pub fn neighborhood_policy(&self) -> NeighborhoodPolicy {
+        self.policy
+    }
+
+    /// Pins the neighbourhood-enumeration policy swap-based optimizers
+    /// should build their move streams from. Purely a *selection*
+    /// setting: every selected move is still scored and billed by the
+    /// same peek machinery, so scores stay bit-exact and the budget
+    /// ledger honest under every policy.
+    pub fn set_neighborhood_policy(&mut self, policy: NeighborhoodPolicy) {
+        self.policy = policy;
+    }
+
+    /// Manhattan distance between two **tiles** (row-major tile
+    /// indices) on the problem's topology grid; wrap-around links, if
+    /// any, are ignored. This is the layout distance
+    /// [`NeighborhoodPolicy::Locality`] move streams restrict swaps by
+    /// — note that a `Move::Swap(a, b)` names permutation *slots*, so
+    /// the tiles it exchanges are `mapping.permutation()[a]` /
+    /// `[b]`, not `a`/`b` themselves.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tile index is out of the topology's range.
+    #[must_use]
+    pub fn tile_distance(&self, a: usize, b: usize) -> usize {
+        let topo = self.problem.topology();
+        let ca = topo.coord(phonoc_topo::TileId(a));
+        let cb = topo.coord(phonoc_topo::TileId(b));
+        ca.x.abs_diff(cb.x) + ca.y.abs_diff(cb.y)
     }
 
     /// The active SNR-peek routing strategy.
@@ -453,14 +573,6 @@ impl<'p> OptContext<'p> {
             scores.push(score);
         }
         scores
-    }
-
-    /// Convenience: a uniformly random swap move over the permutation
-    /// positions, drawn from the context's RNG with the same
-    /// distribution as [`Mapping::random_swap`].
-    #[must_use]
-    pub fn random_swap_move(&mut self) -> Move {
-        Move::random_swap(self.tile_count(), &mut self.rng)
     }
 
     /// Convenience: a uniformly random valid mapping from the context's
@@ -1012,8 +1124,62 @@ pub fn run_dse_with_strategy(
     seed: u64,
     strategy: PeekStrategy,
 ) -> DseResult {
+    run_dse_configured(
+        problem,
+        optimizer,
+        budget,
+        seed,
+        strategy,
+        NeighborhoodPolicy::default(),
+    )
+}
+
+/// [`run_dse`] with an explicit [`NeighborhoodPolicy`] under the
+/// default peek routing. Unlike a [`PeekStrategy`], a neighbourhood
+/// policy *does* change what a search looks at (that is its point), so
+/// final scores may differ between policies — but each policy stays
+/// deterministic per seed, bit-exactly scored, and honestly billed.
+///
+/// # Panics
+///
+/// Same as [`run_dse`].
+#[must_use]
+pub fn run_dse_with_policy(
+    problem: &MappingProblem,
+    optimizer: &dyn MappingOptimizer,
+    budget: usize,
+    seed: u64,
+    policy: NeighborhoodPolicy,
+) -> DseResult {
+    run_dse_configured(
+        problem,
+        optimizer,
+        budget,
+        seed,
+        PeekStrategy::default(),
+        policy,
+    )
+}
+
+/// The fully configured DSE runner: explicit peek routing *and*
+/// neighbourhood policy. [`run_dse`], [`run_dse_with_strategy`] and
+/// [`run_dse_with_policy`] are thin wrappers over this.
+///
+/// # Panics
+///
+/// Same as [`run_dse`].
+#[must_use]
+pub fn run_dse_configured(
+    problem: &MappingProblem,
+    optimizer: &dyn MappingOptimizer,
+    budget: usize,
+    seed: u64,
+    strategy: PeekStrategy,
+    policy: NeighborhoodPolicy,
+) -> DseResult {
     let mut ctx = OptContext::new(problem, budget, seed);
     ctx.set_peek_strategy(strategy);
+    ctx.set_neighborhood_policy(policy);
     optimizer.optimize(&mut ctx);
     ctx.into_result(optimizer.name())
 }

@@ -1,0 +1,270 @@
+//! Executable bound for the documented hub-band routing noise.
+//!
+//! ROADMAP (PR 3): in the 6×6–8×8 hub band — occupancy concentration
+//! 1.5–2.2, the star/hotspot/MPEG-like shapes — the full-vs-bounded
+//! winner flips between seeds with ~10–15% margins, so the static
+//! [`PeekCostModel`] picks the average-best side and an occasional
+//! single-seed cell may sit slightly above the sweep's 10% acceptance
+//! bound. This test turns that prose into an executable bound: over
+//! every hub-band cell (both seeds), the hybrid's improving-scan cost
+//! must never exceed **1.5×** the per-cell best single strategy — the
+//! same generous factor `scripts/bench_gate.py` applies — and the
+//! router's full-vs-bounded choices themselves must be deterministic.
+
+use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
+use phonoc_core::{
+    DeltaScratch, EvalScratch, Mapping, MappingProblem, Move, Objective, PeekCostModel,
+};
+use phonoc_phys::{Length, PhysicalParameters};
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const HUB_BAND: std::ops::RangeInclusive<f64> = 1.5..=2.2;
+const MOVES: usize = 48;
+const SAMPLES: usize = 5;
+/// The bench gate's generous advisory factor: hub-band seed flips are
+/// 10–15%, so 1.5× leaves real headroom while still catching a router
+/// that picks the wrong side outright (the band's full/bounded gap is
+/// well above 2× when the model misroutes systematically). Unlike raw
+/// timings, the asserted *ratio* is scale-invariant — a uniformly
+/// throttled runner slows all three interleaved strategies alike — so
+/// only noise that asymmetrically poisons one strategy across all
+/// `SAMPLES × (1 + RETRY_ROUNDS)` ≥2 ms min-merged samples could flake
+/// it, which is the same robustness argument the sweep harness makes.
+const BOUND: f64 = 1.5;
+/// Extra measurement rounds (min-merged) before a cell may fail: on a
+/// shared box a background burst can poison one strategy's samples.
+const RETRY_ROUNDS: usize = 4;
+
+struct Cell {
+    spec: ScenarioSpec,
+    problem: MappingProblem,
+    mapping: Mapping,
+    model: PeekCostModel,
+    moves: Vec<Move>,
+}
+
+/// Every 6×6/8×8 cell of the hub-concentrated families (both seeds)
+/// whose random-placement concentration falls in the documented band.
+fn hub_band_cells() -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for family in [
+        ScenarioFamily::Star,
+        ScenarioFamily::Hotspot,
+        ScenarioFamily::MpegLike,
+    ] {
+        for mesh in [6usize, 8] {
+            for seed in [1u64, 2] {
+                let spec = ScenarioSpec {
+                    family,
+                    mesh,
+                    density_pct: 100,
+                    seed,
+                };
+                let problem = MappingProblem::new(
+                    spec.build(),
+                    Topology::mesh(mesh, mesh, Length::from_mm(2.5)),
+                    crux_router(),
+                    Box::new(XyRouting),
+                    PhysicalParameters::default(),
+                    Objective::MaximizeWorstCaseSnr,
+                )
+                .expect("scenario problems are valid");
+                // The sweep harness's workload: a seeded random
+                // placement plus a fixed seeded swap cycle.
+                let mut rng =
+                    StdRng::seed_from_u64(seed.wrapping_mul(0xC0FF_EE00).wrapping_add(13));
+                let mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
+                let state = problem.evaluator().init_state(&mapping);
+                let model = PeekCostModel::of(&state);
+                let moves: Vec<Move> = (0..MOVES)
+                    .map(|_| mapping.random_swap_move(&mut rng))
+                    .collect();
+                if HUB_BAND.contains(&model.concentration()) {
+                    cells.push(Cell {
+                        spec,
+                        problem,
+                        mapping,
+                        model,
+                        moves,
+                    });
+                }
+            }
+        }
+    }
+    cells
+}
+
+#[test]
+fn hub_band_route_choices_are_deterministic() {
+    let cells = hub_band_cells();
+    assert!(
+        cells.len() >= 4,
+        "the documented hub band should cover several 6x6-8x8 cells, found {}",
+        cells.len()
+    );
+    for cell in &cells {
+        let evaluator = cell.problem.evaluator();
+        let record = || -> Vec<bool> {
+            cell.moves
+                .iter()
+                .map(|&mv| {
+                    cell.model
+                        .routes_full(evaluator.moved_edge_count(&cell.mapping, mv), true)
+                })
+                .collect()
+        };
+        let first = record();
+        assert_eq!(
+            first,
+            record(),
+            "{}: routing must be a pure function",
+            cell.spec.id()
+        );
+        let full_share = first.iter().filter(|&&f| f).count() as f64 / first.len() as f64;
+        println!(
+            "{}: concentration {:.3}, improving-scan full share {:.2}",
+            cell.spec.id(),
+            cell.model.concentration(),
+            full_share
+        );
+    }
+}
+
+/// Minimum wall-clock one timed sample should span (the sweep
+/// harness's discipline): samples far below the scheduler quantum
+/// measure mostly timer noise, which is exactly what would flake this
+/// bound on a loaded runner.
+const TARGET_SAMPLE_NS: u128 = 2_000_000;
+
+/// Times one pass of the cycle under `which` (0 = full, 1 = bounded,
+/// 2 = hybrid improving), repeated `reps` times, returning total ns
+/// for a single pass (averaged over the repetitions).
+fn time_pass(
+    cell: &Cell,
+    which: usize,
+    reps: usize,
+    fs: &mut EvalScratch,
+    ds: &mut DeltaScratch,
+) -> u64 {
+    let evaluator = cell.problem.evaluator();
+    let state = evaluator.init_state(&cell.mapping);
+    let threshold = state.worst_case_snr();
+    let t = Instant::now();
+    for _ in 0..reps.max(1) {
+        one_pass(cell, which, &state, threshold, fs, ds);
+    }
+    (t.elapsed().as_nanos() / reps.max(1) as u128) as u64
+}
+
+fn one_pass(
+    cell: &Cell,
+    which: usize,
+    state: &phonoc_core::EvalState,
+    threshold: phonoc_phys::Db,
+    fs: &mut EvalScratch,
+    ds: &mut DeltaScratch,
+) {
+    let evaluator = cell.problem.evaluator();
+    for &mv in &cell.moves {
+        match which {
+            0 => {
+                let moved = cell.mapping.with_move(mv);
+                black_box(evaluator.evaluate_into(&moved, None, fs));
+            }
+            1 => {
+                black_box(evaluator.evaluate_delta_bounded(
+                    state,
+                    &cell.mapping,
+                    mv,
+                    ds,
+                    threshold,
+                ));
+            }
+            _ => {
+                if cell
+                    .model
+                    .routes_full(evaluator.moved_edge_count(&cell.mapping, mv), true)
+                {
+                    let moved = cell.mapping.with_move(mv);
+                    black_box(evaluator.evaluate_into(&moved, None, fs));
+                } else {
+                    black_box(evaluator.evaluate_delta_bounded(
+                        state,
+                        &cell.mapping,
+                        mv,
+                        ds,
+                        threshold,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// Fastest-of-N interleaved observation per strategy, with the sweep
+/// harness's discipline in miniature: a settle pause before the clock
+/// starts, per-strategy repetition counts calibrated so every timed
+/// sample spans at least [`TARGET_SAMPLE_NS`] (a fast strategy's sample
+/// must not be a sub-quantum timer-noise reading), and the minimum kept
+/// (identical deterministic work per pass, so the min is the
+/// least-disturbed observation).
+fn measure(cell: &Cell, fs: &mut EvalScratch, ds: &mut DeltaScratch) -> [u64; 3] {
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut reps = [1usize; 3];
+    for (which, slot) in reps.iter_mut().enumerate() {
+        let single = u128::from(time_pass(cell, which, 1, fs, ds)).max(1); // warm-up + calibration
+        *slot = ((TARGET_SAMPLE_NS / single).max(1) as usize).min(256);
+    }
+    let mut best = [u64::MAX; 3];
+    for _ in 0..SAMPLES {
+        for (which, slot) in best.iter_mut().enumerate() {
+            *slot = (*slot).min(time_pass(cell, which, reps[which], fs, ds));
+        }
+    }
+    best
+}
+
+#[test]
+fn hybrid_stays_within_the_generous_bound_across_hub_band_seeds() {
+    let cells = hub_band_cells();
+    let mut fs = EvalScratch::default();
+    let mut ds = DeltaScratch::default();
+    for cell in &cells {
+        let mut obs = measure(cell, &mut fs, &mut ds);
+        let ratio = |o: &[u64; 3]| o[2] as f64 / o[0].min(o[1]).max(1) as f64;
+        // Min-merge retries: identical deterministic work per pass, so
+        // the minimum across rounds is just a better sample.
+        for _ in 0..RETRY_ROUNDS {
+            if ratio(&obs) <= BOUND {
+                break;
+            }
+            let fresh = measure(cell, &mut fs, &mut ds);
+            for (slot, f) in obs.iter_mut().zip(fresh) {
+                *slot = (*slot).min(f);
+            }
+        }
+        let [full, bounded, hybrid] = obs;
+        println!(
+            "{}: full {} ns, bounded {} ns, hybrid {} ns ({:.3}x best)",
+            cell.spec.id(),
+            full,
+            bounded,
+            hybrid,
+            ratio(&obs)
+        );
+        assert!(
+            ratio(&obs) <= BOUND,
+            "{}: hybrid {} ns exceeds {BOUND}x the per-cell best (full {} ns, bounded {} ns)",
+            cell.spec.id(),
+            hybrid,
+            full,
+            bounded
+        );
+    }
+}

@@ -51,7 +51,7 @@ fn instances() -> Vec<MappingProblem> {
 }
 
 /// The R-PBLA admitted move list: every position pair with at least one
-/// task side (mirrors `phonoc_opt::rpbla::admitted_moves`).
+/// task side (mirrors `phonoc_opt::neighborhood::admitted_moves`).
 fn admitted_moves(tasks: usize, tiles: usize) -> Vec<Move> {
     let mut moves = Vec::new();
     for a in 0..tasks.min(tiles) {

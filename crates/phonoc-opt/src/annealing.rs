@@ -9,8 +9,17 @@
 //! delta-scored against the current solution ([`OptContext::peek_move`])
 //! and only committed ([`OptContext::apply_scored_move`]) when the
 //! Metropolis rule accepts it, so a rejected move costs a fraction of a
-//! full evaluation.
+//! full evaluation. Candidate moves are proposed by the
+//! [`Neighborhood`] stream's single-draw entry point
+//! ([`Neighborhood::draw`]): uniform over the *admitted* (task-bearing)
+//! pairs — free–free swaps, which the objective cannot see, are no
+//! longer proposed. The draw deliberately ignores the locality radius
+//! under every [`NeighborhoodPolicy`](phonoc_core::NeighborhoodPolicy):
+//! a Metropolis walk needs a fixed global proposal kernel for its
+//! acceptance rule to stay meaningful across temperatures (the
+//! radius/widening machinery belongs to the scan-based descents).
 
+use crate::neighborhood::Neighborhood;
 use phonoc_core::{MappingOptimizer, OptContext};
 use rand::Rng;
 
@@ -42,6 +51,7 @@ impl MappingOptimizer for SimulatedAnnealing {
     }
 
     fn optimize(&self, ctx: &mut OptContext<'_>) {
+        let mut nbhd = Neighborhood::new(ctx);
         // Calibration probe: estimate the score spread.
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
@@ -86,7 +96,9 @@ impl MappingOptimizer for SimulatedAnnealing {
         let cooling = adaptive.min(self.cooling).clamp(0.05, 0.999);
         while !ctx.exhausted() {
             for _ in 0..epoch {
-                let mv = ctx.random_swap_move();
+                let Some(mv) = nbhd.draw() else {
+                    return;
+                };
                 let Some(ev) = ctx.peek_move(mv) else {
                     return;
                 };

@@ -9,13 +9,17 @@
 //! structure, which pays off on problems whose good solutions share
 //! large building blocks (grid embeddings do).
 //!
-//! The descent runs on the incremental move API: each candidate swap is
-//! delta-scored with [`OptContext::peek_move_improving`] — the
-//! objective-aware peek that rejects non-improving SNR moves via a
-//! cheap admissible bound and scores the rest exactly — and the first
-//! improving one committed with [`OptContext::apply_scored_move`].
+//! The descent walks the budget-aware [`Neighborhood`] stream (shared
+//! with R-PBLA and tabu): each pass's candidates are visited from a
+//! random offset and delta-scored with
+//! [`OptContext::peek_move_improving`] — the objective-aware peek that
+//! rejects non-improving SNR moves via a cheap admissible bound and
+//! scores the rest exactly — and the first improving one committed with
+//! [`OptContext::apply_scored_move`]. A dry pass widens a locality
+//! stream before the round is declared a local optimum.
 
-use phonoc_core::{MappingOptimizer, Move, OptContext};
+use crate::neighborhood::{scan_quota, Neighborhood};
+use phonoc_core::{MappingOptimizer, OptContext};
 use rand::Rng;
 
 /// Iterated local search with first-improvement descent.
@@ -37,13 +41,15 @@ impl MappingOptimizer for IteratedLocalSearch {
     }
 
     fn optimize(&self, ctx: &mut OptContext<'_>) {
-        let tasks = ctx.task_count();
-        let tiles = ctx.tile_count();
+        let mut nbhd = Neighborhood::new(ctx);
 
         let mut best = ctx.random_mapping();
         let Some(mut best_score) = ctx.evaluate(&best) else {
             return;
         };
+        if nbhd.admitted_len() == 0 {
+            return;
+        }
 
         'rounds: while !ctx.exhausted() {
             // Kick: perturb the incumbent, then make it the cursor (one
@@ -55,35 +61,34 @@ impl MappingOptimizer for IteratedLocalSearch {
             let Some(mut current_score) = ctx.set_current(kicked) else {
                 break;
             };
+            nbhd.reset();
 
-            // First-improvement descent over a randomized swap order.
+            // First-improvement descent over the neighbourhood stream.
             loop {
                 let mut improved = false;
-                // Randomized scan order decorrelates successive rounds.
-                let offset_a = ctx.rng().gen_range(0..tiles);
-                let offset_b = ctx.rng().gen_range(0..tiles);
-                for ia in 0..tiles {
-                    let a = (ia + offset_a) % tiles;
-                    for ib in 0..tiles {
-                        let b = (ib + offset_b) % tiles;
-                        if a >= b || (a >= tasks && b >= tasks) {
-                            continue;
-                        }
-                        let Some(ev) = ctx.peek_move_improving(Move::Swap(a, b)) else {
-                            break 'rounds;
-                        };
-                        if ev.score() > current_score {
-                            ctx.apply_scored_move(&ev);
-                            current_score = ev.score();
-                            improved = true;
-                            break;
-                        }
-                    }
-                    if improved {
+                let quota = scan_quota(ctx.remaining(), nbhd.admitted_len());
+                let moves = nbhd.pass(ctx, quota);
+                // Random starting offset decorrelates successive rounds
+                // even under the (deterministically ordered) exhaustive
+                // stream.
+                let offset = ctx.rng().gen_range(0..moves.len().max(1));
+                for i in 0..moves.len() {
+                    let mv = moves[(i + offset) % moves.len()];
+                    let Some(ev) = ctx.peek_move_improving(mv) else {
+                        break 'rounds;
+                    };
+                    if ev.score() > current_score {
+                        ctx.apply_scored_move(&ev);
+                        current_score = ev.score();
+                        improved = true;
                         break;
                     }
                 }
-                if !improved {
+                if improved {
+                    nbhd.notify_improved();
+                    continue;
+                }
+                if !nbhd.widen() {
                     break;
                 }
             }

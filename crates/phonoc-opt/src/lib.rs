@@ -29,6 +29,24 @@
 //! which is why these descents fit many more probes into the same
 //! evaluation budget than a naive re-evaluating loop would.
 //!
+//! # Budget-aware neighbourhoods
+//!
+//! *Which* swaps a scan looks at is itself pluggable: the four
+//! local-search strategies draw their candidates from a
+//! [`Neighborhood`] stream selected by the engine's
+//! [`NeighborhoodPolicy`](phonoc_core::NeighborhoodPolicy)
+//! (`exhaustive` — the canonical admitted list, the small-mesh default
+//! and test oracle; `sampled` — seeded duplicate-free uniform subsets
+//! per pass; `locality` — Manhattan-radius-restricted swaps that widen
+//! when a scan goes dry; `auto` picks per problem size). On 12×12+
+//! meshes the admitted list outgrows any reasonable budget (32 640
+//! swaps at 16×16 against the sweep's 1 500 evaluations), so the
+//! exhaustive scan degenerates into "score a lexicographic prefix, move
+//! once"; the sampled and locality streams keep steepest descent
+//! *descending* at the same budget — measured in `BENCH_sweep.json`
+//! and pinned by `tests/neighborhood_quality.rs`. See the
+//! [`neighborhood`] module docs for the design.
+//!
 //! Population strategies ([`RandomSearch`], [`GeneticAlgorithm`]) score
 //! independent mappings and instead use `OptContext::evaluate_batch`,
 //! which fans a generation across CPU cores while keeping results (and
@@ -76,6 +94,7 @@ pub mod annealing;
 pub mod exhaustive;
 pub mod genetic;
 pub mod ils;
+pub mod neighborhood;
 pub mod random_search;
 pub mod registry;
 pub mod rpbla;
@@ -85,8 +104,9 @@ pub use annealing::SimulatedAnnealing;
 pub use exhaustive::Exhaustive;
 pub use genetic::{Crossover, GeneticAlgorithm};
 pub use ils::IteratedLocalSearch;
+pub use neighborhood::{admitted_moves, scan_quota, Neighborhood};
 pub use random_search::RandomSearch;
-pub use registry::{builtin_names, optimizer};
+pub use registry::{builtin_names, optimizer, optimizer_spec};
 pub use rpbla::Rpbla;
 pub use tabu::TabuSearch;
 

@@ -1,5 +1,11 @@
 //! Name-based optimizer registry — the "Mapping Optimization" extension
 //! point of the paper's Fig. 1.
+//!
+//! Registry names optionally carry a neighbourhood suffix,
+//! `name@policy` (e.g. `r-pbla@sampled`), which [`optimizer_spec`]
+//! resolves into the optimizer plus the
+//! [`NeighborhoodPolicy`] the run should pin — the form the sweep
+//! harness and the CLI thread user-selected policies through.
 
 use crate::annealing::SimulatedAnnealing;
 use crate::exhaustive::Exhaustive;
@@ -8,7 +14,7 @@ use crate::ils::IteratedLocalSearch;
 use crate::random_search::RandomSearch;
 use crate::rpbla::Rpbla;
 use crate::tabu::TabuSearch;
-use phonoc_core::MappingOptimizer;
+use phonoc_core::{MappingOptimizer, NeighborhoodPolicy};
 
 /// Instantiates a built-in optimizer by name: `"rs"`, `"ga"`,
 /// `"r-pbla"` (or `"rpbla"`), `"sa"`, `"tabu"`, `"exhaustive"`.
@@ -23,6 +29,23 @@ pub fn optimizer(name: &str) -> Option<Box<dyn MappingOptimizer>> {
         "tabu" => Some(Box::new(TabuSearch::default())),
         "exhaustive" => Some(Box::new(Exhaustive)),
         _ => None,
+    }
+}
+
+/// Parses an optimizer spec of the form `name[@neighborhood]` — e.g.
+/// `r-pbla@sampled` or plain `tabu` — into the optimizer and the
+/// [`NeighborhoodPolicy`] the run should pin (`None` means "leave the
+/// context default", i.e. [`NeighborhoodPolicy::Auto`]). Returns `None`
+/// for an unknown optimizer name *or* an unknown policy suffix.
+#[must_use]
+pub fn optimizer_spec(
+    spec: &str,
+) -> Option<(Box<dyn MappingOptimizer>, Option<NeighborhoodPolicy>)> {
+    match spec.split_once('@') {
+        Some((name, policy)) => {
+            Some((optimizer(name)?, Some(NeighborhoodPolicy::by_name(policy)?)))
+        }
+        None => Some((optimizer(spec)?, None)),
     }
 }
 
@@ -49,5 +72,18 @@ mod tests {
         assert!(optimizer("RPBLA").is_some());
         assert!(optimizer("Genetic").is_some());
         assert!(optimizer("nonsense").is_none());
+    }
+
+    #[test]
+    fn specs_carry_neighborhood_policies() {
+        let (opt, policy) = optimizer_spec("r-pbla@sampled").unwrap();
+        assert_eq!(opt.name(), "r-pbla");
+        assert_eq!(policy, Some(NeighborhoodPolicy::Sampled));
+        let (_, policy) = optimizer_spec("tabu@Locality").unwrap();
+        assert_eq!(policy, Some(NeighborhoodPolicy::Locality));
+        let (_, policy) = optimizer_spec("rs").unwrap();
+        assert_eq!(policy, None);
+        assert!(optimizer_spec("r-pbla@nonsense").is_none());
+        assert!(optimizer_spec("nonsense@sampled").is_none());
     }
 }

@@ -13,14 +13,21 @@
 //! Implementation notes:
 //!
 //! * The admitted list contains every pair swap of the tile permutation
-//!   in which at least one side hosts a task (swapping two free tiles is
-//!   a no-op for the objective and is excluded from the list).
+//!   in which at least one side hosts a task
+//!   ([`crate::neighborhood::admitted_moves`]; swapping two free tiles
+//!   is a no-op for the objective and is excluded from the list).
 //! * "Ordered according to the worst-case loss/SNR" + "best move" =
-//!   steepest descent: the whole admitted list is scored and the
-//!   maximum-score move taken; ties break on the first encountered,
-//!   which depends on the randomized starting point — the *randomized*
-//!   part of the name, together with the random restarts.
-//! * The list scan runs on the **incremental move API**
+//!   steepest descent — generalized here to **best-of-scanned** over a
+//!   budget-aware [`Neighborhood`] stream: under the (small-mesh
+//!   default) exhaustive stream the whole admitted list is scored and
+//!   the maximum-score move taken, exactly as the paper describes;
+//!   under the sampled/locality streams each pass scores a seeded,
+//!   duplicate-free subset sized by [`scan_quota`], so a 12×12+ descent
+//!   actually *descends* through many commits instead of burning the
+//!   whole budget on one truncated prefix scan. Ties break on the first
+//!   encountered, which depends on the randomized starting point — the
+//!   *randomized* part of the name, together with the random restarts.
+//! * The scan runs on the **incremental move API**
 //!   ([`OptContext::peek_moves_improving`]): each candidate swap is
 //!   delta-scored in parallel against the current solution and charged
 //!   only for the work it triggers. The scan is objective-aware — IL
@@ -31,26 +38,18 @@
 //!   naive scan would pay. Budget accounting stays fair — cheaper
 //!   moves simply buy more of them. Bounded peeks never change which
 //!   move the steepest-descent step selects (property-tested).
-//! * Restarts continue until the shared evaluation budget is exhausted,
-//!   so a comparison against RS/GA at equal budget is fair.
+//! * A dry scan under the locality stream widens the radius and
+//!   rescans; a dry sampled/exhaustive scan is a (probable, resp.
+//!   proven) local optimum and triggers a restart. Restarts continue
+//!   until the shared evaluation budget is exhausted, so a comparison
+//!   against RS/GA at equal budget is fair.
 
-use phonoc_core::{MappingOptimizer, Move, MoveEval, OptContext};
+use crate::neighborhood::{scan_quota, Neighborhood};
+use phonoc_core::{MappingOptimizer, MoveEval, OptContext};
 
 /// The paper's purpose-built search strategy.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Rpbla;
-
-/// The admitted move list: every position pair `(a, b)` with `a < b`
-/// where at least one side hosts a task.
-pub(crate) fn admitted_moves(tasks: usize, tiles: usize) -> Vec<Move> {
-    let mut moves = Vec::new();
-    for a in 0..tasks.min(tiles) {
-        for b in (a + 1)..tiles {
-            moves.push(Move::Swap(a, b));
-        }
-    }
-    moves
-}
 
 /// First maximum-score entry (ties break on the earliest, as the
 /// sequential scan did). Bound-rejected entries compare by their upper
@@ -72,8 +71,8 @@ impl MappingOptimizer for Rpbla {
     }
 
     fn optimize(&self, ctx: &mut OptContext<'_>) {
-        let moves = admitted_moves(ctx.task_count(), ctx.tile_count());
-        if moves.is_empty() {
+        let mut nbhd = Neighborhood::new(ctx);
+        if nbhd.admitted_len() == 0 {
             // Degenerate single-position instance: score the only point.
             let m = ctx.random_mapping();
             ctx.evaluate(&m);
@@ -86,30 +85,52 @@ impl MappingOptimizer for Rpbla {
             if ctx.set_current(start).is_none() {
                 break;
             }
+            nbhd.reset();
 
-            // Steepest descent over the swap neighbourhood, scored
-            // incrementally and in parallel. The improving scan only
-            // pays for exact deltas on moves that can actually beat the
-            // cursor; everything else is bound-rejected cheaply.
+            // Best-of-scanned descent over the neighbourhood stream,
+            // scored incrementally and in parallel. The improving scan
+            // only pays for exact deltas on moves that can actually
+            // beat the cursor; everything else is bound-rejected
+            // cheaply.
             loop {
-                let scanned = ctx.peek_moves_improving(&moves);
+                let quota = scan_quota(ctx.remaining(), nbhd.admitted_len());
+                let moves = nbhd.pass(ctx, quota);
+                if moves.is_empty() {
+                    // An empty locality pool at this radius: widen, or
+                    // give up on this start if already maximal.
+                    if nbhd.widen() {
+                        continue;
+                    }
+                    continue 'restarts;
+                }
+                let scanned = ctx.peek_moves_improving(moves);
                 let truncated = scanned.len() < moves.len();
                 match best_of(&scanned) {
                     // Uphill move (for a maximized score) found: take it.
                     Some(best) if best.score() > ctx.current_score().expect("cursor set") => {
                         let best = *best;
                         ctx.apply_scored_move(&best);
+                        nbhd.notify_improved();
+                        if truncated {
+                            // The scan was cut short by the budget; the
+                            // partial best was still applied, but stop.
+                            break 'restarts;
+                        }
                     }
-                    // Local optimum: the incumbent is already recorded by
-                    // the context; restart from a fresh random point.
-                    Some(_) => continue 'restarts,
+                    // Dry scan. Locality widens and rescans; otherwise
+                    // this is a (probable/proven) local optimum — the
+                    // incumbent is already recorded by the context, so
+                    // restart from a fresh random point.
+                    Some(_) => {
+                        if truncated {
+                            break 'restarts;
+                        }
+                        if !nbhd.widen() {
+                            continue 'restarts;
+                        }
+                    }
                     // Budget exhausted before anything was scored.
                     None => break 'restarts,
-                }
-                if truncated {
-                    // The scan was cut short by the budget; the partial
-                    // best was still applied, but stop here.
-                    break 'restarts;
                 }
             }
         }
@@ -121,7 +142,9 @@ mod tests {
     use super::*;
     use crate::random_search::RandomSearch;
     use crate::test_support::tiny_problem;
-    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
+    use phonoc_core::{
+        run_dse, run_dse_with_policy, run_dse_with_strategy, NeighborhoodPolicy, PeekStrategy,
+    };
 
     #[test]
     fn respects_budget_and_validity() {
@@ -140,11 +163,23 @@ mod tests {
     }
 
     #[test]
+    fn respects_budget_under_every_neighborhood_policy() {
+        let p = tiny_problem();
+        for policy in NeighborhoodPolicy::ALL {
+            let r = run_dse_with_policy(&p, &Rpbla, 300, 9, policy);
+            assert_eq!(r.evaluations, 300, "{policy}");
+            assert!(r.best_mapping.is_valid(), "{policy}");
+        }
+    }
+
+    #[test]
     fn deterministic_per_seed() {
         let p = tiny_problem();
-        let a = run_dse(&p, &Rpbla, 300, 21);
-        let b = run_dse(&p, &Rpbla, 300, 21);
-        assert_eq!(a.best_mapping, b.best_mapping);
+        for policy in NeighborhoodPolicy::ALL {
+            let a = run_dse_with_policy(&p, &Rpbla, 300, 21, policy);
+            let b = run_dse_with_policy(&p, &Rpbla, 300, 21, policy);
+            assert_eq!(a.best_mapping, b.best_mapping, "{policy}");
+        }
     }
 
     #[test]
@@ -173,16 +208,5 @@ mod tests {
             rp.best_score,
             rs.best_score
         );
-    }
-
-    #[test]
-    fn admitted_list_excludes_free_free_pairs() {
-        let moves = admitted_moves(3, 5);
-        assert!(moves.iter().all(|m| match *m {
-            Move::Swap(a, b) => a < 3 && a < b && b < 5,
-            Move::Relocate { .. } => false,
-        }));
-        // 3 task rows against all later positions: 4 + 3 + 2.
-        assert_eq!(moves.len(), 9);
     }
 }

@@ -7,11 +7,15 @@
 //! climb out of local optima without restarts; an aspiration criterion
 //! overrides the tabu status of a move that would beat the global best.
 //!
-//! The neighbourhood scan runs on the incremental move API
+//! The neighbourhood comes from the budget-aware [`Neighborhood`]
+//! stream (the same abstraction R-PBLA and ILS ride): exhaustive on
+//! small meshes, sampled or distance-restricted per the engine's
+//! [`NeighborhoodPolicy`](phonoc_core::NeighborhoodPolicy) at scale.
+//! Each pass is scanned on the incremental move API
 //! ([`OptContext::peek_moves`]): every candidate swap is delta-scored
 //! in parallel and charged only for the edges it perturbs.
 
-use crate::rpbla::admitted_moves;
+use crate::neighborhood::{scan_quota, Neighborhood};
 use phonoc_core::{MappingOptimizer, Move, MoveEval, OptContext};
 use std::collections::HashMap;
 
@@ -37,10 +41,10 @@ impl MappingOptimizer for TabuSearch {
     fn optimize(&self, ctx: &mut OptContext<'_>) {
         let tiles = ctx.tile_count();
         let tenure = (self.tenure_factor * tiles).max(2);
-        let moves = admitted_moves(ctx.task_count(), tiles);
+        let mut nbhd = Neighborhood::new(ctx);
 
         let start = ctx.random_mapping();
-        if ctx.set_current(start).is_none() || moves.is_empty() {
+        if ctx.set_current(start).is_none() || nbhd.admitted_len() == 0 {
             return;
         }
         let mut global_best = ctx.current_score().expect("cursor set");
@@ -49,7 +53,15 @@ impl MappingOptimizer for TabuSearch {
 
         while !ctx.exhausted() {
             iteration += 1;
-            let scanned = ctx.peek_moves(&moves);
+            let quota = scan_quota(ctx.remaining(), nbhd.admitted_len());
+            let moves = nbhd.pass(ctx, quota);
+            if moves.is_empty() {
+                if nbhd.widen() {
+                    continue;
+                }
+                break;
+            }
+            let scanned = ctx.peek_moves(moves);
             let truncated = scanned.len() < moves.len();
             let mut best: Option<&MoveEval> = None;
             for ev in &scanned {
@@ -69,11 +81,21 @@ impl MappingOptimizer for TabuSearch {
                 if truncated {
                     break;
                 }
-                // Everything tabu and nothing aspirational: clear and go on.
+                // Everything tabu (or the locality radius too tight)
+                // and nothing aspirational: open the neighbourhood up,
+                // then fall back to clearing the tabu list.
+                if nbhd.widen() {
+                    continue;
+                }
                 tabu.clear();
                 continue;
             };
             ctx.apply_scored_move(&best);
+            // Tabu commits worsening moves too; "improvement" for the
+            // locality stream's narrow-back rule is a new global best.
+            if best.score() > global_best {
+                nbhd.notify_improved();
+            }
             global_best = global_best.max(best.score());
             if let Move::Swap(a, b) = best.mv() {
                 tabu.insert((a, b), iteration + tenure);
@@ -89,7 +111,9 @@ impl MappingOptimizer for TabuSearch {
 mod tests {
     use super::*;
     use crate::test_support::tiny_problem;
-    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
+    use phonoc_core::{
+        run_dse, run_dse_with_policy, run_dse_with_strategy, NeighborhoodPolicy, PeekStrategy,
+    };
 
     #[test]
     fn respects_budget_and_validity() {
@@ -104,8 +128,11 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let p = tiny_problem();
-        let a = run_dse(&p, &TabuSearch::default(), 250, 5);
-        let b = run_dse(&p, &TabuSearch::default(), 250, 5);
-        assert_eq!(a.best_mapping, b.best_mapping);
+        for policy in NeighborhoodPolicy::ALL {
+            let a = run_dse_with_policy(&p, &TabuSearch::default(), 250, 5, policy);
+            let b = run_dse_with_policy(&p, &TabuSearch::default(), 250, 5, policy);
+            assert_eq!(a.best_mapping, b.best_mapping, "{policy}");
+            assert_eq!(a.evaluations, 250, "{policy}");
+        }
     }
 }

@@ -1,0 +1,266 @@
+//! Property tests for the budget-aware [`Neighborhood`] move streams:
+//! a stream is a *selection* layer, so it must be deterministic per
+//! seed, emit only admitted task-bearing pairs without duplicates, and
+//! never change what a full scan would select — the exhaustive stream
+//! must reproduce the canonical admitted list bit-for-bit, and a
+//! sampled pass that covers the whole neighbourhood must pick the same
+//! best move as the exhaustive oracle. The locality stream's radius is
+//! measured between the **tiles a swap exchanges under the current
+//! cursor mapping** (`perm[a]`/`perm[b]`), not between the raw slot
+//! indices — pinned here so the restriction stays physical.
+
+use phonoc_core::{
+    run_dse_with_policy, Mapping, MappingProblem, Move, NeighborhoodPolicy, Objective, OptContext,
+    PeekStrategy,
+};
+use phonoc_opt::neighborhood::{admitted_moves, Neighborhood, LOCALITY_START_RADIUS};
+use phonoc_opt::rpbla::Rpbla;
+use phonoc_phys::{Length, PhysicalParameters};
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashSet;
+
+/// A mid-size instance (hotspot 4×4, 16 tasks on 16 tiles, 120 admitted
+/// pairs): big enough that sampling and locality differ from the
+/// oracle's order, small enough to scan exhaustively.
+fn mid_problem() -> MappingProblem {
+    let spec = phonoc_apps::scenario::ScenarioSpec {
+        family: phonoc_apps::scenario::ScenarioFamily::Hotspot,
+        mesh: 4,
+        density_pct: 100,
+        seed: 1,
+    };
+    MappingProblem::new(
+        spec.build(),
+        Topology::mesh(4, 4, Length::from_mm(2.5)),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap()
+}
+
+/// A sparse instance (8 tasks on a 6×6 mesh) where free–free pairs
+/// exist and must never be emitted.
+fn sparse_problem() -> MappingProblem {
+    MappingProblem::new(
+        phonoc_apps::synthetic::pipeline(8),
+        Topology::mesh(6, 6, Length::from_mm(2.5)),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap()
+}
+
+/// A context with a seated (seeded, random) cursor — the state every
+/// scan-based optimizer holds when it asks the stream for a pass, and
+/// the mapping the locality restriction is defined against.
+fn ctx_with_cursor(p: &MappingProblem, seed: u64) -> OptContext<'_> {
+    let mut ctx = OptContext::new(p, 1_000_000, seed);
+    let start = ctx.random_mapping();
+    ctx.set_current(start).expect("budget is ample");
+    ctx
+}
+
+fn is_admitted(mv: Move, tasks: usize, tiles: usize) -> bool {
+    match mv {
+        Move::Swap(a, b) => a < b && b < tiles && (a < tasks || b < tasks),
+        Move::Relocate { .. } => false,
+    }
+}
+
+#[test]
+fn exhaustive_reproduces_the_admitted_order_exactly() {
+    for p in [mid_problem(), sparse_problem()] {
+        let ctx = OptContext::new(&p, 10, 0);
+        let mut n = Neighborhood::with_policy(&ctx, NeighborhoodPolicy::Exhaustive, 99);
+        let oracle = admitted_moves(p.task_count(), p.tile_count());
+        assert_eq!(n.pass(&ctx, usize::MAX), &oracle[..]);
+        // Repeated passes are the identical list — no hidden state —
+        // and the quota must not truncate the oracle.
+        assert_eq!(n.pass(&ctx, 1), &oracle[..]);
+    }
+}
+
+#[test]
+fn sampled_and_locality_streams_are_deterministic_per_seed() {
+    for p in [mid_problem(), sparse_problem()] {
+        let ctx = ctx_with_cursor(&p, 9);
+        for policy in [NeighborhoodPolicy::Sampled, NeighborhoodPolicy::Locality] {
+            let mut a = Neighborhood::with_policy(&ctx, policy, 42);
+            let mut b = Neighborhood::with_policy(&ctx, policy, 42);
+            for quota in [5, 17, 64, 3, 1000] {
+                assert_eq!(
+                    a.pass(&ctx, quota),
+                    b.pass(&ctx, quota),
+                    "{policy} quota {quota}"
+                );
+            }
+            // A different seed draws a different stream (overwhelmingly
+            // likely for a proper subset of a pool of dozens of pairs;
+            // a quota at or above the pool size is canonical by design
+            // and seed-independent).
+            let pool = a.pass(&ctx, usize::MAX).len();
+            let probe = pool / 2;
+            assert!(probe >= 8, "{policy}: pool of {pool} too small to probe");
+            let mut c = Neighborhood::with_policy(&ctx, policy, 43);
+            assert_ne!(
+                a.pass(&ctx, probe),
+                c.pass(&ctx, probe),
+                "{policy} seed must matter"
+            );
+        }
+    }
+}
+
+#[test]
+fn passes_are_duplicate_free_and_admitted_only() {
+    for p in [mid_problem(), sparse_problem()] {
+        let (tasks, tiles) = (p.task_count(), p.tile_count());
+        let ctx = ctx_with_cursor(&p, 23);
+        for policy in [NeighborhoodPolicy::Sampled, NeighborhoodPolicy::Locality] {
+            let mut n = Neighborhood::with_policy(&ctx, policy, 7);
+            for quota in [3, 16, 50, 10_000] {
+                let moves = n.pass(&ctx, quota).to_vec();
+                assert!(moves.len() <= quota.min(n.admitted_len()));
+                let unique: HashSet<_> = moves
+                    .iter()
+                    .map(|m| match *m {
+                        Move::Swap(a, b) => (a, b),
+                        Move::Relocate { .. } => unreachable!(),
+                    })
+                    .collect();
+                assert_eq!(unique.len(), moves.len(), "{policy}: duplicates in a pass");
+                for mv in moves {
+                    assert!(
+                        is_admitted(mv, tasks, tiles),
+                        "{policy} emitted inadmissible {mv:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn locality_restricts_by_mapped_tile_distance_and_widens() {
+    for p in [mid_problem(), sparse_problem()] {
+        let ctx = ctx_with_cursor(&p, 31);
+        let mapping = ctx.current_mapping().expect("cursor set").clone();
+        let perm = mapping.permutation();
+        let mut n = Neighborhood::with_policy(&ctx, NeighborhoodPolicy::Locality, 11);
+        assert_eq!(n.radius(), Some(LOCALITY_START_RADIUS));
+        let mut prev_pool = 0;
+        loop {
+            let radius = n.radius().unwrap();
+            let moves = n.pass(&ctx, usize::MAX).to_vec();
+            for &mv in &moves {
+                let Move::Swap(a, b) = mv else { unreachable!() };
+                // The restriction is on the tiles the swap exchanges
+                // under the cursor mapping, not on the slot indices.
+                let d = ctx.tile_distance(perm[a].0, perm[b].0);
+                assert!(
+                    d <= radius,
+                    "swap ({a},{b}) exchanges tiles {} and {} at distance {d} > radius {radius}",
+                    perm[a],
+                    perm[b]
+                );
+            }
+            assert!(moves.len() >= prev_pool, "widening must not shrink");
+            prev_pool = moves.len();
+            if !n.widen() {
+                break;
+            }
+        }
+        // Fully widened, the stream covers the whole admitted set…
+        assert_eq!(prev_pool, n.admitted_len());
+        // …and an improvement narrows it back to the start radius.
+        n.notify_improved();
+        assert_eq!(n.radius(), Some(LOCALITY_START_RADIUS));
+        assert!(n.pass(&ctx, usize::MAX).len() < n.admitted_len());
+    }
+}
+
+#[test]
+fn locality_pool_tracks_the_cursor_mapping() {
+    // The same stream, asked for a full pass under two different
+    // cursor mappings, must admit different move sets: the radius is
+    // physical, so it follows the tiles as they move.
+    let p = sparse_problem();
+    let mut sets = Vec::new();
+    for seed in [1u64, 2] {
+        let ctx = ctx_with_cursor(&p, seed);
+        let mut n = Neighborhood::with_policy(&ctx, NeighborhoodPolicy::Locality, 5);
+        let moves: HashSet<(usize, usize)> = n
+            .pass(&ctx, usize::MAX)
+            .iter()
+            .map(|m| match *m {
+                Move::Swap(a, b) => (a, b),
+                Move::Relocate { .. } => unreachable!(),
+            })
+            .collect();
+        sets.push(moves);
+    }
+    assert_ne!(
+        sets[0], sets[1],
+        "different placements must induce different within-radius sets"
+    );
+}
+
+#[test]
+fn one_full_sampled_pass_matches_the_exhaustive_oracle_best() {
+    // Best-of-scanned over a pass that covers the whole neighbourhood
+    // must select a move with the oracle's best score (the move itself
+    // may differ only among exact ties).
+    let p = mid_problem();
+    for seed in [1u64, 2, 3] {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0xABCD));
+        let start = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+
+        let best_score = |moves: &[Move]| -> f64 {
+            let mut ctx = OptContext::new(&p, 1_000_000, 0);
+            ctx.set_peek_strategy(PeekStrategy::Delta);
+            ctx.set_current(start.clone()).unwrap();
+            ctx.peek_moves(moves)
+                .iter()
+                .map(|ev| ev.score())
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+
+        let ctx = OptContext::new(&p, 10, 0);
+        let oracle = admitted_moves(p.task_count(), p.tile_count());
+        let mut sampled = Neighborhood::with_policy(&ctx, NeighborhoodPolicy::Sampled, seed);
+        // A pass that covers the whole neighbourhood is emitted in
+        // canonical order, so best-of-scanned ties break exactly as the
+        // oracle's do and the selected move is identical.
+        let pass = sampled.pass(&ctx, oracle.len()).to_vec();
+        assert_eq!(pass, oracle, "full pass must be the canonical list");
+        let a = best_score(&pass);
+        let b = best_score(&oracle);
+        assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}: {a} vs oracle {b}");
+    }
+}
+
+#[test]
+fn budget_ledger_stays_honest_under_every_policy() {
+    // The stream only selects moves; budget accounting must keep the
+    // exact same books — a run always consumes precisely its budget.
+    let p = mid_problem();
+    for policy in NeighborhoodPolicy::ALL {
+        for budget in [37, 200] {
+            let r = run_dse_with_policy(&p, &Rpbla, budget, 5, policy);
+            assert_eq!(r.evaluations, budget, "{policy} budget {budget}");
+            assert!(r.best_mapping.is_valid());
+            // Determinism of the whole run, not just the stream.
+            let r2 = run_dse_with_policy(&p, &Rpbla, budget, 5, policy);
+            assert_eq!(r.best_mapping, r2.best_mapping, "{policy}");
+            assert!((r.best_score - r2.best_score).abs() < 1e-15);
+        }
+    }
+}

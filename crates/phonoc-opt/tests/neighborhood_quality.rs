@@ -1,0 +1,97 @@
+//! Quality-regression mini-sweep: pins the tentpole claim of the
+//! neighbourhood subsystem in CI instead of only in `BENCH_sweep.json`.
+//!
+//! At a fixed evaluation budget, R-PBLA under the sampled and locality
+//! streams must score **at least as well** as the exhaustive
+//! truncated-scan baseline on meshes where the admitted list outgrows
+//! the budget (12×12: 10 296 swaps), and must stay competitive on small
+//! meshes where the exhaustive scan is optimal (4×4). Every run is
+//! deterministic per seed, so these are exact regression bounds, not
+//! statistical ones.
+
+use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
+use phonoc_core::{run_dse_with_policy, MappingProblem, NeighborhoodPolicy, Objective};
+use phonoc_opt::Rpbla;
+use phonoc_phys::{Length, PhysicalParameters};
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::Topology;
+
+fn problem(family: ScenarioFamily, mesh: usize, seed: u64) -> MappingProblem {
+    let spec = ScenarioSpec {
+        family,
+        mesh,
+        density_pct: 100,
+        seed,
+    };
+    MappingProblem::new(
+        spec.build(),
+        Topology::mesh(mesh, mesh, Length::from_mm(2.5)),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap()
+}
+
+/// Final R-PBLA score per policy at an equal budget.
+fn scores(p: &MappingProblem, budget: usize, seed: u64) -> (f64, f64, f64) {
+    let ex = run_dse_with_policy(p, &Rpbla, budget, seed, NeighborhoodPolicy::Exhaustive);
+    let sa = run_dse_with_policy(p, &Rpbla, budget, seed, NeighborhoodPolicy::Sampled);
+    let lo = run_dse_with_policy(p, &Rpbla, budget, seed, NeighborhoodPolicy::Locality);
+    assert_eq!(ex.evaluations, budget);
+    assert_eq!(sa.evaluations, budget);
+    assert_eq!(lo.evaluations, budget);
+    (ex.best_score, sa.best_score, lo.best_score)
+}
+
+#[test]
+fn sampled_and_locality_beat_the_truncated_scan_at_12x12() {
+    // 10 296 admitted swaps against a 600-evaluation budget: the
+    // exhaustive scan is deep in its degenerate "score a prefix, move
+    // once" regime, and both alternative streams must beat it outright
+    // on every cell.
+    for family in [ScenarioFamily::Random, ScenarioFamily::Hotspot] {
+        for seed in [1u64, 2] {
+            let p = problem(family, 12, seed);
+            let (ex, sa, lo) = scores(&p, 600, seed);
+            println!(
+                "{family:?}-12x12-s{seed}: exhaustive {ex:.3} sampled {sa:.3} locality {lo:.3}"
+            );
+            assert!(
+                sa >= ex,
+                "{family:?}-12x12-s{seed}: sampled {sa} < exhaustive {ex}"
+            );
+            assert!(
+                lo >= ex,
+                "{family:?}-12x12-s{seed}: locality {lo} < exhaustive {ex}"
+            );
+        }
+    }
+}
+
+#[test]
+fn small_mesh_quality_is_preserved_at_4x4() {
+    // 120 admitted swaps against a 400-evaluation budget: the
+    // exhaustive scan fits comfortably, so the alternative streams buy
+    // nothing — but they must not cost more than restart-trajectory luck
+    // (different tie-breaks and pass subsets change which basins the
+    // restarts fall into, worth up to ~0.8 dB here; a real regression
+    // would show up as several dB).
+    for family in [ScenarioFamily::Random, ScenarioFamily::Hotspot] {
+        for seed in [1u64, 2] {
+            let p = problem(family, 4, seed);
+            let (ex, sa, lo) = scores(&p, 400, seed);
+            println!("{family:?}-4x4-s{seed}: exhaustive {ex:.3} sampled {sa:.3} locality {lo:.3}");
+            assert!(
+                sa >= ex - 1.0,
+                "{family:?}-4x4-s{seed}: sampled {sa} far below exhaustive {ex}"
+            );
+            assert!(
+                lo >= ex - 1.0,
+                "{family:?}-4x4-s{seed}: locality {lo} far below exhaustive {ex}"
+            );
+        }
+    }
+}

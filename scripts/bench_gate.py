@@ -4,9 +4,12 @@ against the committed baselines.
 
 Usage:
     python3 scripts/bench_gate.py BENCH_sweep_smoke.json [BENCH_evaluator.json]
+        [--baseline BENCH_sweep.json] [--strict] [--strict-quality]
 
-Checks (all *advisory* — the script always exits 0 unless --strict is
-passed or an input file is malformed):
+Checks (all *advisory* — the script always exits 0 — unless --strict
+makes any finding fatal, --strict-quality makes neighborhood-quality
+findings (check 3, which is deterministic data, not timing) fatal, or
+an input file is malformed):
 
 1. Hybrid regression: per scenario, the adaptive peek must stay within
    GENEROUS_HYBRID_FACTOR of the best single strategy. The committed
@@ -17,6 +20,20 @@ passed or an input file is malformed):
    within GENEROUS_ANCHOR_FACTOR of the recorded median in either
    direction — catching order-of-magnitude evaluator regressions
    without flaking on machine differences.
+3. Neighborhood quality: within the report itself, on every 12x12+
+   cell (where the admitted list outgrows the budget), the budget-aware
+   R-PBLA streams (r-pbla@sampled / r-pbla@locality) must not lose to
+   the exhaustive truncated-scan baseline — the tentpole claim of the
+   neighborhood subsystem. Below that mesh floor the default `auto`
+   policy resolves to exhaustive anyway, and a pinned stream may
+   legitimately trail on plateau-heavy tiny workloads (the committed
+   sweep records pipeline-4x4 doing exactly that), so small-mesh rows
+   are covered by the baseline drift check instead.
+4. Score drift: per (cell, algo) with an --baseline sweep report and a
+   matching evaluation budget, optimizer scores are deterministic per
+   seed, so a fresh score diverging from the committed one (in either
+   direction) by more than SCORE_DRIFT_DB flags a behavioral change in
+   the search stack.
 
 Everything is stdlib-only (CI runners have bare python3).
 """
@@ -26,6 +43,8 @@ import sys
 
 GENEROUS_HYBRID_FACTOR = 1.5
 GENEROUS_ANCHOR_FACTOR = 10.0
+SCORE_DRIFT_DB = 0.05
+NEIGHBORHOOD_MESH_FLOOR = 12
 
 # BENCH_evaluator.json anchors comparable to sweep cells: the committed
 # reused-scratch full-evaluation medians per mesh size.
@@ -90,9 +109,92 @@ def check_anchors(sweep, evaluator):
     return advisories
 
 
+def opt_scores(scenario):
+    """Map of algo spec -> (best_score, evaluations) for one cell."""
+    return {
+        o["algo"]: (o["best_score"], o.get("evaluations"))
+        for o in scenario.get("optimizers", [])
+    }
+
+
+def check_neighborhood_quality(sweep):
+    advisories = []
+    for sc in sweep.get("scenarios", []):
+        scores = opt_scores(sc)
+        exhaustive = scores.get("r-pbla@exhaustive")
+        streams = [
+            (name, scores[name][0])
+            for name in ("r-pbla@sampled", "r-pbla@locality")
+            if name in scores
+        ]
+        if exhaustive is None or not streams:
+            continue
+        if sc["mesh"] < NEIGHBORHOOD_MESH_FLOOR:
+            continue
+        best_name, best = max(streams, key=lambda kv: kv[1])
+        if best < exhaustive[0]:
+            advisories.append(
+                f"{sc['id']}: best budget-aware stream {best_name} = "
+                f"{best:.3f} dB loses to r-pbla@exhaustive = "
+                f"{exhaustive[0]:.3f} dB on a {sc['mesh']}x{sc['mesh']} "
+                f"mesh (tentpole claim: sampled/locality win at 12x12+)"
+            )
+    return advisories
+
+
+def check_score_drift(sweep, baseline):
+    advisories = []
+    committed = {sc["id"]: opt_scores(sc) for sc in baseline.get("scenarios", [])}
+    compared = 0
+    for sc in sweep.get("scenarios", []):
+        base = committed.get(sc["id"])
+        if base is None:
+            continue
+        for algo, (score, evals) in opt_scores(sc).items():
+            if algo not in base:
+                continue
+            base_score, base_evals = base[algo]
+            if evals != base_evals:
+                # Different budgets legitimately score differently.
+                continue
+            compared += 1
+            # Two-sided: determinism means *any* equal-budget difference
+            # (better or worse) is a behavioral change worth knowing.
+            if abs(score - base_score) > SCORE_DRIFT_DB:
+                advisories.append(
+                    f"{sc['id']}/{algo}: score {score:.3f} dB diverges from "
+                    f"committed {base_score:.3f} dB at the same budget "
+                    f"({evals} evals) — optimizer runs are deterministic per "
+                    f"seed, so this is a behavioral change"
+                )
+    print(f"bench_gate: {compared} (cell, algo) score pairs compared to baseline")
+    return advisories
+
+
 def main(argv):
-    args = [a for a in argv[1:] if not a.startswith("--")]
-    strict = "--strict" in argv
+    args = []
+    strict = False
+    strict_quality = False
+    baseline_path = None
+    i = 1
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--strict":
+            strict = True
+        elif arg == "--strict-quality":
+            strict_quality = True
+        elif arg == "--baseline":
+            if i + 1 >= len(argv):
+                print("bench_gate: --baseline needs a path", file=sys.stderr)
+                return 2
+            baseline_path = argv[i + 1]
+            i += 1
+        elif arg.startswith("--"):
+            print(f"bench_gate: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            args.append(arg)
+        i += 1
     if not args:
         print(__doc__)
         return 2
@@ -100,6 +202,10 @@ def main(argv):
     advisories = check_hybrid(sweep)
     if len(args) > 1:
         advisories += check_anchors(sweep, load(args[1]))
+    quality_advisories = check_neighborhood_quality(sweep)
+    advisories += quality_advisories
+    if baseline_path:
+        advisories += check_score_drift(sweep, load(baseline_path))
 
     n = len(sweep.get("scenarios", []))
     summary = sweep.get("summary", {})
@@ -112,6 +218,9 @@ def main(argv):
         for a in advisories:
             print(f"  - {a}")
         if strict:
+            return 1
+        if strict_quality and quality_advisories:
+            print("bench_gate: neighborhood-quality claim violated — fatal")
             return 1
         print("bench_gate: advisory mode — not failing the build")
     else:

@@ -8,9 +8,10 @@
 //! phonocmap analyze  --app VOPD [--topology mesh] [--router crux] [--seed 1]
 //! phonocmap optimize --app VOPD [--algo r-pbla] [--objective snr|loss]
 //!                    [--topology mesh|torus|ring] [--router crux]
+//!                    [--neighborhood auto|exhaustive|sampled|locality]
 //!                    [--budget 100000] [--seed 42]
 //! phonocmap optimize --file my_app.cg ...      # text-format CG input
-//! phonocmap sweep [--smoke] [--out BENCH_sweep.json]
+//! phonocmap sweep [--smoke] [--neighborhood P] [--out BENCH_sweep.json]
 //! ```
 //!
 //! The CG text format is documented in `phonoc_apps::text`.
@@ -58,12 +59,15 @@ commands:
   optimize --app <name> | --file <cg>   search for the best mapping
   sweep [--smoke] [--out PATH]          scenario-matrix sweep: peek-strategy
         [--samples N] [--moves N]       timings + optimizer results as JSON
-        [--budget N]
+        [--budget N]                    (r-pbla runs once per neighborhood
+        [--neighborhood POLICY]         stream; POLICY restricts to one)
 options (analyze/optimize):
   --topology mesh|torus|ring   (default mesh)
   --router   crux|crossbar|xy-crossbar   (default crux)
   --objective snr|loss         (default snr)
   --algo rs|ga|r-pbla|sa|tabu|ils  (default r-pbla; optimize only)
+  --neighborhood auto|exhaustive|sampled|locality  (default auto: exhaustive
+             swap scans up to ~8x8 meshes, budget-aware sampling beyond)
   --budget N                   evaluations (default 100000)
   --seed N                     RNG seed (default 42)";
 
@@ -218,10 +222,26 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     if budget == 0 {
         return Err("--budget must be at least 1".into());
     }
-    let optimizer = phonocmap::opt::optimizer(&algo_name)
+    let (optimizer, spec_policy) = phonocmap::opt::optimizer_spec(&algo_name)
         .ok_or_else(|| format!("unknown optimizer `{algo_name}`"))?;
+    let explicit_policy = match flag(args, "--neighborhood") {
+        Some(name) => Some(NeighborhoodPolicy::by_name(&name).ok_or_else(|| {
+            format!("unknown neighborhood `{name}` (auto|exhaustive|sampled|locality)")
+        })?),
+        // `--algo r-pbla@sampled` works too; an explicit flag wins.
+        None => spec_policy,
+    };
+    // The policy only steers the swap-neighbourhood scanners; warn
+    // instead of silently mislabeling a population-strategy run.
+    if explicit_policy.is_some() && matches!(optimizer.name(), "rs" | "ga" | "exhaustive") {
+        eprintln!(
+            "warning: `{}` does not scan a swap neighborhood; --neighborhood has no effect",
+            optimizer.name()
+        );
+    }
+    let policy = explicit_policy.unwrap_or_default();
 
-    let result = run_dse(&problem, optimizer.as_ref(), budget, seed);
+    let result = run_dse_with_policy(&problem, optimizer.as_ref(), budget, seed, policy);
     println!(
         "{} finished: {} evaluations, best {} = {:.3}",
         result.optimizer,

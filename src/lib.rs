@@ -55,8 +55,8 @@ pub use phonoc_topo as topo;
 pub mod prelude {
     pub use phonoc_apps::{benchmarks, CgBuilder, CommunicationGraph};
     pub use phonoc_core::{
-        analyze, run_dse, CoreError, DseResult, Evaluator, Mapping, MappingOptimizer,
-        MappingProblem, NetworkReport, Objective, OptContext,
+        analyze, run_dse, run_dse_with_policy, CoreError, DseResult, Evaluator, Mapping,
+        MappingOptimizer, MappingProblem, NeighborhoodPolicy, NetworkReport, Objective, OptContext,
     };
     pub use phonoc_opt::{
         Exhaustive, GeneticAlgorithm, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch,
