@@ -89,6 +89,17 @@
 //! above. Set it per run with [`run_dse_with_policy`] /
 //! [`run_dse_configured`].
 //!
+//! # Seeded starts (portfolio lanes)
+//!
+//! Optimizers obtain their first solution through
+//! [`OptContext::initial_mapping`] — normally a plain random draw, but
+//! a caller can plant a specific mapping with
+//! [`OptContext::set_seed_start`] (consumed exactly once). This is the
+//! elite-exchange hook of the portfolio subsystem in `phonoc-opt`:
+//! between bulk-synchronous rounds, a lane resumes from the incumbent
+//! its [`DseConfig::start`] carries. Unseeded contexts behave
+//! bit-identically to the pre-hook engine.
+//!
 //! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
 //! core so that new strategies can be added "without any changes in the
 //! tool core", paper Section I — implementations live in `phonoc-opt`).
@@ -124,6 +135,40 @@ pub enum PeekStrategy {
     Delta,
     /// Always a full scratch re-evaluation of the moved mapping.
     Full,
+}
+
+impl PeekStrategy {
+    /// Every strategy, in the canonical order.
+    pub const ALL: [PeekStrategy; 3] = [
+        PeekStrategy::Hybrid,
+        PeekStrategy::Delta,
+        PeekStrategy::Full,
+    ];
+
+    /// Stable lowercase identifier (used by CLI flags and portfolio
+    /// lane specs).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            PeekStrategy::Hybrid => "hybrid",
+            PeekStrategy::Delta => "delta",
+            PeekStrategy::Full => "full",
+        }
+    }
+
+    /// Looks a strategy up by its [`PeekStrategy::name`]
+    /// (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<PeekStrategy> {
+        let lower = name.to_lowercase();
+        PeekStrategy::ALL.into_iter().find(|s| s.name() == lower)
+    }
+}
+
+impl fmt::Display for PeekStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
 }
 
 /// How swap-based optimizers enumerate their neighbourhood — the
@@ -357,6 +402,10 @@ pub struct OptContext<'p> {
     /// [`NeighborhoodPolicy`]); consumed by the `Neighborhood` streams
     /// in `phonoc-opt`.
     policy: NeighborhoodPolicy,
+    /// A mapping the next [`OptContext::initial_mapping`] call should
+    /// hand out instead of a random draw — how a portfolio lane
+    /// resumes from an exchanged elite incumbent.
+    seed_start: Option<Mapping>,
     /// Reused buffers for full evaluations: after warm-up,
     /// [`OptContext::evaluate`] performs no heap allocation.
     full_scratch: EvalScratch,
@@ -393,6 +442,7 @@ impl<'p> OptContext<'p> {
             cursor: None,
             strategy: PeekStrategy::default(),
             policy: NeighborhoodPolicy::default(),
+            seed_start: None,
             full_scratch: EvalScratch::default(),
         }
     }
@@ -584,6 +634,29 @@ impl<'p> OptContext<'p> {
             self.problem.tile_count(),
             &mut self.rng,
         )
+    }
+
+    /// Seeds the *next* [`OptContext::initial_mapping`] call with
+    /// `mapping` — how a portfolio round hands a lane the elite
+    /// incumbent it should resume from. One-shot: the seed is consumed
+    /// by the first `initial_mapping` call; later calls (and every call
+    /// when no seed was planted) fall back to a random draw.
+    pub fn set_seed_start(&mut self, mapping: Mapping) {
+        self.seed_start = Some(mapping);
+    }
+
+    /// The mapping an optimizer should start its search from: the
+    /// planted seed start, if one is pending, otherwise a fresh
+    /// [`OptContext::random_mapping`] draw. Unseeded contexts behave
+    /// bit-identically to `random_mapping` (same single RNG draw), so
+    /// migrating an optimizer's starting point onto this entry point
+    /// changes nothing outside portfolio runs.
+    #[must_use]
+    pub fn initial_mapping(&mut self) -> Mapping {
+        match self.seed_start.take() {
+            Some(m) => m,
+            None => self.random_mapping(),
+        }
     }
 
     /// Full-evaluates `mapping`, makes it the cursor for subsequent
@@ -1177,9 +1250,57 @@ pub fn run_dse_configured(
     strategy: PeekStrategy,
     policy: NeighborhoodPolicy,
 ) -> DseResult {
+    run_dse_session(
+        problem,
+        optimizer,
+        budget,
+        seed,
+        DseConfig {
+            strategy,
+            policy,
+            start: None,
+        },
+    )
+}
+
+/// Everything a single search session can be configured with beyond
+/// its budget and seed. `Default` is exactly what [`run_dse`] uses:
+/// hybrid peeks, auto neighbourhood, a random starting point.
+#[derive(Debug, Clone, Default)]
+pub struct DseConfig {
+    /// SNR-peek routing (cost only — never changes scores).
+    pub strategy: PeekStrategy,
+    /// Neighbourhood-enumeration policy for swap-based scans.
+    pub policy: NeighborhoodPolicy,
+    /// Mapping the optimizer's first [`OptContext::initial_mapping`]
+    /// call hands out — the elite-exchange hook portfolio lanes resume
+    /// through. `None` keeps the classic random start.
+    pub start: Option<Mapping>,
+}
+
+/// Runs one fully configured search session — the entry point the
+/// portfolio subsystem drives once per (lane, round), with
+/// [`DseConfig::start`] carrying the exchanged incumbent between
+/// rounds. [`run_dse_configured`] is a thin wrapper with no starting
+/// mapping.
+///
+/// # Panics
+///
+/// Same as [`run_dse`].
+#[must_use]
+pub fn run_dse_session(
+    problem: &MappingProblem,
+    optimizer: &dyn MappingOptimizer,
+    budget: usize,
+    seed: u64,
+    config: DseConfig,
+) -> DseResult {
     let mut ctx = OptContext::new(problem, budget, seed);
-    ctx.set_peek_strategy(strategy);
-    ctx.set_neighborhood_policy(policy);
+    ctx.set_peek_strategy(config.strategy);
+    ctx.set_neighborhood_policy(config.policy);
+    if let Some(start) = config.start {
+        ctx.set_seed_start(start);
+    }
     optimizer.optimize(&mut ctx);
     ctx.into_result(optimizer.name())
 }

@@ -112,8 +112,8 @@ pub mod problem;
 
 pub use analysis::{analyze, EdgeReport, NetworkReport};
 pub use engine::{
-    run_dse, run_dse_configured, run_dse_with_policy, run_dse_with_strategy, DseResult,
-    MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext, PeekStrategy,
+    run_dse, run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy,
+    DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext, PeekStrategy,
 };
 pub use error::CoreError;
 pub use evaluator::{
@@ -129,8 +129,9 @@ pub use problem::{MappingProblem, Objective};
 pub mod prelude {
     pub use crate::analysis::{analyze, NetworkReport};
     pub use crate::engine::{
-        run_dse, run_dse_configured, run_dse_with_policy, run_dse_with_strategy, DseResult,
-        MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext, PeekStrategy,
+        run_dse, run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy,
+        DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext,
+        PeekStrategy,
     };
     pub use crate::error::CoreError;
     pub use crate::evaluator::{

@@ -1,18 +1,39 @@
 //! Deterministic fork–join parallelism for batch evaluation.
 //!
 //! The environment this workspace builds in has no registry access, so
-//! instead of `rayon` this module provides the one primitive the
-//! evaluator needs — an order-preserving parallel map over a slice —
-//! built on [`std::thread::scope`]. Results are returned in input
-//! order regardless of scheduling, so every caller stays deterministic.
-//! Tiny batches are not worth a fork: a per-thread chunk floor
-//! (`MIN_CHUNK`) keeps short admitted-list scans and small
-//! populations on the caller thread and scales the worker count with
-//! the batch size, so multi-core machines stop paying thread-spawn
-//! overhead for work that finishes faster than a spawn. If `rayon` is
+//! instead of `rayon` this module provides the two primitives the
+//! engine needs — order-preserving parallel maps over a slice — built
+//! on [`std::thread::scope`]. Results are returned in input order
+//! regardless of scheduling, so every caller stays deterministic.
+//!
+//! * [`parallel_map`] / [`parallel_map_with`] — the fine-grained map
+//!   behind batch evaluation. Tiny batches are not worth a fork: a
+//!   per-thread chunk floor (`MIN_CHUNK`) keeps short admitted-list
+//!   scans and small populations on the caller thread and scales the
+//!   worker count with the batch size, so multi-core machines stop
+//!   paying thread-spawn overhead for work that finishes faster than a
+//!   spawn.
+//! * [`parallel_map_tasks`] — the coarse-grained map behind portfolio
+//!   lanes: items are whole optimizer runs (milliseconds to seconds
+//!   each), so it forks for *any* batch of two or more items instead of
+//!   applying the chunk floor.
+//!
+//! # Worker-count control and invariance
+//!
+//! The worker count is normally the machine's available parallelism,
+//! but can be pinned — `PHONOC_WORKERS=N` in the environment (read
+//! once), or [`set_worker_override`] at run time (tests; the runtime
+//! setting wins). **Results never depend on the worker count**: both
+//! maps concatenate per-chunk results in input order, so a 1-worker and
+//! an 8-worker run of the same batch are bit-identical as long as the
+//! mapped function is a pure function of its item (per-worker scratches
+//! from `parallel_map_with`'s `init` must be buffers, not accumulators)
+//! — property-tested in `tests/thread_invariance.rs`. If `rayon` is
 //! ever vendored, only this module needs to change.
 
 use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Minimum items handed to each worker thread. Spawning a thread costs
 /// tens of microseconds; the items flowing through here (full or delta
@@ -23,15 +44,50 @@ use std::num::NonZeroUsize;
 /// machine's parallelism.
 pub(crate) const MIN_CHUNK: usize = 16;
 
-/// Number of worker threads to use for `n` items: the machine's
-/// available parallelism, capped so every worker gets at least
+/// Runtime worker-count override; `0` means "not set". Takes
+/// precedence over the `PHONOC_WORKERS` environment variable.
+static WORKER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Pins (Some, clamped to ≥ 1) or releases (None) the worker count
+/// used by every parallel map in this process. The thread-invariance
+/// property tests drive this; production runs use the
+/// `PHONOC_WORKERS` environment variable instead. Changing the worker
+/// count never changes any map's results (see the [module
+/// docs](self)), only how the work is scheduled.
+pub fn set_worker_override(workers: Option<usize>) {
+    WORKER_OVERRIDE.store(workers.map_or(0, |w| w.max(1)), Ordering::Relaxed);
+}
+
+/// The `PHONOC_WORKERS` environment setting, parsed once: the CI
+/// worker matrix pins worker counts process-wide through it.
+fn env_workers() -> Option<usize> {
+    static ENV: OnceLock<Option<usize>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("PHONOC_WORKERS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+            .map(|w| w.max(1))
+    })
+}
+
+/// The effective worker ceiling: runtime override, then
+/// `PHONOC_WORKERS`, then the machine's available parallelism.
+pub(crate) fn max_workers() -> usize {
+    match WORKER_OVERRIDE.load(Ordering::Relaxed) {
+        0 => env_workers().unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        }),
+        pinned => pinned,
+    }
+}
+
+/// Number of worker threads to use for `n` fine-grained items: the
+/// effective worker ceiling, capped so every worker gets at least
 /// [`MIN_CHUNK`] items.
 fn workers_for(n: usize) -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
-        .min(n / MIN_CHUNK)
-        .max(1)
+    max_workers().min(n / MIN_CHUNK).max(1)
 }
 
 /// Maps `f` over `items` in parallel, returning results in input order.
@@ -56,7 +112,34 @@ where
     I: Fn() -> S + Sync,
     F: Fn(&mut S, &T) -> R + Sync,
 {
-    let workers = workers_for(items.len());
+    map_chunked(items, workers_for(items.len()), init, f)
+}
+
+/// Like [`parallel_map`], but for **coarse-grained** items (whole
+/// optimizer runs — the portfolio's bulk-synchronous lane rounds):
+/// forks for any batch of two or more items instead of applying the
+/// `MIN_CHUNK` floor, since each item is many orders of magnitude
+/// heavier than a thread spawn. Results are returned in input order, so
+/// the reduction over them is fixed regardless of the worker count.
+pub fn parallel_map_tasks<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let workers = max_workers().min(items.len()).max(1);
+    map_chunked(items, workers, || (), move |_: &mut (), item| f(item))
+}
+
+/// The shared chunked runner: splits `items` into one contiguous chunk
+/// per worker and concatenates per-chunk results in input order.
+fn map_chunked<S, T, R, I, F>(items: &[T], workers: usize, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
     if workers <= 1 || items.len() < 2 {
         let mut scratch = init();
         return items.iter().map(|item| f(&mut scratch, item)).collect();
@@ -141,6 +224,40 @@ mod tests {
             },
         );
         assert_eq!(out.last().copied(), Some((n - 1, n)));
+    }
+
+    #[test]
+    fn tasks_map_is_input_ordered_at_every_worker_count() {
+        // The override is process-global; serialize with the other
+        // override test and always restore the default.
+        let _guard = override_lock().lock().unwrap();
+        let items: Vec<usize> = (0..37).collect();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 11 + 5).collect();
+        for workers in [1, 2, 3, 4, 64] {
+            set_worker_override(Some(workers));
+            let out = parallel_map_tasks(&items, |&x| x * 11 + 5);
+            assert_eq!(out, expected, "workers = {workers}");
+        }
+        set_worker_override(None);
+    }
+
+    #[test]
+    fn tasks_map_forks_small_batches() {
+        let _guard = override_lock().lock().unwrap();
+        set_worker_override(Some(2));
+        // Two heavyweight items must land on two distinct threads (the
+        // fine-grained map would keep them on the caller thread).
+        let ids = parallel_map_tasks(&[0, 1], |_| std::thread::current().id());
+        assert_ne!(ids[0], ids[1], "coarse map must fork below MIN_CHUNK");
+        set_worker_override(None);
+        // Single items never fork.
+        let one = parallel_map_tasks(&[42usize], |&x| x);
+        assert_eq!(one, vec![42]);
+    }
+
+    fn override_lock() -> &'static std::sync::Mutex<()> {
+        static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+        &LOCK
     }
 
     #[test]

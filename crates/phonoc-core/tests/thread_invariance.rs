@@ -1,0 +1,139 @@
+//! Thread-count invariance: every parallel entry point must return
+//! **bit-identical** results whatever the worker count — the half of
+//! the "multi-core verification" ROADMAP item that a single-core
+//! container *can* verify. The worker count is pinned through
+//! [`phonoc_core::parallel::set_worker_override`] (the same knob the
+//! CI worker matrix drives via `PHONOC_WORKERS`), and each property
+//! compares a 1-worker reference run against 2- and 4-worker reruns of
+//! identical work.
+//!
+//! The override is process-global, so every test serializes on one
+//! mutex and restores the default before releasing it.
+
+use phonoc_core::parallel::{parallel_map, parallel_map_tasks, set_worker_override};
+use phonoc_core::{Mapping, MappingProblem, Move, MoveEval, Objective, OptContext};
+use phonoc_phys::{Length, PhysicalParameters};
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Mutex, MutexGuard};
+
+static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+/// Locks the override for one test and restores the default on drop.
+struct Pinned<'a>(#[allow(dead_code)] MutexGuard<'a, ()>);
+
+impl Drop for Pinned<'_> {
+    fn drop(&mut self) {
+        set_worker_override(None);
+    }
+}
+
+fn pin() -> Pinned<'static> {
+    Pinned(OVERRIDE_LOCK.lock().unwrap())
+}
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+fn problem(mesh: usize, density: u32, seed: u64) -> MappingProblem {
+    use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
+    let spec = ScenarioSpec {
+        family: ScenarioFamily::Random,
+        mesh,
+        density_pct: density,
+        seed,
+    };
+    MappingProblem::new(
+        spec.build(),
+        Topology::mesh(mesh, mesh, Length::from_mm(2.5)),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap()
+}
+
+#[test]
+fn plain_maps_are_worker_count_invariant() {
+    let _pin = pin();
+    let items: Vec<u64> = (0..257).collect();
+    set_worker_override(Some(1));
+    let reference = parallel_map(&items, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+    let tasks_reference = parallel_map_tasks(&items, |&x| x ^ (x << 13));
+    for workers in WORKER_COUNTS {
+        set_worker_override(Some(workers));
+        let fine = parallel_map(&items, |&x| x.wrapping_mul(0x9E37_79B9).rotate_left(7));
+        let coarse = parallel_map_tasks(&items, |&x| x ^ (x << 13));
+        assert_eq!(fine, reference, "parallel_map @ {workers} workers");
+        assert_eq!(coarse, tasks_reference, "parallel_map_tasks @ {workers}");
+    }
+}
+
+#[test]
+fn batch_evaluation_is_worker_count_invariant() {
+    let _pin = pin();
+    let p = problem(6, 150, 3);
+    let mut rng = StdRng::seed_from_u64(99);
+    // Enough mappings that 4 workers genuinely fork (≥ 4 × MIN_CHUNK).
+    let mappings: Vec<Mapping> = (0..96)
+        .map(|_| Mapping::random(p.task_count(), p.tile_count(), &mut rng))
+        .collect();
+    set_worker_override(Some(1));
+    let reference = p.evaluator().evaluate_summaries_batch(&mappings);
+    for workers in WORKER_COUNTS {
+        set_worker_override(Some(workers));
+        let batch = p.evaluator().evaluate_summaries_batch(&mappings);
+        assert_eq!(batch.len(), reference.len());
+        for (a, b) in batch.iter().zip(&reference) {
+            // Bit-exact, not approximately equal.
+            assert_eq!(a.worst_case_snr.0.to_bits(), b.worst_case_snr.0.to_bits());
+            assert_eq!(a.worst_case_il.0.to_bits(), b.worst_case_il.0.to_bits());
+        }
+    }
+}
+
+#[test]
+fn peek_scans_are_worker_count_invariant() {
+    let _pin = pin();
+    let p = problem(6, 200, 7);
+    let tiles = p.tile_count();
+    let moves: Vec<Move> = (0..tiles)
+        .flat_map(|a| ((a + 1)..tiles).map(move |b| Move::Swap(a, b)))
+        .collect();
+    let start = Mapping::random(p.task_count(), tiles, &mut StdRng::seed_from_u64(5));
+
+    let scan = |workers: usize, improving: bool| -> Vec<(Move, u64)> {
+        set_worker_override(Some(workers));
+        let mut ctx = OptContext::new(&p, 100_000, 1);
+        ctx.set_current(start.clone()).unwrap();
+        let evals = if improving {
+            ctx.peek_moves_improving(&moves)
+        } else {
+            ctx.peek_moves(&moves)
+        };
+        evals
+            .into_iter()
+            .map(|ev| {
+                let score = match ev {
+                    MoveEval::Bounded { bound, .. } => bound.0,
+                    ref exact => exact.score(),
+                };
+                (ev.mv(), score.to_bits())
+            })
+            .collect()
+    };
+    for improving in [false, true] {
+        let reference = scan(1, improving);
+        assert_eq!(reference.len(), moves.len());
+        for workers in WORKER_COUNTS {
+            assert_eq!(
+                scan(workers, improving),
+                reference,
+                "improving={improving} @ {workers} workers"
+            );
+        }
+    }
+}

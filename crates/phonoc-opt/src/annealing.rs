@@ -55,7 +55,8 @@ impl MappingOptimizer for SimulatedAnnealing {
         // Calibration probe: estimate the score spread.
         let mut lo = f64::INFINITY;
         let mut hi = f64::NEG_INFINITY;
-        let mut current = ctx.random_mapping();
+        // Seeded elite incumbent (portfolio rounds) or random start.
+        let mut current = ctx.initial_mapping();
         let Some(mut current_score) = ctx.evaluate(&current) else {
             return;
         };

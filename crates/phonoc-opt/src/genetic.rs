@@ -10,9 +10,21 @@
 //! * **selection** — size-`k` tournament;
 //! * **crossover** — PMX (partially mapped) or OX (order), both standard
 //!   for permutation encodings;
-//! * **mutation** — random position swaps;
+//! * **mutation** — an admitted swap drawn from the engine-selected
+//!   [`Neighborhood`] stream ([`Neighborhood::draw_for`]), so the GA
+//!   respects the context's
+//!   [`NeighborhoodPolicy`](phonoc_core::NeighborhoodPolicy): under
+//!   `locality` a mutation displaces tasks at most the current radius
+//!   apart (relative to the individual being mutated), and under every
+//!   policy mutations stop wasting draws on objective-invisible
+//!   free–free swaps;
 //! * **elitism** — the best `elite` individuals survive unchanged.
+//!
+//! (Random search deliberately stays policy-free: it proposes whole
+//! uniform mappings, not moves, so there is no neighbourhood to
+//! restrict — see `random_search`.)
 
+use crate::neighborhood::Neighborhood;
 use phonoc_core::{Mapping, MappingOptimizer, OptContext};
 use phonoc_topo::TileId;
 use rand::Rng;
@@ -63,9 +75,22 @@ impl MappingOptimizer for GeneticAlgorithm {
     fn optimize(&self, ctx: &mut OptContext<'_>) {
         let pop_size = self.population.max(2);
         let elite = self.elite.min(pop_size - 1);
+        // The policy-respecting mutation kernel (see the module docs).
+        let mut nbhd = Neighborhood::new(ctx);
 
-        // Initial population, scored as one parallel batch.
-        let initial: Vec<Mapping> = (0..pop_size).map(|_| ctx.random_mapping()).collect();
+        // Initial population, scored as one parallel batch. The first
+        // individual is the context's initial mapping — a planted
+        // elite incumbent under portfolio exchange, a plain random
+        // draw otherwise.
+        let initial: Vec<Mapping> = (0..pop_size)
+            .map(|i| {
+                if i == 0 {
+                    ctx.initial_mapping()
+                } else {
+                    ctx.random_mapping()
+                }
+            })
+            .collect();
         let scores = ctx.evaluate_batch(&initial);
         let mut pop: Vec<(Mapping, f64)> = initial.into_iter().zip(scores).collect();
         if pop.is_empty() {
@@ -89,7 +114,9 @@ impl MappingOptimizer for GeneticAlgorithm {
                     Crossover::Ox => ox(&pop[a].0, &pop[b].0, ctx.rng()),
                 };
                 if ctx.rng().gen_bool(self.mutation_rate.clamp(0.0, 1.0)) {
-                    child.random_swap(ctx.rng());
+                    if let Some(mv) = nbhd.draw_for(&child) {
+                        child.apply_move(mv);
+                    }
                 }
                 debug_assert!(child.is_valid());
                 offspring.push(child);
@@ -251,6 +278,22 @@ mod tests {
         let a = run_dse(&p, &GeneticAlgorithm::default(), 300, 11);
         let b = run_dse(&p, &GeneticAlgorithm::default(), 300, 11);
         assert_eq!(a.best_mapping, b.best_mapping);
+    }
+
+    #[test]
+    fn ga_respects_every_neighborhood_policy() {
+        // The mutation kernel draws from the engine-selected stream;
+        // every policy must stay valid, budget-exact and deterministic.
+        let p = tiny_problem();
+        for policy in phonoc_core::NeighborhoodPolicy::ALL {
+            let a =
+                phonoc_core::run_dse_with_policy(&p, &GeneticAlgorithm::default(), 200, 6, policy);
+            let b =
+                phonoc_core::run_dse_with_policy(&p, &GeneticAlgorithm::default(), 200, 6, policy);
+            assert_eq!(a.evaluations, 200, "{policy}");
+            assert!(a.best_mapping.is_valid(), "{policy}");
+            assert_eq!(a.best_mapping, b.best_mapping, "{policy}");
+        }
     }
 
     #[test]

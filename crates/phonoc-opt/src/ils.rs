@@ -43,7 +43,8 @@ impl MappingOptimizer for IteratedLocalSearch {
     fn optimize(&self, ctx: &mut OptContext<'_>) {
         let mut nbhd = Neighborhood::new(ctx);
 
-        let mut best = ctx.random_mapping();
+        // Seeded elite incumbent (portfolio rounds) or random start.
+        let mut best = ctx.initial_mapping();
         let Some(mut best_score) = ctx.evaluate(&best) else {
             return;
         };

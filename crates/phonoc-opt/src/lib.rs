@@ -50,8 +50,26 @@
 //! Population strategies ([`RandomSearch`], [`GeneticAlgorithm`]) score
 //! independent mappings and instead use `OptContext::evaluate_batch`,
 //! which fans a generation across CPU cores while keeping results (and
-//! the incumbent) in deterministic input order. [`Exhaustive`] stays on
-//! plain full evaluation.
+//! the incumbent) in deterministic input order. The GA's *mutation*
+//! kernel nevertheless rides the same [`Neighborhood`] abstraction
+//! ([`Neighborhood::draw_for`]), so it too respects the engine's
+//! neighbourhood policy; RS stays deliberately policy-free (uniform
+//! whole-mapping proposals have no neighbourhood). [`Exhaustive`] stays
+//! on plain full evaluation.
+//!
+//! # Portfolio search
+//!
+//! PR 4's sweep showed no single configuration wins everywhere
+//! (sampled takes 42/52 large cells, locality the rest), so the
+//! [`portfolio`] subsystem races N lanes — each `(optimizer,
+//! NeighborhoodPolicy, PeekStrategy, RNG stream)` — as deterministic
+//! bulk-synchronous rounds with **elite exchange** between rounds
+//! ([`ExchangePolicy`]: isolated / broadcast-best / ring) and per-lane
+//! budget ledgers that sum exactly to the global budget. Results are
+//! bit-identical at every worker-thread count. Registry specs with a
+//! `portfolio:` prefix (see [`registry::search_spec`]) name portfolio
+//! runs, e.g.
+//! `portfolio:r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8`.
 //!
 //! | Strategy | Type | Scoring path | Paper status |
 //! |----------|------|--------------|--------------|
@@ -95,6 +113,7 @@ pub mod exhaustive;
 pub mod genetic;
 pub mod ils;
 pub mod neighborhood;
+pub mod portfolio;
 pub mod random_search;
 pub mod registry;
 pub mod rpbla;
@@ -105,8 +124,12 @@ pub use exhaustive::Exhaustive;
 pub use genetic::{Crossover, GeneticAlgorithm};
 pub use ils::IteratedLocalSearch;
 pub use neighborhood::{admitted_moves, scan_quota, Neighborhood};
+pub use portfolio::{
+    run_portfolio, BudgetLedger, ExchangePolicy, LaneOutcome, LaneSpec, PortfolioResult,
+    PortfolioSpec,
+};
 pub use random_search::RandomSearch;
-pub use registry::{builtin_names, optimizer, optimizer_spec};
+pub use registry::{builtin_names, optimizer, optimizer_spec, search_spec, SearchSpec};
 pub use rpbla::Rpbla;
 pub use tabu::TabuSearch;
 

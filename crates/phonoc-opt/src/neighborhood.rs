@@ -57,7 +57,7 @@
 //! [`PASS_DIVISOR`]-ish passes' worth of commits out of the same
 //! budget.
 
-use phonoc_core::{Move, NeighborhoodPolicy, OptContext};
+use phonoc_core::{Mapping, Move, NeighborhoodPolicy, OptContext};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -248,15 +248,7 @@ impl Neighborhood {
                 let mapping = ctx
                     .current_mapping()
                     .expect("locality pass without a cursor");
-                let perm = mapping.permutation();
-                self.pool.clear();
-                for (i, &mv) in self.admitted.iter().enumerate() {
-                    let Move::Swap(a, b) = mv else { continue };
-                    let d = self.tile_dist[perm[a].0 * self.tiles + perm[b].0];
-                    if d as usize <= self.radius {
-                        self.pool.push(i as u32);
-                    }
-                }
+                self.rebuild_locality_pool(mapping);
             }
         }
         let k = quota.min(self.pool.len());
@@ -289,6 +281,50 @@ impl Neighborhood {
         }
         let i = self.rng.gen_range(0..self.admitted.len());
         Some(self.admitted[i])
+    }
+
+    /// One policy-respecting admitted move for a **population
+    /// individual** — the GA mutation kernel. Unlike [`Neighborhood::draw`]
+    /// (the Metropolis proposal kernel, deliberately global), this draw
+    /// honours the locality radius: under
+    /// [`NeighborhoodPolicy::Locality`] the move is drawn uniformly
+    /// from the swaps whose two exchanged tiles lie within the current
+    /// radius **under `mapping`** (population strategies have no
+    /// cursor, so the caller supplies the individual being mutated),
+    /// falling back to a uniform admitted draw when no pair is that
+    /// close. Under every other policy the admitted neighbourhood *is*
+    /// the policy's move set for a single draw, so this is a uniform
+    /// admitted draw — still an upgrade over `Mapping::random_swap`,
+    /// which wastes mutations on objective-invisible free–free swaps.
+    /// Returns `None` only when the neighbourhood is empty.
+    pub fn draw_for(&mut self, mapping: &Mapping) -> Option<Move> {
+        if self.kind != NeighborhoodPolicy::Locality {
+            return self.draw();
+        }
+        self.rebuild_locality_pool(mapping);
+        if self.pool.is_empty() {
+            return self.draw();
+        }
+        let i = self.rng.gen_range(0..self.pool.len());
+        Some(self.admitted[self.pool[i] as usize])
+    }
+
+    /// Rebuilds the within-radius admission pool against `mapping` —
+    /// the one definition of "within the locality radius" shared by
+    /// scan passes ([`Neighborhood::pass`], against the cursor) and
+    /// single draws ([`Neighborhood::draw_for`], against the mutated
+    /// individual): a swap qualifies when the two tiles it exchanges
+    /// (`perm[a]`, `perm[b]`) lie within the current radius.
+    fn rebuild_locality_pool(&mut self, mapping: &Mapping) {
+        let perm = mapping.permutation();
+        self.pool.clear();
+        for (i, &mv) in self.admitted.iter().enumerate() {
+            let Move::Swap(a, b) = mv else { continue };
+            let d = self.tile_dist[perm[a].0 * self.tiles + perm[b].0];
+            if d as usize <= self.radius {
+                self.pool.push(i as u32);
+            }
+        }
     }
 
     /// Reacts to a dry scan (no improving move found): `Locality`
@@ -366,6 +402,33 @@ mod tests {
         assert_eq!(scan_quota(10, 32_640), MIN_SCAN);
         assert_eq!(scan_quota(10_000, 120), 120);
         assert_eq!(scan_quota(0, 0), 1);
+    }
+
+    #[test]
+    fn draw_for_respects_the_locality_radius() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 10, 0);
+        let mut n = Neighborhood::with_policy(&ctx, NeighborhoodPolicy::Locality, 9);
+        let admitted = admitted_moves(p.task_count(), p.tile_count());
+        let mapping = ctx.random_mapping();
+        let radius = n.radius().expect("locality stream has a radius");
+        // The 3×3 mesh has pairs beyond radius 2, so a within-radius
+        // pool exists and the fallback never triggers here.
+        for _ in 0..100 {
+            let mv = n.draw_for(&mapping).expect("non-empty neighbourhood");
+            assert!(admitted.contains(&mv));
+            let Move::Swap(a, b) = mv else { unreachable!() };
+            let perm = mapping.permutation();
+            assert!(
+                ctx.tile_distance(perm[a].0, perm[b].0) <= radius,
+                "mutation {mv:?} exceeds radius {radius} for this individual"
+            );
+        }
+        // Non-locality streams: draw_for is the plain admitted draw.
+        let mut n = Neighborhood::with_policy(&ctx, NeighborhoodPolicy::Sampled, 9);
+        for _ in 0..20 {
+            assert!(admitted.contains(&n.draw_for(&mapping).unwrap()));
+        }
     }
 
     #[test]

@@ -1,0 +1,827 @@
+//! Deterministic multi-lane portfolio search with elite exchange.
+//!
+//! PR 4's sweep settled that **no single search configuration wins
+//! everywhere**: at 12×12/16×16 the sampled neighbourhood stream wins
+//! 42 of 52 cells and the locality stream the other 10, with the
+//! winner flipping by workload family. Related DSE work (MorphoNoC's
+//! configurable exploration, PROTEUS's rule-based adaptation) reaches
+//! the same conclusion and races a *portfolio* of configurations
+//! instead of hand-tuning one. This module is that racer.
+//!
+//! # Model
+//!
+//! A [`PortfolioSpec`] holds N **lanes** — each a
+//! [`LaneSpec`]: an optimizer from the registry, the
+//! [`NeighborhoodPolicy`] its scans pin, the [`PeekStrategy`] its
+//! peeks route through, and (implicitly) a private RNG stream — plus
+//! an [`ExchangePolicy`] and a round count. [`run_portfolio`] executes
+//! the lanes as **bulk-synchronous rounds**:
+//!
+//! 1. every lane runs one budgeted search session
+//!    ([`phonoc_core::run_dse_session`]) — in parallel across CPU
+//!    cores via [`phonoc_core::parallel::parallel_map_tasks`];
+//! 2. lane results are folded into per-lane incumbents in **fixed lane
+//!    order** (the reduction never depends on scheduling);
+//! 3. the exchange policy decides which incumbent each lane restarts
+//!    from next round: [`ExchangePolicy::Isolated`] (its own),
+//!    [`ExchangePolicy::BroadcastBest`] (the round's global best,
+//!    ties to the lowest lane index), or [`ExchangePolicy::Ring`]
+//!    (its left neighbour's — diversity-preserving, elites migrate one
+//!    lane per round). The incumbent reaches the lane through
+//!    [`phonoc_core::OptContext::initial_mapping`], which every seeded
+//!    strategy honours (RS deliberately stays start-free — see
+//!    `random_search`).
+//!
+//! # Determinism and budget discipline
+//!
+//! Results are **bit-identical regardless of worker-thread count**:
+//! per-lane RNG streams are split up front with a SplitMix64 sequence
+//! over `(seed, lane, round)`, every lane round is a pure function of
+//! its inputs, `parallel_map_tasks` returns results in input order,
+//! and the reductions above are fixed — property-tested in
+//! `tests/portfolio_properties.rs` at 1/2/4 workers.
+//!
+//! The global budget is split by a [`BudgetLedger`] into `rounds × N`
+//! cells whose allotments **sum exactly to the global budget**. The
+//! lane split within a round is *performance-weighted*: the lane
+//! currently holding the global best receives [`ELITE_WEIGHT`] shares
+//! and every other lane one, so budget flows to whichever
+//! configuration is winning on this instance while losing lanes keep
+//! enough to stage an upset (round 0 probes evenly). All arithmetic is
+//! integral and a pure function of the fixed reductions, so a
+//! portfolio at budget B stays comparable to any single optimizer at
+//! budget B — the equal-total-budget comparison the sweep's portfolio
+//! column and `scripts/bench_gate.py` enforce on the committed
+//! `BENCH_sweep.json`.
+
+use crate::registry;
+use phonoc_core::parallel::parallel_map_tasks;
+use phonoc_core::{
+    run_dse_session, DseConfig, Mapping, MappingProblem, NeighborhoodPolicy, PeekStrategy,
+};
+use std::fmt;
+use std::fmt::Write as _;
+
+/// How elites move between lanes at the end of each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExchangePolicy {
+    /// No exchange: each lane restarts from its own incumbent — a
+    /// pure race, the baseline the exchanging policies are measured
+    /// against.
+    Isolated,
+    /// Every lane restarts from the round's best incumbent across all
+    /// lanes (ties break to the lowest lane index). The default:
+    /// maximum exploitation of the strongest lane.
+    #[default]
+    BroadcastBest,
+    /// Lane `i` restarts from lane `i-1`'s incumbent (wrapping):
+    /// elites migrate one lane per round, preserving diversity longer
+    /// than a broadcast.
+    Ring,
+}
+
+impl ExchangePolicy {
+    /// Every policy, in the canonical order.
+    pub const ALL: [ExchangePolicy; 3] = [
+        ExchangePolicy::Isolated,
+        ExchangePolicy::BroadcastBest,
+        ExchangePolicy::Ring,
+    ];
+
+    /// Stable lowercase identifier (used in portfolio spec strings).
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExchangePolicy::Isolated => "isolated",
+            ExchangePolicy::BroadcastBest => "best",
+            ExchangePolicy::Ring => "ring",
+        }
+    }
+
+    /// Looks a policy up by its [`ExchangePolicy::name`]
+    /// (case-insensitive).
+    #[must_use]
+    pub fn by_name(name: &str) -> Option<ExchangePolicy> {
+        let lower = name.to_lowercase();
+        ExchangePolicy::ALL.into_iter().find(|p| p.name() == lower)
+    }
+}
+
+impl fmt::Display for ExchangePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One lane of a portfolio: a registry optimizer, the neighbourhood
+/// policy its scans pin, and the peek strategy its SNR peeks route
+/// through. The lane's RNG stream is derived from the portfolio seed
+/// and the lane index at run time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSpec {
+    /// Registry optimizer spec (`name[@policy]`, e.g. `r-pbla@sampled`
+    /// — validated against the registry at parse time).
+    pub algo: String,
+    /// The neighbourhood policy the lane pins (from the `@policy`
+    /// suffix; [`NeighborhoodPolicy::Auto`] when the spec has none).
+    pub policy: NeighborhoodPolicy,
+    /// The peek-routing strategy the lane pins (from an optional
+    /// `/peek` suffix; hybrid by default — cost-only, never changes
+    /// scores).
+    pub strategy: PeekStrategy,
+}
+
+impl LaneSpec {
+    /// Parses one lane of a portfolio spec: `name[@policy][/peek]`,
+    /// e.g. `r-pbla@sampled`, `sa`, `r-pbla@locality/delta`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the unknown optimizer, neighbourhood
+    /// policy or peek strategy.
+    pub fn parse(spec: &str) -> Result<LaneSpec, String> {
+        let (algo, strategy) = match spec.split_once('/') {
+            Some((algo, peek)) => (
+                algo,
+                PeekStrategy::by_name(peek)
+                    .ok_or_else(|| format!("unknown peek strategy `{peek}` in lane `{spec}`"))?,
+            ),
+            None => (spec, PeekStrategy::default()),
+        };
+        let (_, policy) = registry::optimizer_spec(algo)
+            .ok_or_else(|| format!("unknown optimizer spec `{algo}` in lane `{spec}`"))?;
+        Ok(LaneSpec {
+            algo: algo.to_owned(),
+            policy: policy.unwrap_or_default(),
+            strategy,
+        })
+    }
+
+    /// The canonical lane label (`name[@policy][/peek]`, suffixes only
+    /// when non-default).
+    #[must_use]
+    pub fn label(&self) -> String {
+        let mut label = self.algo.clone();
+        if self.strategy != PeekStrategy::default() {
+            let _ = write!(label, "/{}", self.strategy);
+        }
+        label
+    }
+}
+
+/// A full portfolio configuration: the lanes, the exchange policy and
+/// the round count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PortfolioSpec {
+    /// The lanes, in fixed order (the order is part of the semantics:
+    /// ties and the ring wiring follow it).
+    pub lanes: Vec<LaneSpec>,
+    /// How elites move between lanes after each round.
+    pub exchange: ExchangePolicy,
+    /// Bulk-synchronous rounds the budget is split over (≥ 1).
+    pub rounds: usize,
+}
+
+/// Default round count when a spec does not name one: enough rounds
+/// for elites to circulate, few enough that each round's budget slice
+/// still funds a real descent.
+pub const DEFAULT_ROUNDS: usize = 6;
+
+impl PortfolioSpec {
+    /// Parses a portfolio spec of the form
+    /// `lane+lane+...[,exchange=isolated|best|ring][,rounds=N]`, e.g.
+    /// `r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8`.
+    /// (The registry accepts the same string behind a `portfolio:`
+    /// prefix.) Defaults: `exchange=best`, `rounds=6`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message for an empty lane list, an unknown lane or
+    /// exchange name, a malformed option, or a zero round count.
+    pub fn parse(spec: &str) -> Result<PortfolioSpec, String> {
+        let mut sections = spec.split(',');
+        let lane_list = sections.next().unwrap_or("");
+        let lanes: Vec<LaneSpec> = lane_list
+            .split('+')
+            .filter(|s| !s.is_empty())
+            .map(LaneSpec::parse)
+            .collect::<Result<_, _>>()?;
+        if lanes.is_empty() {
+            return Err(format!("portfolio spec `{spec}` names no lanes"));
+        }
+        let mut exchange = ExchangePolicy::default();
+        let mut rounds = DEFAULT_ROUNDS;
+        for section in sections {
+            match section.split_once('=') {
+                Some(("exchange", v)) => {
+                    exchange = ExchangePolicy::by_name(v)
+                        .ok_or_else(|| format!("unknown exchange `{v}` (isolated|best|ring)"))?;
+                }
+                Some(("rounds", v)) => {
+                    rounds = v
+                        .parse()
+                        .map_err(|_| format!("bad rounds `{v}` (positive integer)"))?;
+                    if rounds == 0 {
+                        return Err("rounds must be at least 1".into());
+                    }
+                }
+                _ => return Err(format!("unknown portfolio option `{section}`")),
+            }
+        }
+        Ok(PortfolioSpec {
+            lanes,
+            exchange,
+            rounds,
+        })
+    }
+
+    /// The canonical spec string (with the `portfolio:` registry
+    /// prefix), normalizing option order and spelling.
+    #[must_use]
+    pub fn canonical(&self) -> String {
+        let lanes: Vec<String> = self.lanes.iter().map(LaneSpec::label).collect();
+        format!(
+            "portfolio:{},exchange={},rounds={}",
+            lanes.join("+"),
+            self.exchange,
+            self.rounds
+        )
+    }
+}
+
+impl fmt::Display for PortfolioSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.canonical())
+    }
+}
+
+/// The per-(round, lane) budget split: integer allotments that **sum
+/// exactly to the global budget**, plus the per-cell spend actually
+/// recorded. This is the honesty layer that makes "portfolio at budget
+/// B" comparable to "one optimizer at budget B".
+///
+/// The budget is first cut into per-round totals (remainder rounds get
+/// one extra evaluation each, earliest first). Within a round, the
+/// lane split is **performance-weighted**: [`BudgetLedger::allocate_round`]
+/// takes the weights the caller derives from the incumbent standings —
+/// [`run_portfolio`] gives the lane currently holding the global best
+/// [`ELITE_WEIGHT`] shares and every other lane one, so budget flows
+/// toward whichever configuration is winning *on this instance* while
+/// the losing lanes keep enough to stage an upset (the classic
+/// algorithm-portfolio allocation). Integer arithmetic throughout:
+/// weighted shares are floored and the round's remainder is handed out
+/// one evaluation at a time in lane order, so every round's lane
+/// allotments sum exactly to the round total, and all rounds sum to
+/// the global budget.
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    lanes: usize,
+    rounds: usize,
+    total: usize,
+    round_totals: Vec<usize>,
+    allotted: Vec<usize>,
+    used: Vec<usize>,
+}
+
+impl BudgetLedger {
+    /// Prepares a ledger for `total` full-evaluation-equivalents over
+    /// `rounds × lanes` cells. Lane allotments are assigned round by
+    /// round via [`BudgetLedger::allocate_round`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` or `rounds` is zero.
+    #[must_use]
+    pub fn new(total: usize, lanes: usize, rounds: usize) -> BudgetLedger {
+        assert!(lanes > 0 && rounds > 0, "ledger needs lanes and rounds");
+        let base = total / rounds;
+        let remainder = total - base * rounds;
+        let round_totals: Vec<usize> = (0..rounds)
+            .map(|r| base + usize::from(r < remainder))
+            .collect();
+        debug_assert_eq!(round_totals.iter().sum::<usize>(), total);
+        BudgetLedger {
+            lanes,
+            rounds,
+            total,
+            round_totals,
+            allotted: vec![0; lanes * rounds],
+            used: vec![0; lanes * rounds],
+        }
+    }
+
+    /// Splits one round's total across the lanes proportionally to
+    /// `weights` (floored integer shares; the remainder is spread one
+    /// evaluation at a time in lane order) and records the allotments.
+    /// Returns the per-lane allotment of this round, which always sums
+    /// exactly to the round's total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights` does not have one entry per lane or sums to
+    /// zero.
+    pub fn allocate_round(&mut self, round: usize, weights: &[u64]) -> Vec<usize> {
+        assert_eq!(weights.len(), self.lanes, "one weight per lane");
+        let w_sum: u64 = weights.iter().sum();
+        assert!(w_sum > 0, "weights must not all be zero");
+        let total = self.round_totals[round] as u64;
+        let mut shares: Vec<usize> = weights
+            .iter()
+            .map(|&w| (total * w / w_sum) as usize)
+            .collect();
+        let mut remainder = self.round_totals[round] - shares.iter().sum::<usize>();
+        for share in shares.iter_mut() {
+            if remainder == 0 {
+                break;
+            }
+            *share += 1;
+            remainder -= 1;
+        }
+        debug_assert_eq!(shares.iter().sum::<usize>(), self.round_totals[round]);
+        for (lane, &share) in shares.iter().enumerate() {
+            let cell = self.cell(round, lane);
+            self.allotted[cell] = share;
+        }
+        shares
+    }
+
+    fn cell(&self, round: usize, lane: usize) -> usize {
+        debug_assert!(round < self.rounds && lane < self.lanes);
+        round * self.lanes + lane
+    }
+
+    /// The allotment of one `(round, lane)` cell (zero until its round
+    /// was allocated).
+    #[must_use]
+    pub fn allotted(&self, round: usize, lane: usize) -> usize {
+        self.allotted[self.cell(round, lane)]
+    }
+
+    /// Records the spend of one cell (≤ its allotment — sessions may
+    /// converge early, never overrun).
+    pub fn record(&mut self, round: usize, lane: usize, used: usize) {
+        let cell = self.cell(round, lane);
+        debug_assert!(used <= self.allotted[cell], "cell overran its allotment");
+        self.used[cell] = used;
+    }
+
+    /// Total allotted across one lane's rounds.
+    #[must_use]
+    pub fn lane_allotted(&self, lane: usize) -> usize {
+        (0..self.rounds).map(|r| self.allotted(r, lane)).sum()
+    }
+
+    /// Total recorded spend across one lane's rounds.
+    #[must_use]
+    pub fn lane_used(&self, lane: usize) -> usize {
+        (0..self.rounds)
+            .map(|r| self.used[self.cell(r, lane)])
+            .sum()
+    }
+
+    /// The global budget — exactly the sum of every cell's allotment
+    /// once all rounds are allocated.
+    #[must_use]
+    pub fn total_allotted(&self) -> usize {
+        self.total
+    }
+
+    /// Total recorded spend (≤ the global budget).
+    #[must_use]
+    pub fn total_used(&self) -> usize {
+        self.used.iter().sum()
+    }
+}
+
+/// SplitMix64 — the statelessly splittable generator the per-lane RNG
+/// streams are derived from: `stream(seed, lane, round)` is a pure
+/// function, so lanes can run on any worker in any order and still see
+/// identical randomness.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The seed of one lane's round session, split up front from the
+/// portfolio seed: first per lane, then per round within the lane's
+/// stream.
+fn lane_round_seed(seed: u64, lane: usize, round: usize) -> u64 {
+    let lane_stream = splitmix64(seed ^ splitmix64(lane as u64));
+    splitmix64(lane_stream.wrapping_add(round as u64))
+}
+
+/// What one lane contributed over the whole run.
+#[derive(Debug, Clone)]
+pub struct LaneOutcome {
+    /// Canonical lane label ([`LaneSpec::label`]).
+    pub label: String,
+    /// The lane's neighbourhood policy.
+    pub policy: NeighborhoodPolicy,
+    /// The lane's peek strategy.
+    pub strategy: PeekStrategy,
+    /// Budget allotted to the lane across all rounds (the lane
+    /// allotments of all lanes sum exactly to the global budget).
+    pub allotted: usize,
+    /// Budget the lane actually consumed (≤ `allotted`).
+    pub used: usize,
+    /// Full evaluations across the lane's sessions.
+    pub full_evaluations: usize,
+    /// Delta evaluations across the lane's sessions.
+    pub delta_evaluations: usize,
+    /// The lane's own best score (its incumbent — which may have been
+    /// seeded by another lane's elite under exchange).
+    pub best_score: f64,
+}
+
+/// Outcome of a portfolio run.
+#[derive(Debug, Clone)]
+pub struct PortfolioResult {
+    /// Canonical spec of the portfolio that ran.
+    pub spec: String,
+    /// The exchange policy that ran.
+    pub exchange: ExchangePolicy,
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Best mapping across all lanes and rounds (fixed reduction:
+    /// ties break to the lowest lane index).
+    pub best_mapping: Mapping,
+    /// Its score (higher = better).
+    pub best_score: f64,
+    /// Global incumbent score after each round (monotone
+    /// non-decreasing).
+    pub round_best: Vec<f64>,
+    /// Total budget consumed, in full-evaluation-equivalents (≤ the
+    /// global budget; sessions may converge early).
+    pub evaluations: usize,
+    /// The global budget (= the sum of every lane's allotment).
+    pub budget: usize,
+    /// Per-lane breakdown, in lane order.
+    pub lanes: Vec<LaneOutcome>,
+}
+
+/// One lane's inputs for one round — a pure value, so the lane can run
+/// on any worker thread.
+struct LaneRun {
+    algo: String,
+    policy: NeighborhoodPolicy,
+    strategy: PeekStrategy,
+    budget: usize,
+    seed: u64,
+    start: Option<Mapping>,
+}
+
+/// Runs `spec` on `problem` with a global evaluation `budget` and RNG
+/// `seed`. See the [module docs](self) for the execution model; the
+/// result is deterministic per `(problem, spec, budget, seed)` and
+/// bit-identical at every worker-thread count.
+///
+/// # Panics
+///
+/// Panics if the spec has no lanes or no rounds (impossible for specs
+/// built by [`PortfolioSpec::parse`]) or if `budget` is zero.
+#[must_use]
+pub fn run_portfolio(
+    problem: &MappingProblem,
+    spec: &PortfolioSpec,
+    budget: usize,
+    seed: u64,
+) -> PortfolioResult {
+    let n = spec.lanes.len();
+    assert!(n > 0, "portfolio needs at least one lane");
+    assert!(budget > 0, "portfolio needs a budget");
+    let rounds = spec.rounds.max(1);
+    let mut ledger = BudgetLedger::new(budget, n, rounds);
+
+    // Per-lane running state, folded in fixed lane order every round.
+    let mut incumbents: Vec<Option<(Mapping, f64)>> = vec![None; n];
+    let mut full_evals = vec![0usize; n];
+    let mut delta_evals = vec![0usize; n];
+    let mut round_best = Vec::with_capacity(rounds);
+
+    for round in 0..rounds {
+        // Performance-weighted allocation: the lane holding the global
+        // best gets ELITE_WEIGHT shares, everyone else one. Round 0 is
+        // an even probe (no standings yet). Pure function of the fixed
+        // reductions below, so still worker-count invariant.
+        let weights: Vec<u64> = match elite_lane(&incumbents) {
+            Some(owner) => (0..n)
+                .map(|lane| if lane == owner { ELITE_WEIGHT } else { 1 })
+                .collect(),
+            None => vec![1; n],
+        };
+        let allot = ledger.allocate_round(round, &weights);
+
+        // Which incumbent each lane resumes from (None = random start;
+        // always None in round 0 and wherever no incumbent exists yet).
+        let starts: Vec<Option<Mapping>> = (0..n)
+            .map(|lane| {
+                if round == 0 {
+                    return None;
+                }
+                let source = match spec.exchange {
+                    ExchangePolicy::Isolated => incumbents[lane].as_ref(),
+                    ExchangePolicy::BroadcastBest => best_incumbent(&incumbents),
+                    ExchangePolicy::Ring => incumbents[(lane + n - 1) % n].as_ref(),
+                };
+                source.map(|(m, _)| m.clone())
+            })
+            .collect();
+
+        let runs: Vec<LaneRun> = spec
+            .lanes
+            .iter()
+            .zip(starts)
+            .enumerate()
+            .map(|(lane, (ls, start))| LaneRun {
+                algo: ls.algo.clone(),
+                policy: ls.policy,
+                strategy: ls.strategy,
+                budget: allot[lane],
+                seed: lane_round_seed(seed, lane, round),
+                start,
+            })
+            .collect();
+
+        // The bulk-synchronous step: every lane round is a pure
+        // function of its LaneRun, and results come back in lane
+        // order — bit-identical at any worker count.
+        let results = parallel_map_tasks(&runs, |run| {
+            if run.budget == 0 {
+                return None;
+            }
+            let (optimizer, _) =
+                registry::optimizer_spec(&run.algo).expect("lane specs are validated at parse");
+            Some(run_dse_session(
+                problem,
+                optimizer.as_ref(),
+                run.budget,
+                run.seed,
+                DseConfig {
+                    strategy: run.strategy,
+                    policy: run.policy,
+                    start: run.start.clone(),
+                },
+            ))
+        });
+
+        // Fixed lane→result reduction.
+        for (lane, result) in results.into_iter().enumerate() {
+            let Some(result) = result else { continue };
+            ledger.record(round, lane, result.evaluations);
+            full_evals[lane] += result.full_evaluations;
+            delta_evals[lane] += result.delta_evaluations;
+            let improves = incumbents[lane]
+                .as_ref()
+                .is_none_or(|(_, s)| result.best_score > *s);
+            if improves {
+                incumbents[lane] = Some((result.best_mapping, result.best_score));
+            }
+        }
+        round_best.push(
+            best_incumbent(&incumbents)
+                .map(|(_, s)| *s)
+                .unwrap_or(f64::NEG_INFINITY),
+        );
+    }
+
+    let (best_mapping, best_score) = best_incumbent(&incumbents)
+        .cloned()
+        .expect("a positive budget evaluates at least one mapping");
+    let lanes = spec
+        .lanes
+        .iter()
+        .enumerate()
+        .map(|(lane, ls)| LaneOutcome {
+            label: ls.label(),
+            policy: ls.policy,
+            strategy: ls.strategy,
+            allotted: ledger.lane_allotted(lane),
+            used: ledger.lane_used(lane),
+            full_evaluations: full_evals[lane],
+            delta_evaluations: delta_evals[lane],
+            best_score: incumbents[lane]
+                .as_ref()
+                .map(|(_, s)| *s)
+                .unwrap_or(f64::NEG_INFINITY),
+        })
+        .collect();
+    PortfolioResult {
+        spec: spec.canonical(),
+        exchange: spec.exchange,
+        rounds,
+        best_mapping,
+        best_score,
+        round_best,
+        evaluations: ledger.total_used(),
+        budget: ledger.total_allotted(),
+        lanes,
+    }
+}
+
+/// Budget shares the lane holding the global best receives per round
+/// (other lanes get one share each): with two lanes, 3:1 sends 75% of
+/// a round to whichever configuration is currently winning on this
+/// instance — measured on the 12×12/16×16 sweep cells as the best
+/// win-share against full-budget single lanes, while 1:1 (even split)
+/// starves the dominant stream and ≥7:1 starves the upset lanes.
+pub const ELITE_WEIGHT: u64 = 3;
+
+/// The best incumbent across lanes; ties break to the lowest lane
+/// index (strict `>` while scanning in lane order).
+fn best_incumbent(incumbents: &[Option<(Mapping, f64)>]) -> Option<&(Mapping, f64)> {
+    let mut best: Option<&(Mapping, f64)> = None;
+    for entry in incumbents.iter().flatten() {
+        if best.is_none_or(|(_, s)| entry.1 > *s) {
+            best = Some(entry);
+        }
+    }
+    best
+}
+
+/// The lane holding the global best (lowest index on ties) — the
+/// weight carrier of the performance-weighted allocation.
+fn elite_lane(incumbents: &[Option<(Mapping, f64)>]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (lane, entry) in incumbents.iter().enumerate() {
+        let Some((_, score)) = entry else { continue };
+        if best.is_none_or(|(_, s)| *score > s) {
+            best = Some((lane, *score));
+        }
+    }
+    best.map(|(lane, _)| lane)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_problem;
+
+    #[test]
+    fn ledger_allotments_sum_exactly_to_the_budget() {
+        for (total, lanes, rounds) in [
+            (1_500, 3, 8),
+            (1_500, 2, 6),
+            (1, 1, 1),
+            (7, 3, 5),
+            (10, 4, 4),
+            (1_000_000, 7, 9),
+            (0, 2, 2),
+        ] {
+            // Even weights every round.
+            let mut ledger = BudgetLedger::new(total, lanes, rounds);
+            for round in 0..rounds {
+                let shares = ledger.allocate_round(round, &vec![1u64; lanes]);
+                assert_eq!(
+                    shares.iter().sum::<usize>(),
+                    (0..lanes).map(|l| ledger.allotted(round, l)).sum(),
+                );
+            }
+            let sum: usize = (0..lanes).map(|l| ledger.lane_allotted(l)).sum();
+            assert_eq!(sum, total, "({total}, {lanes}, {rounds})");
+            assert_eq!(ledger.total_allotted(), total);
+
+            // Skewed weights change the split, never the sum.
+            let mut ledger = BudgetLedger::new(total, lanes, rounds);
+            for round in 0..rounds {
+                let weights: Vec<u64> = (0..lanes)
+                    .map(|l| if l == round % lanes { ELITE_WEIGHT } else { 1 })
+                    .collect();
+                ledger.allocate_round(round, &weights);
+            }
+            let sum: usize = (0..lanes).map(|l| ledger.lane_allotted(l)).sum();
+            assert_eq!(sum, total, "weighted ({total}, {lanes}, {rounds})");
+        }
+    }
+
+    #[test]
+    fn weighted_rounds_favor_the_elite_lane() {
+        let mut ledger = BudgetLedger::new(400, 2, 1);
+        let shares = ledger.allocate_round(0, &[ELITE_WEIGHT, 1]);
+        assert_eq!(shares, vec![300, 100]);
+        let mut ledger = BudgetLedger::new(401, 2, 1);
+        let shares = ledger.allocate_round(0, &[1, ELITE_WEIGHT]);
+        // Floored shares (100.25 → 100, 300.75 → 300), remainder in
+        // lane order.
+        assert_eq!(shares, vec![101, 300]);
+        assert_eq!(shares.iter().sum::<usize>(), 401);
+    }
+
+    #[test]
+    fn spec_parsing_round_trips() {
+        let spec = PortfolioSpec::parse("r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8")
+            .unwrap();
+        assert_eq!(spec.lanes.len(), 3);
+        assert_eq!(spec.lanes[0].policy, NeighborhoodPolicy::Sampled);
+        assert_eq!(spec.lanes[1].policy, NeighborhoodPolicy::Locality);
+        assert_eq!(spec.lanes[2].policy, NeighborhoodPolicy::Auto);
+        assert_eq!(spec.exchange, ExchangePolicy::BroadcastBest);
+        assert_eq!(spec.rounds, 8);
+        assert_eq!(
+            spec.canonical(),
+            "portfolio:r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8"
+        );
+        // Defaults.
+        let spec = PortfolioSpec::parse("rs+sa").unwrap();
+        assert_eq!(spec.exchange, ExchangePolicy::BroadcastBest);
+        assert_eq!(spec.rounds, DEFAULT_ROUNDS);
+        // Peek suffix.
+        let spec = PortfolioSpec::parse("r-pbla@sampled/delta+tabu/full,exchange=ring").unwrap();
+        assert_eq!(spec.lanes[0].strategy, PeekStrategy::Delta);
+        assert_eq!(spec.lanes[1].strategy, PeekStrategy::Full);
+        assert_eq!(spec.exchange, ExchangePolicy::Ring);
+        assert!(spec.canonical().contains("r-pbla@sampled/delta"));
+    }
+
+    #[test]
+    fn spec_parsing_rejects_nonsense() {
+        assert!(PortfolioSpec::parse("").is_err());
+        assert!(PortfolioSpec::parse("nonsense").is_err());
+        assert!(PortfolioSpec::parse("rs+r-pbla@nonsense").is_err());
+        assert!(PortfolioSpec::parse("rs/nonsense").is_err());
+        assert!(PortfolioSpec::parse("rs,exchange=nonsense").is_err());
+        assert!(PortfolioSpec::parse("rs,rounds=0").is_err());
+        assert!(PortfolioSpec::parse("rs,rounds=x").is_err());
+        assert!(PortfolioSpec::parse("rs,frobnicate=1").is_err());
+    }
+
+    #[test]
+    fn portfolio_runs_within_budget_and_is_deterministic() {
+        let p = tiny_problem();
+        let spec = PortfolioSpec::parse("r-pbla+sa+rs,exchange=best,rounds=3").unwrap();
+        let a = run_portfolio(&p, &spec, 300, 11);
+        let b = run_portfolio(&p, &spec, 300, 11);
+        assert_eq!(a.best_mapping, b.best_mapping);
+        assert_eq!(a.best_score, b.best_score);
+        assert_eq!(a.evaluations, b.evaluations);
+        assert!(a.evaluations <= 300);
+        assert_eq!(a.budget, 300);
+        assert_eq!(a.lanes.iter().map(|l| l.allotted).sum::<usize>(), 300);
+        assert!(a.best_mapping.is_valid());
+        // The global incumbent can only improve round over round.
+        assert!(a.round_best.windows(2).all(|w| w[1] >= w[0]));
+        assert_eq!(a.round_best.last().copied(), Some(a.best_score));
+    }
+
+    #[test]
+    fn every_exchange_policy_runs() {
+        let p = tiny_problem();
+        for exchange in ExchangePolicy::ALL {
+            let spec = PortfolioSpec {
+                lanes: vec![
+                    LaneSpec::parse("r-pbla").unwrap(),
+                    LaneSpec::parse("tabu").unwrap(),
+                ],
+                exchange,
+                rounds: 3,
+            };
+            let r = run_portfolio(&p, &spec, 240, 5);
+            assert!(r.best_mapping.is_valid(), "{exchange}");
+            assert_eq!(r.budget, 240, "{exchange}");
+            assert!(r.evaluations <= 240, "{exchange}");
+        }
+    }
+
+    #[test]
+    fn portfolio_not_worse_than_its_isolated_self() {
+        // Broadcast exchange reuses the best incumbent; on a structured
+        // tiny problem it should never trail the isolated race badly.
+        let p = tiny_problem();
+        let lanes = "r-pbla+ils";
+        let best = PortfolioSpec::parse(&format!("{lanes},exchange=best,rounds=4")).unwrap();
+        let isolated =
+            PortfolioSpec::parse(&format!("{lanes},exchange=isolated,rounds=4")).unwrap();
+        let rb = run_portfolio(&p, &best, 400, 9);
+        let ri = run_portfolio(&p, &isolated, 400, 9);
+        assert!(
+            rb.best_score >= ri.best_score - 0.5,
+            "broadcast {} far below isolated {}",
+            rb.best_score,
+            ri.best_score
+        );
+    }
+
+    #[test]
+    fn tiny_budgets_skip_zero_allotment_cells() {
+        let p = tiny_problem();
+        let spec = PortfolioSpec::parse("r-pbla+sa+tabu,rounds=4").unwrap();
+        // 5 evaluations over 12 cells: 5 cells of 1, 7 of 0.
+        let r = run_portfolio(&p, &spec, 5, 3);
+        assert_eq!(r.budget, 5);
+        assert!(r.evaluations <= 5);
+        assert!(r.best_mapping.is_valid());
+    }
+
+    #[test]
+    fn lane_round_seeds_are_distinct_streams() {
+        let mut seen = std::collections::HashSet::new();
+        for lane in 0..8 {
+            for round in 0..8 {
+                assert!(seen.insert(lane_round_seed(42, lane, round)));
+            }
+        }
+        // And they depend on the portfolio seed.
+        assert_ne!(lane_round_seed(1, 0, 0), lane_round_seed(2, 0, 0));
+    }
+}

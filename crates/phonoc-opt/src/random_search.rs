@@ -8,6 +8,17 @@
 //! independent evaluations across CPU cores; chunks are drawn
 //! sequentially from the seeded RNG, so the stream — and therefore the
 //! result — is identical to the one-at-a-time loop.
+//!
+//! RS is **deliberately policy-free and start-free**: it proposes whole
+//! uniform mappings rather than moves, so there is no swap
+//! neighbourhood a
+//! [`NeighborhoodPolicy`](phonoc_core::NeighborhoodPolicy) could
+//! restrict, and seeding it with an elite incumbent (the portfolio
+//! exchange hook other strategies honour through
+//! [`OptContext::initial_mapping`]) would only distort the uniform
+//! baseline it exists to provide. A portfolio lane running `rs` still
+//! contributes — its samples feed the shared incumbent — it just never
+//! *consumes* an exchanged elite.
 
 use phonoc_core::{Mapping, MappingOptimizer, OptContext};
 

@@ -6,11 +6,19 @@
 //! resolves into the optimizer plus the
 //! [`NeighborhoodPolicy`] the run should pin — the form the sweep
 //! harness and the CLI thread user-selected policies through.
+//!
+//! Beyond single optimizers, a `portfolio:` prefix names a multi-lane
+//! portfolio run (e.g.
+//! `portfolio:r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8`
+//! — see [`PortfolioSpec`]); [`search_spec`] resolves either form into
+//! a [`SearchSpec`], the single entry point the sweep harness and the
+//! CLI dispatch on.
 
 use crate::annealing::SimulatedAnnealing;
 use crate::exhaustive::Exhaustive;
 use crate::genetic::GeneticAlgorithm;
 use crate::ils::IteratedLocalSearch;
+use crate::portfolio::PortfolioSpec;
 use crate::random_search::RandomSearch;
 use crate::rpbla::Rpbla;
 use crate::tabu::TabuSearch;
@@ -49,6 +57,34 @@ pub fn optimizer_spec(
     }
 }
 
+/// A resolved search spec: either one optimizer (with its optional
+/// pinned neighbourhood policy) or a whole multi-lane portfolio.
+#[derive(Debug)]
+pub enum SearchSpec {
+    /// A single-optimizer run (`name[@policy]`).
+    Single(Box<dyn MappingOptimizer>, Option<NeighborhoodPolicy>),
+    /// A portfolio run (`portfolio:lanes,options` — see
+    /// [`PortfolioSpec::parse`]).
+    Portfolio(PortfolioSpec),
+}
+
+/// Resolves any registry spec — `name[@policy]` or
+/// `portfolio:lane+lane,exchange=...,rounds=N` — into a
+/// [`SearchSpec`].
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown optimizer names,
+/// policy suffixes, or malformed portfolio specs.
+pub fn search_spec(spec: &str) -> Result<SearchSpec, String> {
+    if let Some(body) = spec.strip_prefix("portfolio:") {
+        return PortfolioSpec::parse(body).map(SearchSpec::Portfolio);
+    }
+    optimizer_spec(spec)
+        .map(|(opt, policy)| SearchSpec::Single(opt, policy))
+        .ok_or_else(|| format!("unknown optimizer spec `{spec}`"))
+}
+
 /// Names of all built-in optimizers.
 #[must_use]
 pub fn builtin_names() -> &'static [&'static str] {
@@ -85,5 +121,26 @@ mod tests {
         assert_eq!(policy, None);
         assert!(optimizer_spec("r-pbla@nonsense").is_none());
         assert!(optimizer_spec("nonsense@sampled").is_none());
+    }
+
+    #[test]
+    fn search_specs_resolve_both_forms() {
+        match search_spec("r-pbla@sampled").unwrap() {
+            SearchSpec::Single(opt, policy) => {
+                assert_eq!(opt.name(), "r-pbla");
+                assert_eq!(policy, Some(NeighborhoodPolicy::Sampled));
+            }
+            SearchSpec::Portfolio(_) => panic!("expected a single optimizer"),
+        }
+        match search_spec("portfolio:r-pbla@sampled+sa,exchange=ring,rounds=4").unwrap() {
+            SearchSpec::Portfolio(spec) => {
+                assert_eq!(spec.lanes.len(), 2);
+                assert_eq!(spec.rounds, 4);
+            }
+            SearchSpec::Single(..) => panic!("expected a portfolio"),
+        }
+        assert!(search_spec("portfolio:").is_err());
+        assert!(search_spec("portfolio:nonsense").is_err());
+        assert!(search_spec("nonsense").is_err());
     }
 }

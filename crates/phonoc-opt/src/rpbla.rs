@@ -80,8 +80,11 @@ impl MappingOptimizer for Rpbla {
         }
 
         'restarts: while !ctx.exhausted() {
-            // Random starting point (one full evaluation).
-            let start = ctx.random_mapping();
+            // Starting point (one full evaluation): the seeded elite
+            // incumbent when a portfolio round planted one, a random
+            // draw otherwise — and always random on later restarts
+            // (the seed is one-shot).
+            let start = ctx.initial_mapping();
             if ctx.set_current(start).is_none() {
                 break;
             }

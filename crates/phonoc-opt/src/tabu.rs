@@ -43,7 +43,8 @@ impl MappingOptimizer for TabuSearch {
         let tenure = (self.tenure_factor * tiles).max(2);
         let mut nbhd = Neighborhood::new(ctx);
 
-        let start = ctx.random_mapping();
+        // Seeded elite incumbent (portfolio rounds) or random start.
+        let start = ctx.initial_mapping();
         if ctx.set_current(start).is_none() || nbhd.admitted_len() == 0 {
             return;
         }

@@ -7,8 +7,8 @@ Usage:
         [--baseline BENCH_sweep.json] [--strict] [--strict-quality]
 
 Checks (all *advisory* — the script always exits 0 — unless --strict
-makes any finding fatal, --strict-quality makes neighborhood-quality
-findings (check 3, which is deterministic data, not timing) fatal, or
+makes any finding fatal, --strict-quality makes the quality findings
+(checks 3 and 5, which are deterministic data, not timing) fatal, or
 an input file is malformed):
 
 1. Hybrid regression: per scenario, the adaptive peek must stay within
@@ -34,6 +34,16 @@ an input file is malformed):
    seed, so a fresh score diverging from the committed one (in either
    direction) by more than SCORE_DRIFT_DB flags a behavioral change in
    the search stack.
+5. Portfolio quality: on every 12x12+ cell carrying a portfolio row
+   (neighborhood == "portfolio"), the exchanged portfolio runs at the
+   same *total* budget as each single lane. The pinned claim — fatal
+   under --strict-quality, like check 3 deterministic data rather than
+   timing — is that the portfolio meets or beats the best single
+   r-pbla lane outright on at least PORTFOLIO_WIN_SHARE of those
+   cells. Cells where it trails by more than PORTFOLIO_TOLERANCE_DB
+   are additionally listed as plain advisories (a portfolio can pay a
+   bounded exploration tax on cells one stream dominates end to end;
+   the committed sweep records which).
 
 Everything is stdlib-only (CI runners have bare python3).
 """
@@ -45,6 +55,8 @@ GENEROUS_HYBRID_FACTOR = 1.5
 GENEROUS_ANCHOR_FACTOR = 10.0
 SCORE_DRIFT_DB = 0.05
 NEIGHBORHOOD_MESH_FLOOR = 12
+PORTFOLIO_TOLERANCE_DB = 0.05
+PORTFOLIO_WIN_SHARE = 0.80
 
 # BENCH_evaluator.json anchors comparable to sweep cells: the committed
 # reused-scratch full-evaluation medians per mesh size.
@@ -142,6 +154,59 @@ def check_neighborhood_quality(sweep):
     return advisories
 
 
+def portfolio_rows(scenario):
+    """Portfolio optimizer rows of one cell (neighborhood tag)."""
+    return [
+        o
+        for o in scenario.get("optimizers", [])
+        if o.get("neighborhood") == "portfolio"
+    ]
+
+
+def check_portfolio_quality(sweep):
+    """Returns (strict_findings, advisory_findings)."""
+    strict = []
+    advisories = []
+    compared = wins = 0
+    for sc in sweep.get("scenarios", []):
+        if sc["mesh"] < NEIGHBORHOOD_MESH_FLOOR:
+            continue
+        rows = portfolio_rows(sc)
+        lanes = [
+            (o["algo"], o["best_score"])
+            for o in sc.get("optimizers", [])
+            if o["algo"].startswith("r-pbla@") and o.get("neighborhood") != "portfolio"
+        ]
+        if not rows or not lanes:
+            continue
+        best_lane_name, best_lane = max(lanes, key=lambda kv: kv[1])
+        for row in rows:
+            compared += 1
+            margin = row["best_score"] - best_lane
+            if margin >= 0:
+                wins += 1
+            if margin < -PORTFOLIO_TOLERANCE_DB:
+                advisories.append(
+                    f"{sc['id']}: portfolio {row['best_score']:.3f} dB trails the "
+                    f"best single lane {best_lane_name} = {best_lane:.3f} dB by "
+                    f"{-margin:.3f} dB at equal total budget (tolerance "
+                    f"{PORTFOLIO_TOLERANCE_DB} dB)"
+                )
+    if compared:
+        share = wins / compared
+        print(
+            f"bench_gate: portfolio meets/beats the best single lane on "
+            f"{wins}/{compared} large cells ({share:.0%}; required "
+            f">= {PORTFOLIO_WIN_SHARE:.0%})"
+        )
+        if share < PORTFOLIO_WIN_SHARE:
+            strict.append(
+                f"portfolio win share {share:.0%} over {compared} 12x12+ cells is "
+                f"below the required {PORTFOLIO_WIN_SHARE:.0%}"
+            )
+    return strict, advisories
+
+
 def check_score_drift(sweep, baseline):
     advisories = []
     committed = {sc["id"]: opt_scores(sc) for sc in baseline.get("scenarios", [])}
@@ -203,7 +268,9 @@ def main(argv):
     if len(args) > 1:
         advisories += check_anchors(sweep, load(args[1]))
     quality_advisories = check_neighborhood_quality(sweep)
-    advisories += quality_advisories
+    portfolio_strict, portfolio_advisories = check_portfolio_quality(sweep)
+    quality_advisories += portfolio_strict
+    advisories += quality_advisories + portfolio_advisories
     if baseline_path:
         advisories += check_score_drift(sweep, load(baseline_path))
 
@@ -220,7 +287,7 @@ def main(argv):
         if strict:
             return 1
         if strict_quality and quality_advisories:
-            print("bench_gate: neighborhood-quality claim violated — fatal")
+            print("bench_gate: quality claim (neighborhood/portfolio) violated — fatal")
             return 1
         print("bench_gate: advisory mode — not failing the build")
     else:

@@ -11,6 +11,7 @@
 //!                    [--neighborhood auto|exhaustive|sampled|locality]
 //!                    [--budget 100000] [--seed 42]
 //! phonocmap optimize --file my_app.cg ...      # text-format CG input
+//! phonocmap portfolio --app VOPD [--spec "r-pbla@sampled+sa,exchange=best,rounds=8"]
 //! phonocmap sweep [--smoke] [--neighborhood P] [--out BENCH_sweep.json]
 //! ```
 //!
@@ -34,6 +35,7 @@ fn main() -> ExitCode {
         "show-app" => cmd_show_app(&args),
         "analyze" => cmd_analyze(&args),
         "optimize" => cmd_optimize(&args),
+        "portfolio" => cmd_portfolio(&args),
         "sweep" => cmd_sweep(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -57,11 +59,13 @@ commands:
   show-app <name> [--dot]      benchmark communication graph
   analyze  --app <name> | --file <cg>   evaluate a random mapping
   optimize --app <name> | --file <cg>   search for the best mapping
+  portfolio --app <name> | --file <cg>  race N search lanes with elite
+        [--spec LANES[,exchange=E][,rounds=N]]   exchange (try `portfolio help`)
   sweep [--smoke] [--out PATH]          scenario-matrix sweep: peek-strategy
         [--samples N] [--moves N]       timings + optimizer results as JSON
         [--budget N]                    (r-pbla runs once per neighborhood
         [--neighborhood POLICY]         stream; POLICY restricts to one)
-options (analyze/optimize):
+options (analyze/optimize/portfolio):
   --topology mesh|torus|ring   (default mesh)
   --router   crux|crossbar|xy-crossbar   (default crux)
   --objective snr|loss         (default snr)
@@ -206,6 +210,101 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+const PORTFOLIO_HELP: &str = "phonocmap portfolio — deterministic multi-lane search with elite exchange
+Runs N search lanes as bulk-synchronous rounds. After each round, lanes
+restart from an elite incumbent per the exchange policy; per-lane budget
+slices sum exactly to --budget, so a portfolio run is comparable to any
+single optimizer at the same budget. Results are bit-identical for every
+worker-thread count (set PHONOC_WORKERS=N to pin).
+
+usage:
+  phonocmap portfolio --app <name> | --file <cg> [--spec SPEC] [options]
+
+SPEC grammar (default: r-pbla@sampled+r-pbla@locality,exchange=best,rounds=14):
+  lane[+lane...][,exchange=isolated|best|ring][,rounds=N]
+  lane = optimizer[@neighborhood][/peek]
+    optimizer     rs|ga|r-pbla|sa|tabu|ils
+    @neighborhood auto|exhaustive|sampled|locality  (swap-scan streams)
+    /peek         hybrid|delta|full                 (cost only, never scores)
+  exchange: isolated = pure race, best = all lanes restart from the round's
+  best incumbent, ring = each lane inherits its left neighbour's elite.
+
+examples:
+  phonocmap portfolio --app VOPD
+  phonocmap portfolio --app MPEG4 --spec \"r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8\"
+  phonocmap portfolio --app VOPD --spec \"r-pbla+tabu+ils,exchange=ring,rounds=4\" --budget 30000
+  phonocmap optimize --app VOPD --algo \"portfolio:r-pbla@sampled+sa,rounds=4\"   # same engine
+
+options: --topology, --router, --objective, --budget, --seed as in optimize";
+
+fn cmd_portfolio(args: &[String]) -> Result<(), String> {
+    if args
+        .iter()
+        .any(|a| a == "--help" || a == "-h" || a == "help")
+    {
+        println!("{PORTFOLIO_HELP}");
+        return Ok(());
+    }
+    if flag(args, "--neighborhood").is_some() {
+        return Err(
+            "--neighborhood does not apply to a portfolio run: each lane pins its own \
+             policy in the spec (e.g. `r-pbla@locality+sa`)"
+                .into(),
+        );
+    }
+    let spec_text = flag(args, "--spec")
+        .unwrap_or_else(|| "r-pbla@sampled+r-pbla@locality,exchange=best,rounds=14".into());
+    let spec = PortfolioSpec::parse(&spec_text)?;
+    let Setup { problem, seed } = build_problem(args)?;
+    let budget: usize = flag(args, "--budget")
+        .map(|s| s.parse().map_err(|_| format!("bad budget `{s}`")))
+        .transpose()?
+        .unwrap_or(100_000);
+    if budget == 0 {
+        return Err("--budget must be at least 1".into());
+    }
+    run_portfolio_session(&problem, &spec, budget, seed)
+}
+
+/// Shared portfolio driver behind `phonocmap portfolio` and
+/// `phonocmap optimize --algo portfolio:...`.
+fn run_portfolio_session(
+    problem: &MappingProblem,
+    spec: &PortfolioSpec,
+    budget: usize,
+    seed: u64,
+) -> Result<(), String> {
+    let result = run_portfolio(problem, spec, budget, seed);
+    println!(
+        "{} finished: {} rounds, {}/{} evaluations, best {} = {:.3}",
+        result.spec,
+        result.rounds,
+        result.evaluations,
+        result.budget,
+        problem.objective(),
+        result.best_score
+    );
+    println!("lanes (allotments sum to the global budget):");
+    for lane in &result.lanes {
+        println!(
+            "  {:<24} {:>7}/{:<7} evals  best {:>9.3} dB",
+            lane.label, lane.used, lane.allotted, lane.best_score
+        );
+    }
+    println!(
+        "round incumbents: {}",
+        result
+            .round_best
+            .iter()
+            .map(|s| format!("{s:.3}"))
+            .collect::<Vec<_>>()
+            .join(" -> ")
+    );
+    println!();
+    print!("{}", analyze(problem, &result.best_mapping));
+    Ok(())
+}
+
 fn cmd_sweep(args: &[String]) -> Result<(), String> {
     // One shared driver with the standalone `sweep` bin: same flags,
     // same progress output, same JSON provenance.
@@ -221,6 +320,19 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
         .unwrap_or(100_000);
     if budget == 0 {
         return Err("--budget must be at least 1".into());
+    }
+    // `--algo portfolio:...` runs the multi-lane racer (same engine as
+    // the dedicated `portfolio` subcommand).
+    if let Some(body) = algo_name.strip_prefix("portfolio:") {
+        if flag(args, "--neighborhood").is_some() {
+            return Err(
+                "--neighborhood does not apply to a portfolio run: each lane pins its own \
+                 policy in the spec (e.g. `portfolio:r-pbla@locality+sa`)"
+                    .into(),
+            );
+        }
+        let spec = PortfolioSpec::parse(body)?;
+        return run_portfolio_session(&problem, &spec, budget, seed);
     }
     let (optimizer, spec_policy) = phonocmap::opt::optimizer_spec(&algo_name)
         .ok_or_else(|| format!("unknown optimizer `{algo_name}`"))?;

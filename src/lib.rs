@@ -59,7 +59,8 @@ pub mod prelude {
         MappingOptimizer, MappingProblem, NeighborhoodPolicy, NetworkReport, Objective, OptContext,
     };
     pub use phonoc_opt::{
-        Exhaustive, GeneticAlgorithm, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch,
+        run_portfolio, ExchangePolicy, Exhaustive, GeneticAlgorithm, PortfolioResult,
+        PortfolioSpec, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch,
     };
     pub use phonoc_phys::{Db, Dbm, Length, PhysicalParameters, PowerBudget};
     pub use phonoc_route::{RingRouting, RoutingAlgorithm, XyRouting, YxRouting};
