@@ -1,0 +1,25 @@
+//! The warm-start replay runner: seeded request streams (cold, exact
+//! repeat, ≤10% weight perturbation, structural phase change + return)
+//! through one persistent warm cache per cell, written as
+//! `BENCH_warmstart.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin replay [--smoke] [--out PATH]
+//!     [--budget N]
+//! ```
+//!
+//! `--smoke` runs the CI configuration (4×4/6×6, reduced budget); the
+//! default is the full 8×8–16×16 matrix behind the committed
+//! `BENCH_warmstart.json` at the repository root. The driver is shared
+//! with the `phonocmap replay` subcommand
+//! ([`bench::replay::run_replay_cli`]).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) =
+        bench::replay::run_replay_cli(&args, "cargo run --release -p bench --bin replay")
+    {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod replay;
 pub mod sweep;
 
 use phonoc_core::{MappingProblem, Objective};

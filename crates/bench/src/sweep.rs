@@ -213,6 +213,10 @@ pub struct OptOutcome {
     pub delta_evaluations: usize,
     /// Wall-clock of the run, in milliseconds.
     pub ms: u64,
+    /// Portfolio rows only: wall-clock of the identical (bit-equal)
+    /// run pinned to 1 and to 4 worker threads, in milliseconds — the
+    /// measured lane-parallel speed-up. `None` for single-lane rows.
+    pub lane_parallel_ms: Option<(u64, u64)>,
 }
 
 /// Everything measured for one scenario.
@@ -483,12 +487,31 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                         full_evaluations: result.full_evaluations,
                         delta_evaluations: result.delta_evaluations,
                         ms: t.elapsed().as_millis() as u64,
+                        lane_parallel_ms: None,
                     }
                 }
                 phonoc_opt::SearchSpec::Portfolio(pspec) => {
                     // Same *total* budget and seed as every single-lane
                     // row — the whole point of the column.
                     let result = phonoc_opt::run_portfolio(&problem, &pspec, cfg.budget, spec.seed);
+                    let ms = t.elapsed().as_millis() as u64;
+                    // Lane parallelism: the portfolio is bit-identical
+                    // at every worker count, so re-running pinned to 1
+                    // and 4 workers times the *same* computation — the
+                    // pair is the measured lane-parallel speed-up.
+                    let mut pinned_ms = [0u64; 2];
+                    for (slot, workers) in pinned_ms.iter_mut().zip([1usize, 4]) {
+                        phonoc_core::parallel::set_worker_override(Some(workers));
+                        let t = Instant::now();
+                        let rerun =
+                            phonoc_opt::run_portfolio(&problem, &pspec, cfg.budget, spec.seed);
+                        *slot = t.elapsed().as_millis() as u64;
+                        assert_eq!(
+                            rerun.best_score, result.best_score,
+                            "portfolio must be worker-count invariant"
+                        );
+                    }
+                    phonoc_core::parallel::set_worker_override(None);
                     OptOutcome {
                         algo: name.clone(),
                         neighborhood: "portfolio",
@@ -496,7 +519,8 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                         evaluations: result.evaluations,
                         full_evaluations: result.lanes.iter().map(|l| l.full_evaluations).sum(),
                         delta_evaluations: result.lanes.iter().map(|l| l.delta_evaluations).sum(),
-                        ms: t.elapsed().as_millis() as u64,
+                        ms,
+                        lane_parallel_ms: Some((pinned_ms[0], pinned_ms[1])),
                     }
                 }
             }
@@ -651,16 +675,18 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the report as the `phonocmap-bench-sweep/3` JSON document
+/// Renders the report as the `phonocmap-bench-sweep/4` JSON document
 /// (hand-rolled — the workspace builds offline, without `serde_json`).
 /// Version 2 added the per-optimizer `neighborhood` field and the
-/// `r-pbla@policy` quality comparison rows; version 3 adds the
-/// equal-total-budget portfolio row (`neighborhood: "portfolio"`).
+/// `r-pbla@policy` quality comparison rows; version 3 the
+/// equal-total-budget portfolio row (`neighborhood: "portfolio"`);
+/// version 4 the portfolio row's `ms_workers1`/`ms_workers4`
+/// lane-parallel wall-clock pair.
 #[must_use]
 pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/3\",");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/4\",");
     let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
     let _ = writeln!(
         out,
@@ -690,7 +716,11 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"The portfolio row races its lanes under bulk-synchronous elite exchange at the same TOTAL budget as each single-lane row (per-lane ledgers sum exactly to it), deterministically at any worker-thread count; bench_gate enforces portfolio >= best single lane on 12x12+ cells of the committed sweep.\""
+        "    \"The portfolio row races its lanes under bulk-synchronous elite exchange at the same TOTAL budget as each single-lane row (per-lane ledgers sum exactly to it), deterministically at any worker-thread count; bench_gate enforces portfolio >= best single lane on 12x12+ cells of the committed sweep.\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"ms_workers1/ms_workers4 on the portfolio row time the identical bit-equal run pinned to 1 and 4 worker threads; on a multi-core host the pair is the lane-parallel speed-up, on a single-core host (including the box behind the committed file) the two are expected to be at parity within noise — the pair is recorded so any host can re-measure and compare.\""
     );
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"summary\": {{");
@@ -742,7 +772,7 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
         for (j, o) in s.optimizers.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}{{\"algo\": \"{}\", \"neighborhood\": \"{}\", \"best_score\": {:.4}, \"evaluations\": {}, \"full_evaluations\": {}, \"delta_evaluations\": {}, \"ms\": {}}}",
+                "{}{{\"algo\": \"{}\", \"neighborhood\": \"{}\", \"best_score\": {:.4}, \"evaluations\": {}, \"full_evaluations\": {}, \"delta_evaluations\": {}, \"ms\": {}",
                 if j == 0 { "" } else { ", " },
                 json_escape(&o.algo),
                 o.neighborhood,
@@ -752,6 +782,10 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
                 o.delta_evaluations,
                 o.ms
             );
+            if let Some((w1, w4)) = o.lane_parallel_ms {
+                let _ = write!(out, ", \"ms_workers1\": {w1}, \"ms_workers4\": {w4}");
+            }
+            out.push('}');
         }
         out.push_str("]\n");
         let _ = writeln!(
@@ -807,11 +841,15 @@ mod tests {
             assert_eq!(s.optimizers[1].neighborhood, "sampled");
             assert_eq!(s.optimizers[2].neighborhood, "portfolio");
             assert!(s.optimizers[2].evaluations <= 20);
+            assert!(s.optimizers[2].lane_parallel_ms.is_some());
+            assert!(s.optimizers[0].lane_parallel_ms.is_none());
             assert!(s.optimizers.iter().all(|o| o.best_score.is_finite()));
             assert!((0.0..=1.0).contains(&s.hybrid_full_share));
         }
         let json = report_to_json(&report, "test");
-        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/3\""));
+        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/4\""));
+        assert!(json.contains("\"ms_workers1\""));
+        assert!(json.contains("\"ms_workers4\""));
         assert!(json.contains("\"neighborhood\": \"portfolio\""));
         assert!(json.contains("\"pipeline-4x4-d100-s1\""));
         assert!(json.contains("\"max_hybrid_over_best\""));

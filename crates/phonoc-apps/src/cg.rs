@@ -8,6 +8,15 @@
 //! for bandwidth-aware extensions and for documentation fidelity with the
 //! original benchmark suites.
 //!
+//! Graphs are built immutably via [`CgBuilder`], but a built graph can
+//! be *mutated in place* for request-stream workloads
+//! ([`CommunicationGraph::update_bandwidths`],
+//! [`CommunicationGraph::add_edge`],
+//! [`CommunicationGraph::remove_edge`]) under the same validation rules
+//! the builder enforces. Mutations preserve the positional order of the
+//! surviving edges, which is the contract the evaluator's per-edge
+//! caches index by.
+//!
 //! # Examples
 //!
 //! ```
@@ -82,6 +91,13 @@ pub enum CgError {
         /// Destination task name.
         dst: String,
     },
+    /// A mutation referenced a directed edge the graph does not contain.
+    MissingEdge {
+        /// Source task name.
+        src: String,
+        /// Destination task name.
+        dst: String,
+    },
 }
 
 impl fmt::Display for CgError {
@@ -95,6 +111,9 @@ impl fmt::Display for CgError {
             }
             CgError::BadBandwidth { src, dst } => {
                 write!(f, "edge `{src}`→`{dst}` has invalid bandwidth")
+            }
+            CgError::MissingEdge { src, dst } => {
+                write!(f, "edge `{src}`→`{dst}` does not exist")
             }
         }
     }
@@ -220,6 +239,119 @@ impl CommunicationGraph {
         }
         out.push_str("}\n");
         out
+    }
+
+    /// Index of the directed edge `src → dst` in [`Self::edges`] order.
+    #[must_use]
+    pub fn edge_index(&self, src: TaskId, dst: TaskId) -> Option<usize> {
+        self.edges.iter().position(|e| e.src == src && e.dst == dst)
+    }
+
+    fn check_task(&self, task: TaskId) -> Result<(), CgError> {
+        if task.0 < self.tasks.len() {
+            Ok(())
+        } else {
+            Err(CgError::UnknownTask {
+                name: task.to_string(),
+            })
+        }
+    }
+
+    /// Re-annotates existing edges with new bandwidths, all-or-nothing:
+    /// every update is validated (edges must exist, bandwidths must be
+    /// finite and positive) before any is applied, so a failed batch
+    /// leaves the graph untouched. Edge *order* never changes — the
+    /// evaluator indexes edges positionally, and a weight update is
+    /// exactly the "traffic phase transition" the dynamic-workload
+    /// scenarios model.
+    ///
+    /// # Errors
+    ///
+    /// [`CgError::UnknownTask`] for an out-of-range task id,
+    /// [`CgError::MissingEdge`] if `src → dst` is not present, or
+    /// [`CgError::BadBandwidth`] for a non-positive/non-finite value.
+    pub fn update_bandwidths(&mut self, updates: &[(TaskId, TaskId, f64)]) -> Result<(), CgError> {
+        let mut indices = Vec::with_capacity(updates.len());
+        for &(src, dst, bw) in updates {
+            self.check_task(src)?;
+            self.check_task(dst)?;
+            let idx = self
+                .edge_index(src, dst)
+                .ok_or_else(|| CgError::MissingEdge {
+                    src: self.task_name(src).to_string(),
+                    dst: self.task_name(dst).to_string(),
+                })?;
+            if !(bw.is_finite() && bw > 0.0) {
+                return Err(CgError::BadBandwidth {
+                    src: self.task_name(src).to_string(),
+                    dst: self.task_name(dst).to_string(),
+                });
+            }
+            indices.push((idx, bw));
+        }
+        for (idx, bw) in indices {
+            self.edges[idx].bandwidth = bw;
+        }
+        Ok(())
+    }
+
+    /// Appends a new directed edge (validated exactly like
+    /// [`CgBuilder::build`]) and returns its index — always
+    /// `edge_count() - 1`, so positional edge caches can extend rather
+    /// than rebuild.
+    ///
+    /// # Errors
+    ///
+    /// [`CgError::UnknownTask`], [`CgError::SelfLoop`],
+    /// [`CgError::DuplicateEdge`] or [`CgError::BadBandwidth`], mirroring
+    /// the builder's rules.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, bandwidth: f64) -> Result<usize, CgError> {
+        self.check_task(src)?;
+        self.check_task(dst)?;
+        if src == dst {
+            return Err(CgError::SelfLoop {
+                name: self.task_name(src).to_string(),
+            });
+        }
+        if self.edge_index(src, dst).is_some() {
+            return Err(CgError::DuplicateEdge {
+                src: self.task_name(src).to_string(),
+                dst: self.task_name(dst).to_string(),
+            });
+        }
+        if !(bandwidth.is_finite() && bandwidth > 0.0) {
+            return Err(CgError::BadBandwidth {
+                src: self.task_name(src).to_string(),
+                dst: self.task_name(dst).to_string(),
+            });
+        }
+        self.edges.push(CgEdge {
+            src,
+            dst,
+            bandwidth,
+        });
+        Ok(self.edges.len() - 1)
+    }
+
+    /// Removes the directed edge `src → dst`, returning the index it
+    /// occupied. Later edges shift down by one (`Vec::remove`), keeping
+    /// the remaining relative order — positional edge caches can mirror
+    /// the same removal instead of rebuilding.
+    ///
+    /// # Errors
+    ///
+    /// [`CgError::UnknownTask`] or [`CgError::MissingEdge`].
+    pub fn remove_edge(&mut self, src: TaskId, dst: TaskId) -> Result<usize, CgError> {
+        self.check_task(src)?;
+        self.check_task(dst)?;
+        let idx = self
+            .edge_index(src, dst)
+            .ok_or_else(|| CgError::MissingEdge {
+                src: self.task_name(src).to_string(),
+                dst: self.task_name(dst).to_string(),
+            })?;
+        self.edges.remove(idx);
+        Ok(idx)
     }
 }
 
@@ -443,5 +575,82 @@ mod tests {
             name: "ghost".into(),
         };
         assert!(e.to_string().contains("ghost"));
+        let e = CgError::MissingEdge {
+            src: "a".into(),
+            dst: "b".into(),
+        };
+        assert!(e.to_string().contains("does not exist"));
+    }
+
+    #[test]
+    fn update_bandwidths_rewrites_in_place() {
+        let mut cg = pipeline3();
+        cg.update_bandwidths(&[(TaskId(0), TaskId(1), 99.0), (TaskId(1), TaskId(2), 1.0)])
+            .unwrap();
+        assert!((cg.edges()[0].bandwidth - 99.0).abs() < 1e-12);
+        assert!((cg.edges()[1].bandwidth - 1.0).abs() < 1e-12);
+        // Order and endpoints untouched.
+        assert_eq!(cg.edges()[0].src, TaskId(0));
+        assert_eq!(cg.edge_count(), 2);
+    }
+
+    #[test]
+    fn update_bandwidths_is_all_or_nothing() {
+        let mut cg = pipeline3();
+        let err = cg
+            .update_bandwidths(&[(TaskId(0), TaskId(1), 99.0), (TaskId(2), TaskId(0), 5.0)])
+            .unwrap_err();
+        assert!(matches!(err, CgError::MissingEdge { .. }));
+        // The valid first update must not have been applied.
+        assert!((cg.edges()[0].bandwidth - 10.0).abs() < 1e-12);
+        let err = cg
+            .update_bandwidths(&[(TaskId(0), TaskId(1), f64::NAN)])
+            .unwrap_err();
+        assert!(matches!(err, CgError::BadBandwidth { .. }));
+        let err = cg
+            .update_bandwidths(&[(TaskId(9), TaskId(1), 1.0)])
+            .unwrap_err();
+        assert!(matches!(err, CgError::UnknownTask { .. }));
+    }
+
+    #[test]
+    fn add_edge_appends_and_validates() {
+        let mut cg = pipeline3();
+        let idx = cg.add_edge(TaskId(2), TaskId(0), 7.0).unwrap();
+        assert_eq!(idx, 2);
+        assert_eq!(cg.edge_count(), 3);
+        assert_eq!(cg.edge_index(TaskId(2), TaskId(0)), Some(2));
+        assert!(matches!(
+            cg.add_edge(TaskId(2), TaskId(0), 7.0).unwrap_err(),
+            CgError::DuplicateEdge { .. }
+        ));
+        assert!(matches!(
+            cg.add_edge(TaskId(1), TaskId(1), 7.0).unwrap_err(),
+            CgError::SelfLoop { .. }
+        ));
+        assert!(matches!(
+            cg.add_edge(TaskId(0), TaskId(2), 0.0).unwrap_err(),
+            CgError::BadBandwidth { .. }
+        ));
+        assert!(matches!(
+            cg.add_edge(TaskId(0), TaskId(9), 1.0).unwrap_err(),
+            CgError::UnknownTask { .. }
+        ));
+    }
+
+    #[test]
+    fn remove_edge_preserves_remaining_order() {
+        let mut cg = pipeline3();
+        cg.add_edge(TaskId(2), TaskId(0), 7.0).unwrap();
+        let idx = cg.remove_edge(TaskId(0), TaskId(1)).unwrap();
+        assert_eq!(idx, 0);
+        assert_eq!(cg.edge_count(), 2);
+        // The survivors keep their relative order, shifted down.
+        assert_eq!(cg.edges()[0].src, TaskId(1));
+        assert_eq!(cg.edges()[1].src, TaskId(2));
+        assert!(matches!(
+            cg.remove_edge(TaskId(0), TaskId(1)).unwrap_err(),
+            CgError::MissingEdge { .. }
+        ));
     }
 }

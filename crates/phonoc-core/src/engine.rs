@@ -89,7 +89,7 @@
 //! above. Set it per run with [`run_dse_with_policy`] /
 //! [`run_dse_configured`].
 //!
-//! # Seeded starts (portfolio lanes)
+//! # Seeded starts (portfolio lanes, warm starts)
 //!
 //! Optimizers obtain their first solution through
 //! [`OptContext::initial_mapping`] — normally a plain random draw, but
@@ -97,8 +97,29 @@
 //! [`OptContext::set_seed_start`] (consumed exactly once). This is the
 //! elite-exchange hook of the portfolio subsystem in `phonoc-opt`:
 //! between bulk-synchronous rounds, a lane resumes from the incumbent
-//! its [`DseConfig::start`] carries. Unseeded contexts behave
-//! bit-identically to the pre-hook engine.
+//! its [`DseConfig::start`] carries — and the warm-start cache rides
+//! the same hook to seed round 0 from a previously solved neighbour.
+//! Unseeded contexts behave bit-identically to the pre-hook engine.
+//! A planted seed that nobody consumes is logged once per process and
+//! queryable via [`OptContext::seed_start_pending`] (not asserted:
+//! start-free strategies like random search legitimately ignore
+//! seeds).
+//!
+//! # Reusable contexts (request streams)
+//!
+//! A context is built per *session*, but a long-lived driver solving a
+//! stream of related requests should not rebuild one per request:
+//! [`OptContext::reset_for`] re-arms an existing context for a new
+//! `(problem, budget, seed)` while keeping the allocated capital — the
+//! grow-only full-evaluation [`EvalScratch`] and the cursor's
+//! [`DeltaScratch`] — so steady-state sessions allocate nothing on the
+//! hot path. [`OptContext::finish`] extracts a [`DseResult`] without
+//! consuming the context, making the persistent-engine loop:
+//! `reset_for` → `optimize` → `finish`, repeat. A reused context is
+//! property-tested bit-identical to a fresh one
+//! (`tests/mutation_properties.rs`); pair with the incremental problem
+//! mutation API on [`MappingProblem`] to re-solve a mutated problem
+//! without re-running the architecture precomputations.
 //!
 //! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
 //! core so that new strategies can be added "without any changes in the
@@ -409,6 +430,11 @@ pub struct OptContext<'p> {
     /// Reused buffers for full evaluations: after warm-up,
     /// [`OptContext::evaluate`] performs no heap allocation.
     full_scratch: EvalScratch,
+    /// Delta-scratch parked between cursors: [`OptContext::reset_for`]
+    /// stashes the dropped cursor's buffers here so the next
+    /// [`OptContext::set_current`] — possibly on a different problem —
+    /// starts warm.
+    spare_scratch: DeltaScratch,
 }
 
 impl fmt::Debug for OptContext<'_> {
@@ -444,7 +470,47 @@ impl<'p> OptContext<'p> {
             policy: NeighborhoodPolicy::default(),
             seed_start: None,
             full_scratch: EvalScratch::default(),
+            spare_scratch: DeltaScratch::default(),
         }
+    }
+
+    /// Re-arms the context for a fresh session on `problem` — the
+    /// warm-start path for request streams. All *run state* (budget
+    /// ledger, RNG, incumbent, history, cursor, pending seed start) is
+    /// reset exactly as [`OptContext::new`] would; all *capital* is
+    /// kept: the grow-only [`EvalScratch`] and the cursor's
+    /// [`DeltaScratch`] survive (parked in the spare slot), so the next
+    /// session starts allocation-free even on a different problem. The
+    /// problem itself carries the other reusable capital — distance
+    /// tables and the interaction matrix live in its [`Evaluator`]
+    /// (see its docs on incremental mutation), and the hybrid
+    /// [`PeekCostModel`] recalibrates from occupancy density at the
+    /// first [`OptContext::set_current`], which is exactly when the new
+    /// problem's density is known.
+    ///
+    /// A session reset with a planted-but-unconsumed seed start logs
+    /// the same misuse warning as a finished session (see
+    /// [`OptContext::seed_start_pending`]).
+    ///
+    /// Peek strategy and neighbourhood policy persist across resets —
+    /// they configure the engine, not one run.
+    ///
+    /// [`Evaluator`]: crate::Evaluator
+    pub fn reset_for(&mut self, problem: &'p MappingProblem, budget: usize, seed: u64) {
+        self.warn_unconsumed_seed("reset_for");
+        if let Some(c) = self.cursor.take() {
+            self.spare_scratch = c.scratch;
+        }
+        self.problem = problem;
+        self.rng = StdRng::seed_from_u64(seed);
+        self.unit = problem.evaluator().edge_count().max(1) as u64;
+        self.budget_units = budget as u64 * self.unit;
+        self.used_units = 0;
+        self.full_evaluations = 0;
+        self.delta_evaluations = 0;
+        self.best = None;
+        self.history.clear();
+        self.seed_start = None;
     }
 
     /// The active neighbourhood-enumeration policy.
@@ -645,6 +711,37 @@ impl<'p> OptContext<'p> {
         self.seed_start = Some(mapping);
     }
 
+    /// Whether a planted seed start is still waiting to be consumed by
+    /// [`OptContext::initial_mapping`]. A seed still pending when the
+    /// session ends (or is [`OptContext::reset_for`]) usually means the
+    /// optimizer never called `initial_mapping` — e.g. a strategy that
+    /// draws its own random starts was handed an elite incumbent it
+    /// silently ignored. That is *legal* (random search deliberately
+    /// stays start-free, and portfolios do seed RS lanes), so the
+    /// engine logs a rate-limited warning instead of asserting; this
+    /// query lets harnesses and tests check the outcome explicitly.
+    #[must_use]
+    pub fn seed_start_pending(&self) -> bool {
+        self.seed_start.is_some()
+    }
+
+    /// Logs (once per process) when a session finishes with a planted
+    /// seed start nobody consumed — the "seed set but never used"
+    /// misuse is otherwise silent, and a hard assert would misfire on
+    /// the legitimately start-free strategies.
+    fn warn_unconsumed_seed(&self, when: &str) {
+        if self.seed_start.is_some() {
+            static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+            WARN_ONCE.call_once(|| {
+                eprintln!(
+                    "phonoc-core: a seed start planted with set_seed_start was never \
+                     consumed by initial_mapping (detected at {when}); the optimizer \
+                     likely draws its own starts. Further occurrences are not logged."
+                );
+            });
+        }
+    }
+
     /// The mapping an optimizer should start its search from: the
     /// planted seed start, if one is pending, otherwise a fresh
     /// [`OptContext::random_mapping`] draw. Unseeded contexts behave
@@ -675,7 +772,11 @@ impl<'p> OptContext<'p> {
             .objective()
             .score_worst_cases(state.worst_case_il(), state.worst_case_snr());
         self.record(&mapping, score);
-        let scratch = self.cursor.take().map(|c| c.scratch).unwrap_or_default();
+        let scratch = self
+            .cursor
+            .take()
+            .map(|c| c.scratch)
+            .unwrap_or_else(|| std::mem::take(&mut self.spare_scratch));
         let model = PeekCostModel::of(&state);
         self.cursor = Some(Cursor {
             mapping,
@@ -1111,10 +1212,22 @@ impl<'p> OptContext<'p> {
         self.best.as_ref().map(|(m, s)| (m, *s))
     }
 
-    fn into_result(self, optimizer: &str) -> DseResult {
+    /// Extracts the finished session's [`DseResult`] while keeping the
+    /// context alive for reuse — pair with [`OptContext::reset_for`] to
+    /// run a request stream through one context. Logs the unconsumed-
+    /// seed-start warning if applicable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no mapping was ever evaluated (zero budget or a broken
+    /// strategy) — same contract as [`run_dse`].
+    #[must_use]
+    pub fn finish(&mut self, optimizer: &str) -> DseResult {
+        self.warn_unconsumed_seed("finish");
         let evaluations = self.used();
         let (best_mapping, best_score) = self
             .best
+            .clone()
             .expect("optimizer must evaluate at least one mapping");
         DseResult {
             optimizer: optimizer.to_owned(),
@@ -1123,7 +1236,7 @@ impl<'p> OptContext<'p> {
             evaluations,
             full_evaluations: self.full_evaluations,
             delta_evaluations: self.delta_evaluations,
-            history: self.history,
+            history: std::mem::take(&mut self.history),
         }
     }
 }
@@ -1302,7 +1415,7 @@ pub fn run_dse_session(
         ctx.set_seed_start(start);
     }
     optimizer.optimize(&mut ctx);
-    ctx.into_result(optimizer.name())
+    ctx.finish(optimizer.name())
 }
 
 #[cfg(test)]

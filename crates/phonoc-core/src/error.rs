@@ -29,6 +29,9 @@ pub enum CoreError {
     InvalidMapping(String),
     /// The physical parameters failed validation.
     BadParameters(String),
+    /// An in-place problem mutation (edge re-weight / add / remove) was
+    /// rejected; the problem is left unchanged.
+    Mutation(String),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +48,7 @@ impl fmt::Display for CoreError {
             ),
             CoreError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
             CoreError::BadParameters(msg) => write!(f, "invalid physical parameters: {msg}"),
+            CoreError::Mutation(msg) => write!(f, "invalid problem mutation: {msg}"),
         }
     }
 }

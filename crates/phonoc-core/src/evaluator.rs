@@ -53,6 +53,34 @@
 //! communications are simultaneously active, and noise generated in a
 //! router suffers no loss inside that router (simplification
 //! `K_i·L_i = K_i`) but does suffer the victim's remaining path loss.
+//!
+//! # Reuse across problems: incremental mutation
+//!
+//! The precomputed tables split along what they depend on. The
+//! tile-pair paths, prefix/suffix gains and the 25×25 interaction
+//! matrix depend only on *(topology, router, routing, physical
+//! parameters)*; the edge-indexed caches (`edge_endpoints`, the
+//! per-task adjacency) depend only on the *CG*. Request streams that
+//! mutate the CG — a traffic phase re-weighting edges, a workload
+//! change adding or dropping a communication — therefore patch the
+//! cheap edge caches in place and keep the expensive tables:
+//!
+//! * [`Evaluator::update_edges`] — batch re-weight; no evaluator cache
+//!   reads weights, so this validates and returns.
+//! * [`Evaluator::add_edge`] — O(1) append to the edge caches.
+//! * [`Evaluator::remove_edge`] — O(E) positional removal + adjacency
+//!   rebuild.
+//!
+//! All three leave the evaluator byte-for-byte identical to a
+//! from-scratch build over the mutated CG (pinned by
+//! `tests/mutation_properties.rs` on random mutation batches).
+//! Mutations invalidate outstanding [`EvalState`]s — re-initialize via
+//! [`Evaluator::init_state`] (the engine's
+//! [`OptContext::reset_for`](crate::OptContext::reset_for) does this
+//! bookkeeping for search sessions). The safe entry points live on
+//! [`MappingProblem`](crate::MappingProblem)
+//! (`update_edge_bandwidths` / `add_edge` / `remove_edge`), which keep
+//! the CG and these caches in lock-step.
 
 use crate::error::CoreError;
 use crate::mapping::Mapping;
@@ -461,6 +489,112 @@ impl Evaluator {
     #[must_use]
     pub fn edge_count(&self) -> usize {
         self.edge_endpoints.len()
+    }
+
+    /// The crosstalk-analysis options this evaluator was built with
+    /// (part of a problem's cache-key identity: different options give
+    /// different worst cases for the same CG).
+    #[must_use]
+    pub fn options(&self) -> EvaluatorOptions {
+        self.options
+    }
+
+    /// Applies a batch of edge *re-weights* `(src, dst, new_weight)`
+    /// incrementally. The worst-case IL/SNR objectives never weight by
+    /// bandwidth (see the module docs of `phonoc_apps::cg`), so no
+    /// evaluator cache depends on the weights: this validates that every
+    /// referenced edge exists and every weight is finite and positive,
+    /// and the per-(edge, hop) caches stay byte-for-byte what a
+    /// from-scratch build over the re-weighted CG would produce
+    /// (property-tested in `tests/mutation_properties.rs`). Keeping the
+    /// call on the evaluator keeps the mutation contract in one place
+    /// for when a bandwidth-aware objective lands.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mutation`] if an edge is missing or a weight is
+    /// non-positive/non-finite; the batch is all-or-nothing.
+    pub fn update_edges(&self, updates: &[(usize, usize, f64)]) -> Result<(), CoreError> {
+        for &(src, dst, w) in updates {
+            if !self.edge_endpoints.contains(&(src, dst)) {
+                return Err(CoreError::Mutation(format!(
+                    "no edge c{src} -> c{dst} to re-weight"
+                )));
+            }
+            if !(w.is_finite() && w > 0.0) {
+                return Err(CoreError::Mutation(format!(
+                    "edge c{src} -> c{dst} given invalid weight {w}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Extends the per-edge caches for a new CG edge `src → dst`
+    /// appended at index `edge_count()`. O(1): the expensive
+    /// mapping-independent tables (tile-pair paths, the 25×25
+    /// interaction matrix) are untouched — only the edge-indexed
+    /// endpoint list and the per-task adjacency grow. The new index is
+    /// the largest, so the ascending per-task edge lists stay exactly
+    /// what a fresh build would produce.
+    ///
+    /// Outstanding [`EvalState`]s were sized for the old edge count and
+    /// must be re-initialized ([`Evaluator::init_state`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mutation`] for out-of-range tasks, a self-loop, or a
+    /// duplicate edge.
+    pub fn add_edge(&mut self, src: usize, dst: usize) -> Result<(), CoreError> {
+        let tasks = self.task_edges.len();
+        if src >= tasks || dst >= tasks {
+            return Err(CoreError::Mutation(format!(
+                "edge c{src} -> c{dst} references a task outside 0..{tasks}"
+            )));
+        }
+        if src == dst {
+            return Err(CoreError::Mutation(format!("self-loop on task c{src}")));
+        }
+        if self.edge_endpoints.contains(&(src, dst)) {
+            return Err(CoreError::Mutation(format!(
+                "edge c{src} -> c{dst} already exists"
+            )));
+        }
+        let e = self.edge_endpoints.len();
+        self.edge_endpoints.push((src, dst));
+        self.task_edges[src].push(e);
+        self.task_edges[dst].push(e);
+        Ok(())
+    }
+
+    /// Drops the CG edge at `index` from the per-edge caches, shifting
+    /// later edges down by one (mirroring `Vec::remove` on the CG's edge
+    /// list). The per-task adjacency is rebuilt from the surviving
+    /// endpoints — O(E), the same loop construction runs, so the result
+    /// is bit-identical to a fresh build. Outstanding [`EvalState`]s
+    /// must be re-initialized.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mutation`] if `index` is out of range.
+    pub fn remove_edge(&mut self, index: usize) -> Result<(), CoreError> {
+        if index >= self.edge_endpoints.len() {
+            return Err(CoreError::Mutation(format!(
+                "edge index {index} out of range 0..{}",
+                self.edge_endpoints.len()
+            )));
+        }
+        self.edge_endpoints.remove(index);
+        for list in &mut self.task_edges {
+            list.clear();
+        }
+        for (e, &(s, d)) in self.edge_endpoints.iter().enumerate() {
+            self.task_edges[s].push(e);
+            if d != s {
+                self.task_edges[d].push(e);
+            }
+        }
+        Ok(())
     }
 
     /// Evaluates one mapping: per-edge IL and SNR plus the worst cases.

@@ -194,6 +194,73 @@ impl MappingProblem {
         let score = self.objective.score(&metrics);
         (metrics, score)
     }
+
+    /// Re-weights existing CG edges in place (a traffic phase
+    /// transition), keeping the CG and the evaluator's edge caches in
+    /// lock-step. The architecture tables (paths, interaction matrix)
+    /// are untouched — see the [`Evaluator`] module docs on incremental
+    /// mutation.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mutation`] for missing edges, out-of-range tasks or
+    /// invalid bandwidths; the batch is all-or-nothing.
+    pub fn update_edge_bandwidths(
+        &mut self,
+        updates: &[(phonoc_apps::TaskId, phonoc_apps::TaskId, f64)],
+    ) -> Result<(), CoreError> {
+        let eval_updates: Vec<(usize, usize, f64)> =
+            updates.iter().map(|&(s, d, w)| (s.0, d.0, w)).collect();
+        self.evaluator.update_edges(&eval_updates)?;
+        self.cg
+            .update_bandwidths(updates)
+            .map_err(|e| CoreError::Mutation(e.to_string()))
+    }
+
+    /// Adds a new communication `src → dst`, appending it to both the
+    /// CG and the evaluator's edge caches (O(1); the expensive
+    /// architecture tables are reused).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mutation`] for unknown tasks, self-loops, duplicate
+    /// edges or invalid bandwidths.
+    pub fn add_edge(
+        &mut self,
+        src: phonoc_apps::TaskId,
+        dst: phonoc_apps::TaskId,
+        bandwidth: f64,
+    ) -> Result<(), CoreError> {
+        self.cg
+            .add_edge(src, dst, bandwidth)
+            .map_err(|e| CoreError::Mutation(e.to_string()))?;
+        self.evaluator
+            .add_edge(src.0, dst.0)
+            .expect("CG accepted the edge, so the evaluator must too");
+        Ok(())
+    }
+
+    /// Removes the communication `src → dst` from both the CG and the
+    /// evaluator's edge caches (later edges shift down positionally in
+    /// both).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Mutation`] for unknown tasks or a missing edge.
+    pub fn remove_edge(
+        &mut self,
+        src: phonoc_apps::TaskId,
+        dst: phonoc_apps::TaskId,
+    ) -> Result<(), CoreError> {
+        let idx = self
+            .cg
+            .remove_edge(src, dst)
+            .map_err(|e| CoreError::Mutation(e.to_string()))?;
+        self.evaluator
+            .remove_edge(idx)
+            .expect("CG held the edge at this index, so the evaluator must too");
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -71,6 +71,25 @@
 //! runs, e.g.
 //! `portfolio:r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8`.
 //!
+//! # Warm starts
+//!
+//! Service-mode deployments see the same or nearly-the-same request
+//! repeatedly (a redeployed workload, a traffic phase re-weighting a
+//! few edges). The [`warm`] module closes that loop with a
+//! content-addressed [`WarmCache`]: canonically-equal requests return
+//! the stored result with **zero** optimizer evaluations, and
+//! same-family requests (identical architecture/physics/objective,
+//! different edges) seed every round-0 portfolio lane with the best
+//! stored elite via [`run_portfolio_seeded`] — the same
+//! `set_seed_start` hook elite exchange rides between rounds. Paired
+//! with phonoc-core's in-place problem mutation
+//! (`MappingProblem::update_edge_bandwidths` / `add_edge` /
+//! `remove_edge`) and `OptContext::reset_for`, a request stream runs
+//! through one engine without rebuilding architecture tables per
+//! request. `bench::replay` measures what this buys
+//! (`BENCH_warmstart.json`); `tests/warm_properties.rs` pins the
+//! determinism and key-canonicalization contracts.
+//!
 //! | Strategy | Type | Scoring path | Paper status |
 //! |----------|------|--------------|--------------|
 //! | [`RandomSearch`] | sampling | parallel batch | baseline (§II-D2) |
@@ -118,6 +137,7 @@ pub mod random_search;
 pub mod registry;
 pub mod rpbla;
 pub mod tabu;
+pub mod warm;
 
 pub use annealing::SimulatedAnnealing;
 pub use exhaustive::Exhaustive;
@@ -125,13 +145,14 @@ pub use genetic::{Crossover, GeneticAlgorithm};
 pub use ils::IteratedLocalSearch;
 pub use neighborhood::{admitted_moves, scan_quota, Neighborhood};
 pub use portfolio::{
-    run_portfolio, BudgetLedger, ExchangePolicy, LaneOutcome, LaneSpec, PortfolioResult,
-    PortfolioSpec,
+    run_portfolio, run_portfolio_seeded, BudgetLedger, ExchangePolicy, LaneOutcome, LaneSpec,
+    PortfolioResult, PortfolioSpec,
 };
 pub use random_search::RandomSearch;
 pub use registry::{builtin_names, optimizer, optimizer_spec, search_spec, SearchSpec};
 pub use rpbla::Rpbla;
 pub use tabu::TabuSearch;
+pub use warm::{FamilyKey, RequestKey, WarmCache, WarmSolve, WarmSource};
 
 #[cfg(test)]
 pub(crate) mod test_support {

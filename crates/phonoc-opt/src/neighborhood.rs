@@ -104,10 +104,18 @@ pub const MIN_SCAN: usize = 32;
 /// full evaluation, so a descent typically fits many more than
 /// `PASS_DIVISOR` passes — the divisor just guarantees the *first*
 /// passes cannot consume everything even if every peek routes full.
+///
+/// The floor is itself **budget-aware**: when fewer than [`MIN_SCAN`]
+/// evaluations remain — the norm for short portfolio lane rounds,
+/// whose per-round allotments can be a handful of evaluations — the
+/// quota drops to the remaining budget instead of demanding 32 scans
+/// the ledger can't pay for. A fixed floor made every starved round
+/// spend its entire allotment on one over-wide scan; clamping to
+/// `remaining` keeps even the smallest rounds making one honest pass.
 #[must_use]
 pub fn scan_quota(remaining: usize, admitted: usize) -> usize {
     (remaining / PASS_DIVISOR)
-        .max(MIN_SCAN)
+        .max(MIN_SCAN.min(remaining.max(1)))
         .min(admitted.max(1))
 }
 
@@ -399,9 +407,26 @@ mod tests {
     #[test]
     fn scan_quota_bounds() {
         assert_eq!(scan_quota(1_500, 32_640), 187);
-        assert_eq!(scan_quota(10, 32_640), MIN_SCAN);
         assert_eq!(scan_quota(10_000, 120), 120);
         assert_eq!(scan_quota(0, 0), 1);
+    }
+
+    #[test]
+    fn scan_quota_floor_is_budget_aware() {
+        // Plenty of budget: the classic MIN_SCAN floor applies.
+        assert_eq!(scan_quota(256, 32_640), MIN_SCAN);
+        // Small remaining budgets — short portfolio lane rounds — clamp
+        // the floor to what the ledger can actually pay for.
+        assert_eq!(scan_quota(10, 32_640), 10);
+        assert_eq!(scan_quota(1, 32_640), 1);
+        assert_eq!(scan_quota(31, 32_640), 31);
+        // Exactly at the floor: unchanged.
+        assert_eq!(scan_quota(MIN_SCAN, 32_640), MIN_SCAN);
+        // A zero remainder still scans one move (the admitted cap
+        // already guaranteed a nonzero quota; keep that invariant).
+        assert_eq!(scan_quota(0, 32_640), 1);
+        // The admitted cap still wins over the clamped floor.
+        assert_eq!(scan_quota(10, 4), 4);
     }
 
     #[test]

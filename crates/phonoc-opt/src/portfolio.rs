@@ -452,6 +452,10 @@ pub struct PortfolioResult {
     /// Global incumbent score after each round (monotone
     /// non-decreasing).
     pub round_best: Vec<f64>,
+    /// Budget consumed by each round, in full-evaluation-equivalents
+    /// (sums to `evaluations`). Together with `round_best` this gives
+    /// the score-vs-spend trajectory warm-start parity is measured on.
+    pub round_evaluations: Vec<usize>,
     /// Total budget consumed, in full-evaluation-equivalents (≤ the
     /// global budget; sessions may converge early).
     pub evaluations: usize,
@@ -488,6 +492,31 @@ pub fn run_portfolio(
     budget: usize,
     seed: u64,
 ) -> PortfolioResult {
+    run_portfolio_seeded(problem, spec, budget, seed, None)
+}
+
+/// [`run_portfolio`] with an optional **warm start**: a mapping every
+/// round-0 lane is seeded with (via the engine's `set_seed_start`
+/// hook), exactly as elite exchange seeds later rounds. This is how
+/// the warm-start cache resumes a perturbed request from the elite of
+/// a previously solved neighbour — round 0 stops being a cold random
+/// probe, and exchange amortizes the inherited incumbent across lanes
+/// from the first round. `None` is bit-identical to [`run_portfolio`].
+///
+/// Lanes whose strategy is deliberately start-free (random search)
+/// ignore the seed, identical to how they treat exchanged elites.
+///
+/// # Panics
+///
+/// Same as [`run_portfolio`].
+#[must_use]
+pub fn run_portfolio_seeded(
+    problem: &MappingProblem,
+    spec: &PortfolioSpec,
+    budget: usize,
+    seed: u64,
+    warm_start: Option<&Mapping>,
+) -> PortfolioResult {
     let n = spec.lanes.len();
     assert!(n > 0, "portfolio needs at least one lane");
     assert!(budget > 0, "portfolio needs a budget");
@@ -499,6 +528,7 @@ pub fn run_portfolio(
     let mut full_evals = vec![0usize; n];
     let mut delta_evals = vec![0usize; n];
     let mut round_best = Vec::with_capacity(rounds);
+    let mut round_evaluations = Vec::with_capacity(rounds);
 
     for round in 0..rounds {
         // Performance-weighted allocation: the lane holding the global
@@ -514,11 +544,12 @@ pub fn run_portfolio(
         let allot = ledger.allocate_round(round, &weights);
 
         // Which incumbent each lane resumes from (None = random start;
-        // always None in round 0 and wherever no incumbent exists yet).
+        // in round 0 the caller's warm start, if any, plays the role
+        // an exchanged elite plays in later rounds).
         let starts: Vec<Option<Mapping>> = (0..n)
             .map(|lane| {
                 if round == 0 {
-                    return None;
+                    return warm_start.cloned();
                 }
                 let source = match spec.exchange {
                     ExchangePolicy::Isolated => incumbents[lane].as_ref(),
@@ -567,9 +598,11 @@ pub fn run_portfolio(
         });
 
         // Fixed lane→result reduction.
+        let mut round_used = 0usize;
         for (lane, result) in results.into_iter().enumerate() {
             let Some(result) = result else { continue };
             ledger.record(round, lane, result.evaluations);
+            round_used += result.evaluations;
             full_evals[lane] += result.full_evaluations;
             delta_evals[lane] += result.delta_evaluations;
             let improves = incumbents[lane]
@@ -584,6 +617,7 @@ pub fn run_portfolio(
                 .map(|(_, s)| *s)
                 .unwrap_or(f64::NEG_INFINITY),
         );
+        round_evaluations.push(round_used);
     }
 
     let (best_mapping, best_score) = best_incumbent(&incumbents)
@@ -614,6 +648,7 @@ pub fn run_portfolio(
         best_mapping,
         best_score,
         round_best,
+        round_evaluations,
         evaluations: ledger.total_used(),
         budget: ledger.total_allotted(),
         lanes,

@@ -1,0 +1,518 @@
+//! Warm-start engine: a deterministic, content-addressed cache of
+//! solved mapping requests.
+//!
+//! The service-mode premise is that the same or nearly-the-same
+//! request arrives over and over: a workload re-deployed unchanged, a
+//! traffic phase re-weighting a few edges, an application variant
+//! adding one communication. Every such request today pays full
+//! cold-start cost. [`WarmCache`] closes the loop:
+//!
+//! * **Exact hit** — the request's canonical key equals a stored one:
+//!   the cached [`PortfolioResult`] is returned verbatim with **zero**
+//!   optimizer evaluations. Results are deterministic per key, so the
+//!   cached result is bit-identical to what re-running would produce.
+//! * **Near hit** — no exact match, but a stored request shares the
+//!   *family* (architecture + physics + objective + task count): the
+//!   best-overlapping neighbour's elite mapping seeds every round-0
+//!   portfolio lane via [`run_portfolio_seeded`] (the same
+//!   `set_seed_start` hook elite exchange uses between rounds), so the
+//!   search resumes from prior work instead of a random draw.
+//! * **Cold** — nothing applicable; a plain
+//!   [`run_portfolio`](crate::run_portfolio) run.
+//!
+//! Solved requests are inserted after every non-exact solve, so a
+//! repeat of any request is an exact hit.
+//!
+//! # Cache-key canonicalization
+//!
+//! A [`RequestKey`] captures everything the result is a deterministic
+//! function of, in a *canonical* form so equal problems produce equal
+//! keys regardless of construction order:
+//!
+//! * **Edges** — `(src, dst, weight-bits)` triples **sorted by
+//!   `(src, dst)`**, so two CGs listing the same communications in
+//!   different orders key identically (per-edge worst cases do not
+//!   depend on list position). Weights enter via [`f64::to_bits`]:
+//!   exact bit equality, no epsilon.
+//! * **Family** ([`FamilyKey`]) — the architecture half: topology kind
+//!   and dimensions, every link (endpoints, ports, length bits,
+//!   crossings), router identity (name, ring/crossing counts,
+//!   supported pairs), routing name, all physical parameters (bit
+//!   patterns), evaluator options, task and tile counts, objective.
+//! * **Run parameters** — canonical portfolio spec string, budget,
+//!   seed.
+//!
+//! Equality is exact structural equality (`derive(PartialEq, Eq,
+//! Hash)` over integer bit patterns — no floating-point comparison),
+//! so keys collide **only** for canonically-equal requests
+//! (property-tested in `tests/warm_properties.rs`). The reported
+//! [`RequestKey::content_hash`] is an FNV-1a digest used for logging
+//! and JSON provenance, never for equality.
+
+use crate::portfolio::{run_portfolio_seeded, PortfolioResult, PortfolioSpec};
+use phonoc_core::{Mapping, MappingProblem, Objective};
+use std::collections::HashMap;
+
+/// The architecture-and-physics half of a request's identity: what has
+/// to match for one request's elite mapping to be a *meaningful* start
+/// for another (same tile grid, same loss/crosstalk landscape, same
+/// task count so mappings are shape-compatible). Edge structure is
+/// deliberately excluded — that is exactly what near-hit requests
+/// differ in.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FamilyKey {
+    topo_kind: String,
+    width: usize,
+    height: usize,
+    /// Every link: (from, to, from_port, to_port, length-bits,
+    /// crossings).
+    links: Vec<(usize, usize, usize, usize, u64, usize)>,
+    /// Router identity: name plus netlist summary (ring count, plain
+    /// crossing count, supported pair indices).
+    router: (String, usize, usize, Vec<usize>),
+    routing: String,
+    /// Bit patterns of every physical parameter, in declaration order.
+    params: Vec<u64>,
+    /// (exclude_same_source, exclude_same_destination).
+    options: (bool, bool),
+    tasks: usize,
+    objective: Objective,
+}
+
+impl FamilyKey {
+    /// Extracts the family identity of `problem`.
+    #[must_use]
+    pub fn of(problem: &MappingProblem) -> FamilyKey {
+        let topo = problem.topology();
+        let router = problem.router();
+        let p = problem.params();
+        let mut pairs: Vec<usize> = router
+            .supported_pairs()
+            .iter()
+            .map(|pp| pp.index())
+            .collect();
+        pairs.sort_unstable();
+        let opts = problem.evaluator().options();
+        FamilyKey {
+            topo_kind: topo.kind().to_string(),
+            width: topo.width(),
+            height: topo.height(),
+            links: topo
+                .links()
+                .iter()
+                .map(|l| {
+                    (
+                        l.from.0,
+                        l.to.0,
+                        l.from_port.index(),
+                        l.to_port.index(),
+                        l.length.as_cm().to_bits(),
+                        l.crossings,
+                    )
+                })
+                .collect(),
+            router: (
+                router.name().to_owned(),
+                router.microring_count(),
+                router.plain_crossing_count(),
+                pairs,
+            ),
+            routing: problem.routing().name().to_owned(),
+            params: vec![
+                p.crossing_loss.0.to_bits(),
+                p.propagation_loss_per_cm.0.to_bits(),
+                p.ppse_off_loss.0.to_bits(),
+                p.ppse_on_loss.0.to_bits(),
+                p.cpse_off_loss.0.to_bits(),
+                p.cpse_on_loss.0.to_bits(),
+                p.crossing_crosstalk.0.to_bits(),
+                p.pse_off_crosstalk.0.to_bits(),
+                p.pse_on_crosstalk.0.to_bits(),
+                p.laser_power.0.to_bits(),
+                p.detector_sensitivity.0.to_bits(),
+                p.nonlinearity_threshold.0.to_bits(),
+                p.snr_ceiling.0.to_bits(),
+            ],
+            options: (opts.exclude_same_source, opts.exclude_same_destination),
+            tasks: problem.task_count(),
+            objective: problem.objective(),
+        }
+    }
+}
+
+/// The full canonical identity of one mapping request. See the
+/// [module docs](self) for the canonicalization rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RequestKey {
+    /// `(src, dst, bandwidth-bits)`, sorted by `(src, dst)`.
+    edges: Vec<(usize, usize, u64)>,
+    family: FamilyKey,
+    /// Canonical portfolio spec ([`PortfolioSpec::canonical`]).
+    spec: String,
+    budget: usize,
+    seed: u64,
+}
+
+impl RequestKey {
+    /// Builds the canonical key of `(problem, spec, budget, seed)`.
+    #[must_use]
+    pub fn of(
+        problem: &MappingProblem,
+        spec: &PortfolioSpec,
+        budget: usize,
+        seed: u64,
+    ) -> RequestKey {
+        let mut edges: Vec<(usize, usize, u64)> = problem
+            .cg()
+            .edges()
+            .iter()
+            .map(|e| (e.src.0, e.dst.0, e.bandwidth.to_bits()))
+            .collect();
+        edges.sort_unstable();
+        RequestKey {
+            edges,
+            family: FamilyKey::of(problem),
+            spec: spec.canonical(),
+            budget,
+            seed,
+        }
+    }
+
+    /// The key's family half (shared by near-hit candidates).
+    #[must_use]
+    pub fn family(&self) -> &FamilyKey {
+        &self.family
+    }
+
+    /// FNV-1a digest of the key, for logs and JSON provenance. Never
+    /// used for cache equality (that is exact structural equality), so
+    /// a collision here can at worst confuse a log line.
+    #[must_use]
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash as _, Hasher};
+        struct Fnv(u64);
+        impl Hasher for Fnv {
+            fn finish(&self) -> u64 {
+                self.0
+            }
+            fn write(&mut self, bytes: &[u8]) {
+                for &b in bytes {
+                    self.0 ^= u64::from(b);
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01B3);
+                }
+            }
+        }
+        let mut h = Fnv(0xCBF2_9CE4_8422_2325);
+        self.hash(&mut h);
+        h.finish()
+    }
+}
+
+/// How a [`WarmCache::solve`] request was satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WarmSource {
+    /// Canonically equal to a stored request: cached result returned,
+    /// zero optimizer evaluations performed.
+    ExactHit,
+    /// A same-family stored request seeded round 0 with its elite.
+    NearHit {
+        /// Score the donated elite had on *its* problem (provenance;
+        /// its score on the new problem is re-evaluated by the run).
+        donor_score: f64,
+        /// Shared directed endpoints between donor and request edge
+        /// sets (the overlap the donor was selected by).
+        shared_edges: usize,
+    },
+    /// No stored request was applicable; a plain cold run.
+    Cold,
+}
+
+/// One solved request: the outcome plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct WarmSolve {
+    /// The portfolio outcome (cached clone on an exact hit).
+    pub result: PortfolioResult,
+    /// Exact hit / near hit / cold.
+    pub source: WarmSource,
+    /// Optimizer evaluations this request actually performed — `0` on
+    /// an exact hit, `result.evaluations` otherwise.
+    pub evaluations_spent: usize,
+}
+
+struct Entry {
+    /// Directed endpoints of the request's edges (sorted), for overlap
+    /// scoring against near-hit candidates. The full key lives in
+    /// `by_key`.
+    endpoints: Vec<(usize, usize)>,
+    result: PortfolioResult,
+}
+
+/// The content-addressed warm-start cache. Purely in-memory and
+/// deterministic: a request stream replayed in the same order produces
+/// the same hits, seeds and results at any worker count.
+#[derive(Default)]
+pub struct WarmCache {
+    entries: Vec<Entry>,
+    by_key: HashMap<RequestKey, usize>,
+    by_family: HashMap<FamilyKey, Vec<usize>>,
+    exact_hits: usize,
+    near_hits: usize,
+    cold_runs: usize,
+}
+
+impl WarmCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> WarmCache {
+        WarmCache::default()
+    }
+
+    /// Number of distinct solved requests stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(exact hits, near hits, cold runs)` over the cache's lifetime.
+    #[must_use]
+    pub fn stats(&self) -> (usize, usize, usize) {
+        (self.exact_hits, self.near_hits, self.cold_runs)
+    }
+
+    /// The stored elite a near-hit of `key` would be seeded with:
+    /// among same-family entries, the one sharing the most directed
+    /// endpoints with the request (ties break to the most recently
+    /// inserted). `None` if no same-family entry exists.
+    #[must_use]
+    pub fn near_hit_donor(&self, key: &RequestKey) -> Option<(&Mapping, f64, usize)> {
+        let candidates = self.by_family.get(&key.family)?;
+        let request_eps: Vec<(usize, usize)> = key.edges.iter().map(|&(s, d, _)| (s, d)).collect();
+        let mut best: Option<(usize, usize)> = None; // (overlap, entry index)
+        for &i in candidates {
+            let overlap = overlap_count(&self.entries[i].endpoints, &request_eps);
+            if best.is_none_or(|(o, _)| overlap >= o) {
+                best = Some((overlap, i));
+            }
+        }
+        best.map(|(overlap, i)| {
+            let e = &self.entries[i];
+            (&e.result.best_mapping, e.result.best_score, overlap)
+        })
+    }
+
+    /// Solves `(problem, spec, budget, seed)` through the cache: exact
+    /// hits return the stored result with zero evaluations; otherwise
+    /// the request runs (seeded by the best same-family elite when one
+    /// exists) and is stored for future requests.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`crate::run_portfolio`] for requests that actually run.
+    pub fn solve(
+        &mut self,
+        problem: &MappingProblem,
+        spec: &PortfolioSpec,
+        budget: usize,
+        seed: u64,
+    ) -> WarmSolve {
+        let key = RequestKey::of(problem, spec, budget, seed);
+        if let Some(&i) = self.by_key.get(&key) {
+            self.exact_hits += 1;
+            return WarmSolve {
+                result: self.entries[i].result.clone(),
+                source: WarmSource::ExactHit,
+                evaluations_spent: 0,
+            };
+        }
+        let donor = self
+            .near_hit_donor(&key)
+            .map(|(m, s, overlap)| (m.clone(), s, overlap));
+        let (result, source) = match donor {
+            Some((mapping, donor_score, shared_edges)) => {
+                self.near_hits += 1;
+                let result = run_portfolio_seeded(problem, spec, budget, seed, Some(&mapping));
+                (
+                    result,
+                    WarmSource::NearHit {
+                        donor_score,
+                        shared_edges,
+                    },
+                )
+            }
+            None => {
+                self.cold_runs += 1;
+                let result = run_portfolio_seeded(problem, spec, budget, seed, None);
+                (result, WarmSource::Cold)
+            }
+        };
+        let evaluations_spent = result.evaluations;
+        self.insert(key, result.clone());
+        WarmSolve {
+            result,
+            source,
+            evaluations_spent,
+        }
+    }
+
+    fn insert(&mut self, key: RequestKey, result: PortfolioResult) {
+        let endpoints: Vec<(usize, usize)> = key.edges.iter().map(|&(s, d, _)| (s, d)).collect();
+        let index = self.entries.len();
+        self.by_family
+            .entry(key.family.clone())
+            .or_default()
+            .push(index);
+        self.by_key.insert(key, index);
+        self.entries.push(Entry { endpoints, result });
+    }
+}
+
+/// Number of elements two sorted slices share.
+fn overlap_count(a: &[(usize, usize)], b: &[(usize, usize)]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::tiny_problem;
+    use phonoc_apps::TaskId;
+
+    fn spec() -> PortfolioSpec {
+        PortfolioSpec::parse("r-pbla+sa,exchange=best,rounds=2").unwrap()
+    }
+
+    #[test]
+    fn repeat_request_is_an_exact_hit_with_zero_evaluations() {
+        let p = tiny_problem();
+        let mut cache = WarmCache::new();
+        let cold = cache.solve(&p, &spec(), 60, 7);
+        assert_eq!(cold.source, WarmSource::Cold);
+        assert!(cold.evaluations_spent > 0);
+        let hit = cache.solve(&p, &spec(), 60, 7);
+        assert_eq!(hit.source, WarmSource::ExactHit);
+        assert_eq!(hit.evaluations_spent, 0);
+        assert_eq!(hit.result.best_score, cold.result.best_score);
+        assert_eq!(hit.result.best_mapping, cold.result.best_mapping);
+        assert_eq!(cache.stats(), (1, 0, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn changed_run_parameters_miss_the_exact_key() {
+        let p = tiny_problem();
+        let mut cache = WarmCache::new();
+        cache.solve(&p, &spec(), 60, 7);
+        // Same problem, different seed → same family → near hit.
+        let near = cache.solve(&p, &spec(), 60, 8);
+        assert!(matches!(near.source, WarmSource::NearHit { .. }));
+        // Different budget too.
+        let near = cache.solve(&p, &spec(), 80, 7);
+        assert!(matches!(near.source, WarmSource::NearHit { .. }));
+    }
+
+    #[test]
+    fn perturbed_weights_are_near_hits_seeded_by_the_stored_elite() {
+        let mut p = tiny_problem();
+        let mut cache = WarmCache::new();
+        let cold = cache.solve(&p, &spec(), 60, 7);
+        let (s, d) = {
+            let e = &p.cg().edges()[0];
+            (e.src, e.dst)
+        };
+        let bw = p.cg().edges()[0].bandwidth;
+        p.update_edge_bandwidths(&[(s, d, bw * 1.05)]).unwrap();
+        let near = cache.solve(&p, &spec(), 60, 7);
+        match near.source {
+            WarmSource::NearHit {
+                donor_score,
+                shared_edges,
+            } => {
+                assert_eq!(donor_score, cold.result.best_score);
+                // Weight-only perturbation: every directed endpoint is
+                // shared.
+                assert_eq!(shared_edges, p.cg().edge_count());
+            }
+            other => panic!("expected a near hit, got {other:?}"),
+        }
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn keys_are_stable_across_edge_orderings() {
+        use phonoc_apps::CgBuilder;
+        let forward = CgBuilder::new("x")
+            .tasks(["a", "b", "c"])
+            .edge("a", "b", 1.0)
+            .edge("b", "c", 2.0)
+            .build()
+            .unwrap();
+        let reversed = CgBuilder::new("x")
+            .tasks(["a", "b", "c"])
+            .edge("b", "c", 2.0)
+            .edge("a", "b", 1.0)
+            .build()
+            .unwrap();
+        let mk = |cg| {
+            MappingProblem::new(
+                cg,
+                phonoc_topo::Topology::mesh(2, 2, phonoc_phys::Length::from_mm(2.5)),
+                phonoc_router::crux::crux_router(),
+                Box::new(phonoc_route::XyRouting),
+                phonoc_phys::PhysicalParameters::default(),
+                Objective::MaximizeWorstCaseSnr,
+            )
+            .unwrap()
+        };
+        let a = RequestKey::of(&mk(forward), &spec(), 60, 7);
+        let b = RequestKey::of(&mk(reversed), &spec(), 60, 7);
+        assert_eq!(a, b);
+        assert_eq!(a.content_hash(), b.content_hash());
+    }
+
+    #[test]
+    fn structural_mutations_change_the_key_but_not_the_family() {
+        let mut p = tiny_problem();
+        let base = RequestKey::of(&p, &spec(), 60, 7);
+        let (s, d) = {
+            // A pair with no edge in either direction.
+            let mut found = None;
+            'outer: for a in 0..p.task_count() {
+                for b in 0..p.task_count() {
+                    if a != b
+                        && p.cg().edge_index(TaskId(a), TaskId(b)).is_none()
+                        && p.cg().edge_index(TaskId(b), TaskId(a)).is_none()
+                    {
+                        found = Some((TaskId(a), TaskId(b)));
+                        break 'outer;
+                    }
+                }
+            }
+            found.expect("PIP is sparse enough to have a free pair")
+        };
+        p.add_edge(s, d, 5.0).unwrap();
+        let added = RequestKey::of(&p, &spec(), 60, 7);
+        assert_ne!(base, added);
+        assert_eq!(base.family(), added.family());
+        p.remove_edge(s, d).unwrap();
+        let removed = RequestKey::of(&p, &spec(), 60, 7);
+        assert_eq!(base, removed, "undoing the mutation restores the key");
+    }
+}

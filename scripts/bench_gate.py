@@ -3,13 +3,14 @@
 against the committed baselines.
 
 Usage:
-    python3 scripts/bench_gate.py BENCH_sweep_smoke.json [BENCH_evaluator.json]
-        [--baseline BENCH_sweep.json] [--strict] [--strict-quality]
+    python3 scripts/bench_gate.py [BENCH_sweep_smoke.json] [BENCH_evaluator.json]
+        [--baseline BENCH_sweep.json] [--warmstart BENCH_warmstart.json]
+        [--strict] [--strict-quality]
 
 Checks (all *advisory* — the script always exits 0 — unless --strict
 makes any finding fatal, --strict-quality makes the quality findings
-(checks 3 and 5, which are deterministic data, not timing) fatal, or
-an input file is malformed):
+(checks 3, 5 and 6, which are deterministic data, not timing) fatal,
+or an input file is malformed):
 
 1. Hybrid regression: per scenario, the adaptive peek must stay within
    GENEROUS_HYBRID_FACTOR of the best single strategy. The committed
@@ -44,6 +45,17 @@ an input file is malformed):
    are additionally listed as plain advisories (a portfolio can pay a
    bounded exploration tax on cells one stream dominates end to end;
    the committed sweep records which).
+6. Warm-start (--warmstart BENCH_warmstart.json): the warm-start
+   engine's deterministic claims, fatal under --strict-quality. Every
+   exact-hit repeat request must have performed ZERO optimizer
+   evaluations and reproduced the cold score bit-for-bit; every
+   phase-reverted request must be an exact hit again (canonical keys);
+   and on the 12x12+ cells the median evaluations-to-parity ratio of
+   the <=10%-perturbed warm runs must be <= WARMSTART_PARITY_RATIO of
+   the cold budget. Smoke replays have no 12x12+ cells, so the parity
+   gate is skipped there (the hit checks still apply); warm/cold
+   wall-clock comparisons are never gated — timings on shared runners
+   are advisory by nature.
 
 Everything is stdlib-only (CI runners have bare python3).
 """
@@ -57,6 +69,8 @@ SCORE_DRIFT_DB = 0.05
 NEIGHBORHOOD_MESH_FLOOR = 12
 PORTFOLIO_TOLERANCE_DB = 0.05
 PORTFOLIO_WIN_SHARE = 0.80
+WARMSTART_PARITY_RATIO = 0.50
+WARMSTART_MESH_FLOOR = 12
 
 # BENCH_evaluator.json anchors comparable to sweep cells: the committed
 # reused-scratch full-evaluation medians per mesh size.
@@ -236,11 +250,86 @@ def check_score_drift(sweep, baseline):
     return advisories
 
 
+def check_warmstart(report):
+    """Returns (quality_findings, advisory_findings) for a replay report.
+
+    The hit checks are deterministic data (a cache either returned the
+    stored result or it did not), so they land in the quality bucket —
+    fatal under --strict-quality like checks 3 and 5.
+    """
+    findings = []
+    advisories = []
+    cells = report.get("cells", [])
+    ratios = []
+    for c in cells:
+        hit = c.get("exact_hit", {})
+        if hit.get("evaluations", 1) != 0:
+            findings.append(
+                f"{c['id']}: exact-hit repeat performed "
+                f"{hit.get('evaluations')} optimizer evaluations (must be 0)"
+            )
+        if not hit.get("score_matches", False):
+            findings.append(
+                f"{c['id']}: exact-hit result does not reproduce the cold "
+                f"run bit-for-bit (results are deterministic per key)"
+            )
+        phase = c.get("phase", {})
+        if not phase.get("return_exact_hit", False):
+            findings.append(
+                f"{c['id']}: replaying the original request after reverting "
+                f"the phase mutation missed the cache — keys are not "
+                f"canonicalizing edge order"
+            )
+        perturbed = c.get("perturbed", {})
+        if c.get("mesh", 0) >= WARMSTART_MESH_FLOOR:
+            ratio = perturbed.get("parity_ratio")
+            if ratio is None:
+                findings.append(
+                    f"{c['id']}: perturbed warm run never reached the cold "
+                    f"run's final score within the budget"
+                )
+            else:
+                ratios.append((c["id"], ratio))
+        warm = perturbed.get("warm_score")
+        cold = perturbed.get("cold_score")
+        if warm is not None and cold is not None and warm < cold - PORTFOLIO_TOLERANCE_DB:
+            advisories.append(
+                f"{c['id']}: warm-started score {warm:.3f} dB trails the cold "
+                f"run {cold:.3f} dB (warm starts should never lose)"
+            )
+    if ratios:
+        values = sorted(r for _, r in ratios)
+        mid = len(values) // 2
+        median = (
+            values[mid]
+            if len(values) % 2 == 1
+            else (values[mid - 1] + values[mid]) / 2.0
+        )
+        print(
+            f"bench_gate: warm-start parity on {len(ratios)} 12x12+ cells — "
+            f"median ratio {median:.3f} of the cold budget (required "
+            f"<= {WARMSTART_PARITY_RATIO})"
+        )
+        if median > WARMSTART_PARITY_RATIO:
+            findings.append(
+                f"median evaluations-to-parity ratio {median:.3f} over "
+                f"{len(ratios)} 12x12+ cells exceeds {WARMSTART_PARITY_RATIO} "
+                f"of the cold budget"
+            )
+    else:
+        print(
+            "bench_gate: warm-start report has no 12x12+ cells; parity gate "
+            "skipped (hit checks still apply)"
+        )
+    return findings, advisories
+
+
 def main(argv):
     args = []
     strict = False
     strict_quality = False
     baseline_path = None
+    warmstart_path = None
     i = 1
     while i < len(argv):
         arg = argv[i]
@@ -254,32 +343,44 @@ def main(argv):
                 return 2
             baseline_path = argv[i + 1]
             i += 1
+        elif arg == "--warmstart":
+            if i + 1 >= len(argv):
+                print("bench_gate: --warmstart needs a path", file=sys.stderr)
+                return 2
+            warmstart_path = argv[i + 1]
+            i += 1
         elif arg.startswith("--"):
             print(f"bench_gate: unknown flag {arg}", file=sys.stderr)
             return 2
         else:
             args.append(arg)
         i += 1
-    if not args:
+    if not args and not warmstart_path:
         print(__doc__)
         return 2
-    sweep = load(args[0])
-    advisories = check_hybrid(sweep)
-    if len(args) > 1:
-        advisories += check_anchors(sweep, load(args[1]))
-    quality_advisories = check_neighborhood_quality(sweep)
-    portfolio_strict, portfolio_advisories = check_portfolio_quality(sweep)
-    quality_advisories += portfolio_strict
-    advisories += quality_advisories + portfolio_advisories
-    if baseline_path:
-        advisories += check_score_drift(sweep, load(baseline_path))
-
-    n = len(sweep.get("scenarios", []))
-    summary = sweep.get("summary", {})
-    print(
-        f"bench_gate: {n} scenarios, "
-        f"max_hybrid_over_best={summary.get('max_hybrid_over_best', 'n/a')}"
-    )
+    advisories = []
+    quality_advisories = []
+    if args:
+        sweep = load(args[0])
+        advisories += check_hybrid(sweep)
+        if len(args) > 1:
+            advisories += check_anchors(sweep, load(args[1]))
+        quality_advisories += check_neighborhood_quality(sweep)
+        portfolio_strict, portfolio_advisories = check_portfolio_quality(sweep)
+        quality_advisories += portfolio_strict
+        advisories += quality_advisories + portfolio_advisories
+        if baseline_path:
+            advisories += check_score_drift(sweep, load(baseline_path))
+        n = len(sweep.get("scenarios", []))
+        summary = sweep.get("summary", {})
+        print(
+            f"bench_gate: {n} scenarios, "
+            f"max_hybrid_over_best={summary.get('max_hybrid_over_best', 'n/a')}"
+        )
+    if warmstart_path:
+        warm_quality, warm_advisories = check_warmstart(load(warmstart_path))
+        quality_advisories += warm_quality
+        advisories += warm_quality + warm_advisories
     if advisories:
         print(f"bench_gate: {len(advisories)} advisory finding(s):")
         for a in advisories:
@@ -287,7 +388,10 @@ def main(argv):
         if strict:
             return 1
         if strict_quality and quality_advisories:
-            print("bench_gate: quality claim (neighborhood/portfolio) violated — fatal")
+            print(
+                "bench_gate: quality claim (neighborhood/portfolio/warm-start) "
+                "violated — fatal"
+            )
             return 1
         print("bench_gate: advisory mode — not failing the build")
     else:

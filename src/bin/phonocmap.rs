@@ -13,6 +13,7 @@
 //! phonocmap optimize --file my_app.cg ...      # text-format CG input
 //! phonocmap portfolio --app VOPD [--spec "r-pbla@sampled+sa,exchange=best,rounds=8"]
 //! phonocmap sweep [--smoke] [--neighborhood P] [--out BENCH_sweep.json]
+//! phonocmap replay [--smoke] [--budget N] [--out BENCH_warmstart.json]
 //! ```
 //!
 //! The CG text format is documented in `phonoc_apps::text`.
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "optimize" => cmd_optimize(&args),
         "portfolio" => cmd_portfolio(&args),
         "sweep" => cmd_sweep(&args),
+        "replay" => cmd_replay(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -65,6 +67,9 @@ commands:
         [--samples N] [--moves N]       timings + optimizer results as JSON
         [--budget N]                    (r-pbla runs once per neighborhood
         [--neighborhood POLICY]         stream; POLICY restricts to one)
+  replay [--smoke] [--out PATH]         warm-start request streams through a
+        [--budget N]                    persistent cache (cold / exact hit /
+                                        perturbed / phase change) as JSON
 options (analyze/optimize/portfolio):
   --topology mesh|torus|ring   (default mesh)
   --router   crux|crossbar|xy-crossbar   (default crux)
@@ -309,6 +314,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
     // One shared driver with the standalone `sweep` bin: same flags,
     // same progress output, same JSON provenance.
     bench::sweep::run_sweep_cli(args, "phonocmap sweep")
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    // One shared driver with the standalone `replay` bin.
+    bench::replay::run_replay_cli(args, "phonocmap replay")
 }
 
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
