@@ -35,59 +35,53 @@ fn main() {
         let tasks = problem.task_count();
         let tiles = problem.tile_count();
 
-        // Parallel sampling: split the sample budget across workers with
-        // distinct, deterministic sub-seeds.
+        // Parallel sampling: split the sample budget across pool tasks
+        // with distinct, deterministic sub-seeds. The split width keeps
+        // the pre-pool derivation (available parallelism, capped at
+        // 16), so a given host still draws the identical sample set.
         let workers = std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(4)
             .min(16);
         let per_worker = samples.div_ceil(workers);
+        let shards: Vec<(usize, usize)> = (0..workers)
+            .map(|w| (w, per_worker.min(samples.saturating_sub(w * per_worker))))
+            .filter(|&(_, todo)| todo > 0)
+            .collect();
         let mut snr_hist = Histogram::new(snr_range.0, snr_range.1, bins);
         let mut loss_hist = Histogram::new(loss_range.0, loss_range.1, bins);
         let (mut snr_min, mut snr_max) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut loss_min, mut loss_max) = (f64::INFINITY, f64::NEG_INFINITY);
 
-        crossbeam::scope(|scope| {
-            let mut handles = Vec::new();
-            for w in 0..workers {
-                let todo = per_worker.min(samples.saturating_sub(w * per_worker));
-                if todo == 0 {
-                    continue;
-                }
-                handles.push(scope.spawn(move |_| {
-                    let mut rng = StdRng::seed_from_u64(
-                        seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
-                    );
-                    let mut sh = Histogram::new(snr_range.0, snr_range.1, bins);
-                    let mut lh = Histogram::new(loss_range.0, loss_range.1, bins);
-                    let (mut smin, mut smax) = (f64::INFINITY, f64::NEG_INFINITY);
-                    let (mut lmin, mut lmax) = (f64::INFINITY, f64::NEG_INFINITY);
-                    for _ in 0..todo {
-                        let m = Mapping::random(tasks, tiles, &mut rng);
-                        let metrics = evaluator.evaluate(&m);
-                        let snr = metrics.worst_case_snr.0;
-                        let loss = metrics.worst_case_il.0;
-                        sh.add(snr);
-                        lh.add(loss);
-                        smin = smin.min(snr);
-                        smax = smax.max(snr);
-                        lmin = lmin.min(loss);
-                        lmax = lmax.max(loss);
-                    }
-                    (sh, lh, smin, smax, lmin, lmax)
-                }));
+        let sampled = phonoc_core::parallel::parallel_map_tasks(&shards, |&(w, todo)| {
+            let mut rng =
+                StdRng::seed_from_u64(seed ^ (w as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut sh = Histogram::new(snr_range.0, snr_range.1, bins);
+            let mut lh = Histogram::new(loss_range.0, loss_range.1, bins);
+            let (mut smin, mut smax) = (f64::INFINITY, f64::NEG_INFINITY);
+            let (mut lmin, mut lmax) = (f64::INFINITY, f64::NEG_INFINITY);
+            for _ in 0..todo {
+                let m = Mapping::random(tasks, tiles, &mut rng);
+                let metrics = evaluator.evaluate(&m);
+                let snr = metrics.worst_case_snr.0;
+                let loss = metrics.worst_case_il.0;
+                sh.add(snr);
+                lh.add(loss);
+                smin = smin.min(snr);
+                smax = smax.max(snr);
+                lmin = lmin.min(loss);
+                lmax = lmax.max(loss);
             }
-            for h in handles {
-                let (sh, lh, smin, smax, lmin, lmax) = h.join().unwrap();
-                snr_hist.merge(&sh);
-                loss_hist.merge(&lh);
-                snr_min = snr_min.min(smin);
-                snr_max = snr_max.max(smax);
-                loss_min = loss_min.min(lmin);
-                loss_max = loss_max.max(lmax);
-            }
-        })
-        .expect("sampling threads must not panic");
+            (sh, lh, smin, smax, lmin, lmax)
+        });
+        for (sh, lh, smin, smax, lmin, lmax) in sampled {
+            snr_hist.merge(&sh);
+            loss_hist.merge(&lh);
+            snr_min = snr_min.min(smin);
+            snr_max = snr_max.max(smax);
+            loss_min = loss_min.min(lmin);
+            loss_max = loss_max.max(lmax);
+        }
 
         println!("== {app} ({} samples) ==", snr_hist.count());
         println!(

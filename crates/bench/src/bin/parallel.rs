@@ -1,0 +1,24 @@
+//! The parallel-dispatch microbench runner: pool vs scope-spawn
+//! overhead across batch size × item cost × worker count, written as
+//! `BENCH_parallel.json`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin parallel [--smoke] [--out PATH]
+//!     [--samples N]
+//! ```
+//!
+//! `--smoke` runs the CI configuration (one cost tier, four batch
+//! sizes); the default is the full grid behind the committed
+//! `BENCH_parallel.json` at the repository root. The driver is shared
+//! with the `phonocmap parallel-bench` subcommand
+//! ([`bench::parallel::run_parallel_cli`]).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(msg) =
+        bench::parallel::run_parallel_cli(&args, "cargo run --release -p bench --bin parallel")
+    {
+        eprintln!("error: {msg}");
+        std::process::exit(1);
+    }
+}

@@ -47,35 +47,29 @@ fn main() {
          (paper reference values in parentheses)\n"
     );
 
-    // Compute all cells in parallel: one thread per (app, topology).
-    let mut results: Vec<Vec<[Cell; 3]>> = Vec::new(); // [app][kind][algo]
-    crossbeam::scope(|scope| {
-        let mut handles = Vec::new();
-        for app in TABLE2_APPS {
-            for kind in kinds {
-                let algos = &algos;
-                handles.push(scope.spawn(move |_| {
-                    let snr_problem = paper_problem(app, kind, Objective::MaximizeWorstCaseSnr);
-                    let loss_problem = paper_problem(app, kind, Objective::MinimizeWorstCaseLoss);
-                    let mut cells = [Cell {
-                        snr: 0.0,
-                        loss: 0.0,
-                    }; 3];
-                    for (i, (_, algo)) in algos.iter().enumerate() {
-                        let snr = run_dse(&snr_problem, algo.as_ref(), budget, seed).best_score;
-                        let loss = run_dse(&loss_problem, algo.as_ref(), budget, seed).best_score;
-                        cells[i] = Cell { snr, loss };
-                    }
-                    cells
-                }));
+    // Compute all cells in parallel: one pool task per (app, topology).
+    // Item order is (app-major, mesh then torus) and the map preserves
+    // it, so chunking by 2 below regroups the cells per application.
+    let jobs: Vec<(&str, TopologyKind)> = TABLE2_APPS
+        .iter()
+        .flat_map(|&app| kinds.map(|kind| (app, kind)))
+        .collect();
+    let collected: Vec<[Cell; 3]> =
+        phonoc_core::parallel::parallel_map_tasks(&jobs, |&(app, kind)| {
+            let snr_problem = paper_problem(app, kind, Objective::MaximizeWorstCaseSnr);
+            let loss_problem = paper_problem(app, kind, Objective::MinimizeWorstCaseLoss);
+            let mut cells = [Cell {
+                snr: 0.0,
+                loss: 0.0,
+            }; 3];
+            for (i, (_, algo)) in algos.iter().enumerate() {
+                let snr = run_dse(&snr_problem, algo.as_ref(), budget, seed).best_score;
+                let loss = run_dse(&loss_problem, algo.as_ref(), budget, seed).best_score;
+                cells[i] = Cell { snr, loss };
             }
-        }
-        // Handle order is (app-major, mesh then torus), so chunking by 2
-        // below regroups the cells per application.
-        let collected: Vec<[Cell; 3]> = handles.into_iter().map(|h| h.join().unwrap()).collect();
-        results = collected.chunks(2).map(|pair| pair.to_vec()).collect();
-    })
-    .expect("worker threads must not panic");
+            cells
+        });
+    let results: Vec<Vec<[Cell; 3]>> = collected.chunks(2).map(<[_]>::to_vec).collect(); // [app][kind][algo]
 
     let mut csv =
         String::from("app,topology,algorithm,snr_db,loss_db,paper_snr_db,paper_loss_db\n");

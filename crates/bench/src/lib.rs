@@ -2,11 +2,13 @@
 //! figures (see EXPERIMENTS.md for the experiment index).
 //!
 //! Everything here is deterministic given a seed, and the heavy sweeps
-//! are parallelized with `crossbeam` scoped threads — one worker per
-//! experiment cell — sharing read-only problem state.
+//! are parallelized over [`phonoc_core::parallel`]'s persistent worker
+//! pool — one coarse task per experiment cell — sharing read-only
+//! problem state.
 
 #![warn(missing_docs)]
 
+pub mod parallel;
 pub mod replay;
 pub mod sweep;
 

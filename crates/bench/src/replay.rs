@@ -196,6 +196,11 @@ pub struct ReplayReport {
     pub smoke: bool,
     /// Per-request budget.
     pub budget: usize,
+    /// Logical CPU count of the measuring host, straight from
+    /// `available_parallelism` — recorded so readers know whether the
+    /// replay's wall-clock context had real lane parallelism behind it
+    /// (evaluation counts themselves are host-independent).
+    pub host_cores: usize,
     /// Per-cell outcomes, in configuration order.
     pub cells: Vec<CellOutcome>,
 }
@@ -392,6 +397,7 @@ pub fn run_replay(cfg: &ReplayConfig, mut progress: impl FnMut(&CellOutcome)) ->
     ReplayReport {
         smoke: cfg.smoke,
         budget: cfg.budget,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         cells,
     }
 }
@@ -475,20 +481,22 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the report as the `phonocmap-bench-warmstart/1` JSON
+/// Renders the report as the `phonocmap-bench-warmstart/2` JSON
 /// document (hand-rolled — the workspace builds offline, without
-/// `serde_json`).
+/// `serde_json`). Version 2 added the `host_cores` field recording the
+/// measuring host's logical CPU count.
 #[must_use]
 pub fn report_to_json(report: &ReplayReport, command: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-warmstart/1\",");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-warmstart/2\",");
     let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
         if report.smoke { "smoke" } else { "full" }
     );
+    let _ = writeln!(out, "  \"host_cores\": {},", report.host_cores);
     let _ = writeln!(out, "  \"budget\": {},", report.budget);
     let _ = writeln!(
         out,
@@ -514,7 +522,12 @@ pub fn report_to_json(report: &ReplayReport, command: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"return_exact_hit replays the original request after reverting the phase mutation; the re-added edge sits at a new position in the CG edge list, so a hit here proves keys canonicalize edge order.\""
+        "    \"return_exact_hit replays the original request after reverting the phase mutation; the re-added edge sits at a new position in the CG edge list, so a hit here proves keys canonicalize edge order.\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"host_cores records the measuring host's logical CPU count ({}): evaluation counts and scores are host-independent, but any wall-clock reading of this file should know whether lanes actually ran in parallel.\"",
+        report.host_cores
     );
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"summary\": {{");
@@ -634,7 +647,8 @@ mod tests {
         // Small meshes: no 12×12+ cells, the parity gate is vacuous.
         assert!(report.median_large_parity_ratio().is_none());
         let json = report_to_json(&report, "test");
-        assert!(json.contains("\"schema\": \"phonocmap-bench-warmstart/1\""));
+        assert!(json.contains("\"schema\": \"phonocmap-bench-warmstart/2\""));
+        assert!(json.contains("\"host_cores\""));
         assert!(json.contains("\"exact_hit_zero_evaluations\": true"));
         assert!(json.contains("\"pipeline-4x4-d100-s1\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
@@ -653,6 +667,7 @@ mod tests {
             round_evaluations: vec![10, 10, 12],
             evaluations: 32,
             budget: 40,
+            collapsed: None,
             lanes: Vec::new(),
         };
         assert_eq!(evaluations_to_reach(&result, 2.0), Some(20));

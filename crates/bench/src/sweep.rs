@@ -244,6 +244,11 @@ pub struct ScenarioOutcome {
 pub struct SweepReport {
     /// Whether the smoke configuration ran.
     pub smoke: bool,
+    /// Logical CPU count of the measuring host, straight from
+    /// `available_parallelism` — the context that decides whether the
+    /// portfolio row's `ms_workers1`/`ms_workers4` pair is a real
+    /// lane-parallel speed-up or single-core parity.
+    pub host_cores: usize,
     /// Per-scenario outcomes, in matrix order.
     pub scenarios: Vec<ScenarioOutcome>,
 }
@@ -578,6 +583,7 @@ pub fn run_sweep(cfg: &SweepConfig, mut progress: impl FnMut(&ScenarioOutcome)) 
     }
     SweepReport {
         smoke: cfg.smoke,
+        host_cores: std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         scenarios,
     }
 }
@@ -675,24 +681,26 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the report as the `phonocmap-bench-sweep/4` JSON document
+/// Renders the report as the `phonocmap-bench-sweep/5` JSON document
 /// (hand-rolled — the workspace builds offline, without `serde_json`).
 /// Version 2 added the per-optimizer `neighborhood` field and the
 /// `r-pbla@policy` quality comparison rows; version 3 the
 /// equal-total-budget portfolio row (`neighborhood: "portfolio"`);
 /// version 4 the portfolio row's `ms_workers1`/`ms_workers4`
-/// lane-parallel wall-clock pair.
+/// lane-parallel wall-clock pair; version 5 the `host_cores` field
+/// that says how many cores actually stood behind that pair.
 #[must_use]
 pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/4\",");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/5\",");
     let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
     let _ = writeln!(
         out,
         "  \"mode\": \"{}\",",
         if report.smoke { "smoke" } else { "full" }
     );
+    let _ = writeln!(out, "  \"host_cores\": {},", report.host_cores);
     let _ = writeln!(
         out,
         "  \"peek_units\": \"ns per peek; fastest of N timed passes of a fixed random-swap cycle against a random placement (min = least-disturbed observation on a shared machine)\","
@@ -720,7 +728,7 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"ms_workers1/ms_workers4 on the portfolio row time the identical bit-equal run pinned to 1 and 4 worker threads; on a multi-core host the pair is the lane-parallel speed-up, on a single-core host (including the box behind the committed file) the two are expected to be at parity within noise — the pair is recorded so any host can re-measure and compare.\""
+        "    \"ms_workers1/ms_workers4 on the portfolio row time the identical bit-equal run pinned to 1 and 4 worker threads; on a multi-core host the pair is the lane-parallel speed-up, on a single-core host the two are expected to be at parity within noise — host_cores above says which case this file is (the committed file comes from a 1-core box, so its pair is parity-by-construction, not a measured speed-up).\""
     );
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"summary\": {{");
@@ -846,8 +854,10 @@ mod tests {
             assert!(s.optimizers.iter().all(|o| o.best_score.is_finite()));
             assert!((0.0..=1.0).contains(&s.hybrid_full_share));
         }
+        assert!(report.host_cores >= 1);
         let json = report_to_json(&report, "test");
-        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/4\""));
+        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/5\""));
+        assert!(json.contains("\"host_cores\""));
         assert!(json.contains("\"ms_workers1\""));
         assert!(json.contains("\"ms_workers4\""));
         assert!(json.contains("\"neighborhood\": \"portfolio\""));

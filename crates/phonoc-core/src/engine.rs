@@ -1046,8 +1046,9 @@ impl<'p> OptContext<'p> {
     /// The shared SNR batch scan: routes every move up front per the
     /// active [`PeekStrategy`] (cheap index lookups, sequential and
     /// deterministic), then scores the whole batch in one
-    /// order-preserving parallel pass — each worker holds both a
-    /// full-evaluation and a delta scratch. `improving` selects the
+    /// order-preserving parallel pass — each worker's sticky scratch
+    /// slot holds a (full-evaluation, delta) scratch pair, built once
+    /// per worker lifetime. `improving` selects the
     /// bound-then-verify peek (threshold at the cursor score) for
     /// delta-routed moves. Returns `(eval, honest cost)` pairs in input
     /// order; the caller charges them.

@@ -41,7 +41,8 @@
 //!   allocating wrappers (fresh scratch + materialized metrics);
 //! * [`Evaluator::evaluate_batch`] /
 //!   [`Evaluator::evaluate_summaries_batch`] — deterministic parallel
-//!   batches with one reused scratch per worker thread;
+//!   batches on sticky per-worker scratch slots (built once per worker
+//!   lifetime, see [`crate::parallel`]);
 //! * the incremental move path (see [`EvalState`]), which shares the
 //!   accumulation kernel and summation order.
 //!
@@ -133,8 +134,9 @@ pub struct EvalSummary {
 /// One scratch serves any number of sequential
 /// [`Evaluator::evaluate_into`] calls (across different evaluators and
 /// problem sizes — buffers grow to the largest shape seen); parallel
-/// batch entry points create one per worker thread. After the first call
-/// the hot path performs **zero** heap allocation.
+/// batch entry points draw one from each worker's sticky scratch slot
+/// (built once per worker lifetime — see [`crate::parallel`]). After the
+/// first call the hot path performs **zero** heap allocation.
 #[derive(Debug, Default, Clone)]
 pub struct EvalScratch {
     /// Per edge: path index (`src_tile * tile_count + dst_tile`).

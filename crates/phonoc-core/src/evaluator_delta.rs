@@ -379,8 +379,9 @@ impl PeekCostModel {
 ///
 /// One scratch serves any number of sequential
 /// [`Evaluator::evaluate_delta_with`] calls; parallel batch entry points
-/// create one per worker thread. All buffers use epoch-stamped marks, so
-/// reuse never requires clearing.
+/// draw one from each worker's sticky scratch slot (built once per
+/// worker lifetime — see [`crate::parallel`]). All buffers use
+/// epoch-stamped marks, so reuse never requires clearing.
 #[derive(Debug, Default, Clone)]
 pub struct DeltaScratch {
     epoch: u32,
@@ -808,8 +809,8 @@ impl Evaluator {
 
     /// Scores a batch of candidate moves in parallel (the R-PBLA
     /// admitted-list scan). Results are in input order; each worker
-    /// thread uses its own scratch, so the outcome is deterministic and
-    /// bit-identical to a sequential loop.
+    /// reuses its sticky [`DeltaScratch`] slot, so the outcome is
+    /// deterministic and bit-identical to a sequential loop.
     #[must_use]
     pub fn evaluate_delta_batch(
         &self,
@@ -824,9 +825,9 @@ impl Evaluator {
 
     /// Loss-objective fast path over a batch of moves (the IL-only
     /// admitted-list scan). Results are in input order; each worker
-    /// thread reuses one scratch, so the outcome is deterministic and
-    /// bit-identical to a sequential [`Evaluator::evaluate_delta_loss`]
-    /// loop.
+    /// reuses its sticky scratch slot, so the outcome is deterministic
+    /// and bit-identical to a sequential
+    /// [`Evaluator::evaluate_delta_loss`] loop.
     #[must_use]
     pub fn evaluate_delta_loss_batch(
         &self,
@@ -949,7 +950,7 @@ impl Evaluator {
 
     /// [`Evaluator::evaluate_delta_bounded`] over a batch of moves, all
     /// tested against the same threshold, in parallel. Results are in
-    /// input order; each worker thread reuses one scratch, so the
+    /// input order; each worker reuses its sticky scratch slot, so the
     /// outcome is deterministic and identical to a sequential loop.
     #[must_use]
     pub fn evaluate_delta_bounded_batch(
@@ -1039,8 +1040,8 @@ impl Evaluator {
     /// Evaluates many independent mappings in parallel (population
     /// strategies, random sweeps). Results are in input order and
     /// identical to calling [`Evaluator::evaluate`] per mapping; each
-    /// worker thread reuses one [`EvalScratch`], so only the returned
-    /// [`NetworkMetrics`] are allocated.
+    /// worker reuses the [`EvalScratch`] in its sticky slot, so only
+    /// the returned [`NetworkMetrics`] are allocated.
     #[must_use]
     pub fn evaluate_batch(&self, mappings: &[Mapping]) -> Vec<NetworkMetrics> {
         parallel::parallel_map_with(mappings, EvalScratch::default, |scratch, m| {
@@ -1052,7 +1053,8 @@ impl Evaluator {
     /// Worst-cases-only parallel batch — the form search loops consume.
     /// Same ordering and determinism guarantees as
     /// [`Evaluator::evaluate_batch`], with **zero** per-mapping
-    /// allocation (worker scratches are reused across their chunk).
+    /// allocation (sticky worker scratches are reused across chunks
+    /// and across batch calls).
     #[must_use]
     pub fn evaluate_summaries_batch(&self, mappings: &[Mapping]) -> Vec<EvalSummary> {
         parallel::parallel_map_with(mappings, EvalScratch::default, |scratch, m| {

@@ -4,14 +4,19 @@
 //! container *can* verify. The worker count is pinned through
 //! [`phonoc_core::parallel::set_worker_override`] (the same knob the
 //! CI worker matrix drives via `PHONOC_WORKERS`), and each property
-//! compares a 1-worker reference run against 2- and 4-worker reruns of
-//! identical work.
+//! compares a 1-worker reference run against 2-, 4- (and for the pool
+//! properties 8-) worker reruns of identical work — including the
+//! persistent pool against the retained scope-spawn reference path,
+//! mid-run worker resizes between batches, and reused sticky scratch
+//! slots polluted by a differently-shaped batch.
 //!
 //! The override is process-global, so every test serializes on one
 //! mutex and restores the default before releasing it.
 
-use phonoc_core::parallel::{parallel_map, parallel_map_tasks, set_worker_override};
-use phonoc_core::{Mapping, MappingProblem, Move, MoveEval, Objective, OptContext};
+use phonoc_core::parallel::{
+    parallel_map, parallel_map_tasks, pool_map_with, reference_map_with, set_worker_override,
+};
+use phonoc_core::{EvalScratch, Mapping, MappingProblem, Move, MoveEval, Objective, OptContext};
 use phonoc_phys::{Length, PhysicalParameters};
 use phonoc_route::XyRouting;
 use phonoc_router::crux::crux_router;
@@ -77,7 +82,7 @@ fn batch_evaluation_is_worker_count_invariant() {
     let _pin = pin();
     let p = problem(6, 150, 3);
     let mut rng = StdRng::seed_from_u64(99);
-    // Enough mappings that 4 workers genuinely fork (≥ 4 × MIN_CHUNK).
+    // Enough mappings that 4 workers genuinely fork (≥ 4 × FORK_FLOOR).
     let mappings: Vec<Mapping> = (0..96)
         .map(|_| Mapping::random(p.task_count(), p.tile_count(), &mut rng))
         .collect();
@@ -134,6 +139,109 @@ fn peek_scans_are_worker_count_invariant() {
                 reference,
                 "improving={improving} @ {workers} workers"
             );
+        }
+    }
+}
+
+#[test]
+fn pool_is_bit_identical_to_the_scope_spawn_reference() {
+    // The persistent pool against the retained scope-spawn path — the
+    // oracle the pool rewrite is property-tested against — on a real
+    // evaluation workload, at every worker count the CI matrix pins
+    // plus 8 (more workers than this container has cores).
+    let _pin = pin();
+    let p = problem(6, 150, 11);
+    let mut rng = StdRng::seed_from_u64(21);
+    let mappings: Vec<Mapping> = (0..48)
+        .map(|_| Mapping::random(p.task_count(), p.tile_count(), &mut rng))
+        .collect();
+    let evaluator = p.evaluator();
+    let eval_bits = |scratch: &mut EvalScratch, m: &Mapping| -> (u64, u64) {
+        let s = evaluator.evaluate_into(m, None, scratch);
+        (s.worst_case_snr.0.to_bits(), s.worst_case_il.0.to_bits())
+    };
+    let reference = reference_map_with(&mappings, 1, EvalScratch::default, eval_bits);
+    for workers in [1, 2, 4, 8] {
+        let pooled = pool_map_with(&mappings, workers, EvalScratch::default, eval_bits);
+        let spawned = reference_map_with(&mappings, workers, EvalScratch::default, eval_bits);
+        assert_eq!(pooled, reference, "pool @ {workers} workers");
+        assert_eq!(spawned, reference, "scope-spawn @ {workers} workers");
+    }
+}
+
+#[test]
+fn mid_run_worker_resizes_between_batches_do_not_change_results() {
+    // A realistic override lifecycle: the worker count changes *between*
+    // batches mid-run (the deterministic-resize contract — the pool
+    // grows lazily and never shrinks, but dispatch width follows the
+    // override immediately). Every batch must stay bit-identical to the
+    // 1-worker reference regardless of the resize schedule.
+    let _pin = pin();
+    let p = problem(6, 180, 5);
+    let mut rng = StdRng::seed_from_u64(31);
+    let batches: Vec<Vec<Mapping>> = (0..4)
+        .map(|_| {
+            (0..24)
+                .map(|_| Mapping::random(p.task_count(), p.tile_count(), &mut rng))
+                .collect()
+        })
+        .collect();
+    set_worker_override(Some(1));
+    let reference: Vec<Vec<_>> = batches
+        .iter()
+        .map(|b| p.evaluator().evaluate_summaries_batch(b))
+        .collect();
+    // Resize up, down, up again — between batches, never within one.
+    for schedule in [[1, 4, 2, 8], [8, 1, 4, 2], [2, 2, 8, 1]] {
+        for (i, (batch, workers)) in batches.iter().zip(schedule).enumerate() {
+            set_worker_override(Some(workers));
+            let got = p.evaluator().evaluate_summaries_batch(batch);
+            assert_eq!(got.len(), reference[i].len());
+            for (a, b) in got.iter().zip(&reference[i]) {
+                assert_eq!(
+                    a.worst_case_snr.0.to_bits(),
+                    b.worst_case_snr.0.to_bits(),
+                    "batch {i} @ {workers} workers"
+                );
+                assert_eq!(a.worst_case_il.0.to_bits(), b.worst_case_il.0.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn sticky_scratches_are_buffers_not_accumulators() {
+    // A worker's sticky scratch slot survives across batches; results
+    // must nevertheless depend only on the current item, never on what
+    // a previous batch left in the reused slot. Run the same batch
+    // after a batch of *different* work on problems of different size —
+    // if any evaluation read stale scratch state, the bits would move.
+    let _pin = pin();
+    let small = problem(4, 220, 13);
+    let large = problem(6, 150, 17);
+    let mut rng = StdRng::seed_from_u64(41);
+    let small_batch: Vec<Mapping> = (0..32)
+        .map(|_| Mapping::random(small.task_count(), small.tile_count(), &mut rng))
+        .collect();
+    let large_batch: Vec<Mapping> = (0..32)
+        .map(|_| Mapping::random(large.task_count(), large.tile_count(), &mut rng))
+        .collect();
+    set_worker_override(Some(1));
+    let fresh = small.evaluator().evaluate_summaries_batch(&small_batch);
+    for workers in [2, 4, 8] {
+        set_worker_override(Some(workers));
+        // Pollute every worker's sticky slot with the larger problem's
+        // scratch geometry, then re-run the small batch on the same
+        // (now stale-shaped) slots.
+        let _ = large.evaluator().evaluate_summaries_batch(&large_batch);
+        let reused = small.evaluator().evaluate_summaries_batch(&small_batch);
+        for (a, b) in reused.iter().zip(&fresh) {
+            assert_eq!(
+                a.worst_case_snr.0.to_bits(),
+                b.worst_case_snr.0.to_bits(),
+                "stale slot leaked @ {workers} workers"
+            );
+            assert_eq!(a.worst_case_il.0.to_bits(), b.worst_case_il.0.to_bits());
         }
     }
 }

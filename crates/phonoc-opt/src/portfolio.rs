@@ -53,6 +53,23 @@
 //! budget B — the equal-total-budget comparison the sweep's portfolio
 //! column and `scripts/bench_gate.py` enforce on the committed
 //! `BENCH_sweep.json`.
+//!
+//! # Dominance collapse
+//!
+//! With `collapse=K` in the spec (default **off**), the portfolio
+//! watches the post-round standings: once one lane has held the global
+//! best for `K` consecutive rounds, the race is declared decided and
+//! every later round's budget flows to that lane alone (one-hot
+//! weights — the losing lanes' cells allocate zero and are skipped,
+//! exactly like the zero-allotment cells of a tiny budget). The
+//! detection is a pure function of the fixed lane-order reduction
+//! (ties break to the lowest lane index), so it is as deterministic
+//! and worker-count invariant as the rest of the round loop, and it is
+//! orthogonal to the [`ExchangePolicy`]: exchange still decides where
+//! the surviving lane restarts from. The collapse point is reported in
+//! [`PortfolioResult::collapsed`]. Because the knob is off by default
+//! and [`PortfolioSpec::canonical`] only prints it when set, committed
+//! warm-cache keys and sweep spec strings are byte-stable.
 
 use crate::registry;
 use phonoc_core::parallel::parallel_map_tasks;
@@ -180,6 +197,11 @@ pub struct PortfolioSpec {
     pub exchange: ExchangePolicy,
     /// Bulk-synchronous rounds the budget is split over (≥ 1).
     pub rounds: usize,
+    /// Dominance collapse: once one lane has held the global best for
+    /// this many consecutive rounds, all remaining budget flows to it
+    /// (see the [module docs](self#dominance-collapse)). `None` (the
+    /// default) races every lane to the end.
+    pub collapse: Option<usize>,
 }
 
 /// Default round count when a spec does not name one: enough rounds
@@ -189,15 +211,16 @@ pub const DEFAULT_ROUNDS: usize = 6;
 
 impl PortfolioSpec {
     /// Parses a portfolio spec of the form
-    /// `lane+lane+...[,exchange=isolated|best|ring][,rounds=N]`, e.g.
-    /// `r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8`.
+    /// `lane+lane+...[,exchange=isolated|best|ring][,rounds=N][,collapse=K]`,
+    /// e.g. `r-pbla@sampled+r-pbla@locality+sa,exchange=best,rounds=8`.
     /// (The registry accepts the same string behind a `portfolio:`
-    /// prefix.) Defaults: `exchange=best`, `rounds=6`.
+    /// prefix.) Defaults: `exchange=best`, `rounds=6`, no collapse.
     ///
     /// # Errors
     ///
     /// Returns a message for an empty lane list, an unknown lane or
-    /// exchange name, a malformed option, or a zero round count.
+    /// exchange name, a malformed option, or a zero round or collapse
+    /// count.
     pub fn parse(spec: &str) -> Result<PortfolioSpec, String> {
         let mut sections = spec.split(',');
         let lane_list = sections.next().unwrap_or("");
@@ -211,6 +234,7 @@ impl PortfolioSpec {
         }
         let mut exchange = ExchangePolicy::default();
         let mut rounds = DEFAULT_ROUNDS;
+        let mut collapse = None;
         for section in sections {
             match section.split_once('=') {
                 Some(("exchange", v)) => {
@@ -225,6 +249,15 @@ impl PortfolioSpec {
                         return Err("rounds must be at least 1".into());
                     }
                 }
+                Some(("collapse", v)) => {
+                    let k: usize = v
+                        .parse()
+                        .map_err(|_| format!("bad collapse `{v}` (positive integer)"))?;
+                    if k == 0 {
+                        return Err("collapse must be at least 1".into());
+                    }
+                    collapse = Some(k);
+                }
                 _ => return Err(format!("unknown portfolio option `{section}`")),
             }
         }
@@ -232,20 +265,28 @@ impl PortfolioSpec {
             lanes,
             exchange,
             rounds,
+            collapse,
         })
     }
 
     /// The canonical spec string (with the `portfolio:` registry
-    /// prefix), normalizing option order and spelling.
+    /// prefix), normalizing option order and spelling. `collapse` only
+    /// appears when set, so pre-existing spec strings (and the
+    /// warm-cache keys derived from them) are unchanged by the knob's
+    /// existence.
     #[must_use]
     pub fn canonical(&self) -> String {
         let lanes: Vec<String> = self.lanes.iter().map(LaneSpec::label).collect();
-        format!(
+        let mut spec = format!(
             "portfolio:{},exchange={},rounds={}",
             lanes.join("+"),
             self.exchange,
             self.rounds
-        )
+        );
+        if let Some(k) = self.collapse {
+            let _ = write!(spec, ",collapse={k}");
+        }
+        spec
     }
 }
 
@@ -461,6 +502,11 @@ pub struct PortfolioResult {
     pub evaluations: usize,
     /// The global budget (= the sum of every lane's allotment).
     pub budget: usize,
+    /// Dominance collapse, if it fired: `(lane, round)` — the lane the
+    /// portfolio collapsed to and the (0-based) round whose standings
+    /// triggered it; every later round funds that lane alone. `None`
+    /// when the knob is off or no lane dominated long enough.
+    pub collapsed: Option<(usize, usize)>,
     /// Per-lane breakdown, in lane order.
     pub lanes: Vec<LaneOutcome>,
 }
@@ -529,17 +575,28 @@ pub fn run_portfolio_seeded(
     let mut delta_evals = vec![0usize; n];
     let mut round_best = Vec::with_capacity(rounds);
     let mut round_evaluations = Vec::with_capacity(rounds);
+    // Dominance tracking: (lane, consecutive rounds it has held the
+    // global best), and the permanent collapse decision once the
+    // streak reaches `spec.collapse`.
+    let mut streak: Option<(usize, usize)> = None;
+    let mut collapsed: Option<(usize, usize)> = None;
 
     for round in 0..rounds {
         // Performance-weighted allocation: the lane holding the global
         // best gets ELITE_WEIGHT shares, everyone else one. Round 0 is
-        // an even probe (no standings yet). Pure function of the fixed
-        // reductions below, so still worker-count invariant.
-        let weights: Vec<u64> = match elite_lane(&incumbents) {
-            Some(owner) => (0..n)
-                .map(|lane| if lane == owner { ELITE_WEIGHT } else { 1 })
-                .collect(),
-            None => vec![1; n],
+        // an even probe (no standings yet). After a dominance collapse
+        // the weights go one-hot — the winner takes the whole round.
+        // Pure function of the fixed reductions below, so still
+        // worker-count invariant.
+        let weights: Vec<u64> = if let Some((winner, _)) = collapsed {
+            (0..n).map(|lane| u64::from(lane == winner)).collect()
+        } else {
+            match elite_lane(&incumbents) {
+                Some(owner) => (0..n)
+                    .map(|lane| if lane == owner { ELITE_WEIGHT } else { 1 })
+                    .collect(),
+                None => vec![1; n],
+            }
         };
         let allot = ledger.allocate_round(round, &weights);
 
@@ -618,6 +675,23 @@ pub fn run_portfolio_seeded(
                 .unwrap_or(f64::NEG_INFINITY),
         );
         round_evaluations.push(round_used);
+
+        // Dominance detection on the post-round standings (the same
+        // fixed reduction the weights read): extend or reset the
+        // streak, and collapse permanently once it reaches K.
+        if let Some(owner) = elite_lane(&incumbents) {
+            streak = match streak {
+                Some((lane, count)) if lane == owner => Some((owner, count + 1)),
+                _ => Some((owner, 1)),
+            };
+            if collapsed.is_none() {
+                if let (Some(k), Some((lane, count))) = (spec.collapse, streak) {
+                    if count >= k {
+                        collapsed = Some((lane, round));
+                    }
+                }
+            }
+        }
     }
 
     let (best_mapping, best_score) = best_incumbent(&incumbents)
@@ -651,6 +725,7 @@ pub fn run_portfolio_seeded(
         round_evaluations,
         evaluations: ledger.total_used(),
         budget: ledger.total_allotted(),
+        collapsed,
         lanes,
     }
 }
@@ -779,6 +854,108 @@ mod tests {
         assert!(PortfolioSpec::parse("rs,rounds=0").is_err());
         assert!(PortfolioSpec::parse("rs,rounds=x").is_err());
         assert!(PortfolioSpec::parse("rs,frobnicate=1").is_err());
+        assert!(PortfolioSpec::parse("rs+sa,collapse=0").is_err());
+        assert!(PortfolioSpec::parse("rs+sa,collapse=x").is_err());
+    }
+
+    /// The committed two-lane sweep spec — the configuration the
+    /// collapse knob is specified against.
+    const TWO_LANE: &str = "r-pbla@sampled+r-pbla@locality,exchange=best,rounds=14";
+
+    #[test]
+    fn collapse_parses_round_trips_and_leaves_plain_specs_untouched() {
+        // Without the knob the canonical string is byte-identical to
+        // what PR 4/5 committed (warm-cache keys must not move).
+        let plain = PortfolioSpec::parse(TWO_LANE).unwrap();
+        assert_eq!(plain.collapse, None);
+        assert_eq!(plain.canonical(), format!("portfolio:{TWO_LANE}"));
+        // With the knob it round-trips through the canonical form.
+        let spec = PortfolioSpec::parse(&format!("{TWO_LANE},collapse=3")).unwrap();
+        assert_eq!(spec.collapse, Some(3));
+        assert_eq!(spec.canonical(), format!("portfolio:{TWO_LANE},collapse=3"));
+        let reparsed = PortfolioSpec::parse(&format!("{TWO_LANE},collapse=3")).unwrap();
+        assert_eq!(spec, reparsed);
+    }
+
+    #[test]
+    fn collapse_fires_and_funds_only_the_winning_lane() {
+        let p = tiny_problem();
+        let spec = PortfolioSpec::parse(
+            "r-pbla@sampled+r-pbla@locality,exchange=best,rounds=6,collapse=2",
+        )
+        .unwrap();
+        let r = run_portfolio(&p, &spec, 600, 11);
+        let (winner, at_round) = r
+            .collapsed
+            .expect("a 2-round streak must occur in 6 rounds");
+        assert!(winner < 2);
+        assert!(at_round >= 1, "a streak of 2 needs at least two rounds");
+        // Budget discipline is untouched: the lane allotments still sum
+        // exactly to the global budget.
+        assert_eq!(r.budget, 600);
+        assert_eq!(r.lanes.iter().map(|l| l.allotted).sum::<usize>(), 600);
+        assert!(r.evaluations <= 600);
+        assert!(r.best_mapping.is_valid());
+        // Deterministic, including the collapse point.
+        let r2 = run_portfolio(&p, &spec, 600, 11);
+        assert_eq!(r2.collapsed, Some((winner, at_round)));
+        assert_eq!(r2.best_score, r.best_score);
+        assert_eq!(r2.best_mapping, r.best_mapping);
+    }
+
+    #[test]
+    fn collapse_off_reports_none_and_matches_the_plain_run() {
+        let p = tiny_problem();
+        let plain = PortfolioSpec::parse(TWO_LANE).unwrap();
+        let r = run_portfolio(&p, &plain, 280, 7);
+        assert_eq!(r.collapsed, None);
+        // A collapse window longer than the run never fires and never
+        // changes the race.
+        let mut never = plain.clone();
+        never.collapse = Some(usize::MAX);
+        let rn = run_portfolio(&p, &never, 280, 7);
+        assert_eq!(rn.collapsed, None);
+        assert_eq!(rn.best_score, r.best_score);
+        assert_eq!(rn.best_mapping, r.best_mapping);
+        assert_eq!(rn.round_best, r.round_best);
+        assert_eq!(rn.round_evaluations, r.round_evaluations);
+    }
+
+    #[test]
+    fn collapse_is_orthogonal_to_every_exchange_policy() {
+        let p = tiny_problem();
+        for exchange in ExchangePolicy::ALL {
+            let spec = PortfolioSpec {
+                lanes: vec![
+                    LaneSpec::parse("r-pbla@sampled").unwrap(),
+                    LaneSpec::parse("r-pbla@locality").unwrap(),
+                ],
+                exchange,
+                rounds: 5,
+                collapse: Some(1),
+            };
+            let r = run_portfolio(&p, &spec, 300, 13);
+            // collapse=1 fires on the first decided round (round 0
+            // unless no lane evaluated anything).
+            assert_eq!(r.collapsed.map(|(_, round)| round), Some(0), "{exchange}");
+            assert_eq!(r.budget, 300, "{exchange}");
+            assert_eq!(
+                r.lanes.iter().map(|l| l.allotted).sum::<usize>(),
+                300,
+                "{exchange}"
+            );
+            assert!(r.best_mapping.is_valid(), "{exchange}");
+            // After the collapse every later round funds the winner
+            // alone.
+            let (winner, _) = r.collapsed.unwrap();
+            let loser = 1 - winner;
+            assert!(
+                r.lanes[loser].allotted < r.lanes[winner].allotted,
+                "{exchange}: loser {} vs winner {}",
+                r.lanes[loser].allotted,
+                r.lanes[winner].allotted
+            );
+        }
     }
 
     #[test]
@@ -810,6 +987,7 @@ mod tests {
                 ],
                 exchange,
                 rounds: 3,
+                collapse: None,
             };
             let r = run_portfolio(&p, &spec, 240, 5);
             assert!(r.best_mapping.is_valid(), "{exchange}");

@@ -69,7 +69,7 @@ pub enum SearchSpec {
 }
 
 /// Resolves any registry spec — `name[@policy]` or
-/// `portfolio:lane+lane,exchange=...,rounds=N` — into a
+/// `portfolio:lane+lane,exchange=...,rounds=N[,collapse=K]` — into a
 /// [`SearchSpec`].
 ///
 /// # Errors

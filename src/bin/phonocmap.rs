@@ -14,6 +14,7 @@
 //! phonocmap portfolio --app VOPD [--spec "r-pbla@sampled+sa,exchange=best,rounds=8"]
 //! phonocmap sweep [--smoke] [--neighborhood P] [--out BENCH_sweep.json]
 //! phonocmap replay [--smoke] [--budget N] [--out BENCH_warmstart.json]
+//! phonocmap parallel-bench [--smoke] [--out BENCH_parallel.json]
 //! ```
 //!
 //! The CG text format is documented in `phonoc_apps::text`.
@@ -39,6 +40,7 @@ fn main() -> ExitCode {
         "portfolio" => cmd_portfolio(&args),
         "sweep" => cmd_sweep(&args),
         "replay" => cmd_replay(&args),
+        "parallel-bench" => cmd_parallel_bench(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -62,7 +64,7 @@ commands:
   analyze  --app <name> | --file <cg>   evaluate a random mapping
   optimize --app <name> | --file <cg>   search for the best mapping
   portfolio --app <name> | --file <cg>  race N search lanes with elite
-        [--spec LANES[,exchange=E][,rounds=N]]   exchange (try `portfolio help`)
+        [--spec LANES[,exchange=E][,rounds=N][,collapse=K]]  (try `portfolio help`)
   sweep [--smoke] [--out PATH]          scenario-matrix sweep: peek-strategy
         [--samples N] [--moves N]       timings + optimizer results as JSON
         [--budget N]                    (r-pbla runs once per neighborhood
@@ -70,6 +72,9 @@ commands:
   replay [--smoke] [--out PATH]         warm-start request streams through a
         [--budget N]                    persistent cache (cold / exact hit /
                                         perturbed / phase change) as JSON
+  parallel-bench [--smoke] [--out PATH] dispatch-overhead microbench: the
+        [--samples N]                   persistent pool vs scope-spawn across
+                                        batch size x item cost x workers
 options (analyze/optimize/portfolio):
   --topology mesh|torus|ring   (default mesh)
   --router   crux|crossbar|xy-crossbar   (default crux)
@@ -226,13 +231,15 @@ usage:
   phonocmap portfolio --app <name> | --file <cg> [--spec SPEC] [options]
 
 SPEC grammar (default: r-pbla@sampled+r-pbla@locality,exchange=best,rounds=14):
-  lane[+lane...][,exchange=isolated|best|ring][,rounds=N]
+  lane[+lane...][,exchange=isolated|best|ring][,rounds=N][,collapse=K]
   lane = optimizer[@neighborhood][/peek]
     optimizer     rs|ga|r-pbla|sa|tabu|ils
     @neighborhood auto|exhaustive|sampled|locality  (swap-scan streams)
     /peek         hybrid|delta|full                 (cost only, never scores)
   exchange: isolated = pure race, best = all lanes restart from the round's
   best incumbent, ring = each lane inherits its left neighbour's elite.
+  collapse: once one lane holds the global best K rounds in a row, all
+  remaining budget flows to it (dominance collapse; off by default).
 
 examples:
   phonocmap portfolio --app VOPD
@@ -289,6 +296,13 @@ fn run_portfolio_session(
         problem.objective(),
         result.best_score
     );
+    if let Some((lane, round)) = result.collapsed {
+        println!(
+            "dominance collapse: lane {lane} ({}) took the whole budget from round {} on",
+            result.lanes[lane].label,
+            round + 1
+        );
+    }
     println!("lanes (allotments sum to the global budget):");
     for lane in &result.lanes {
         println!(
@@ -319,6 +333,11 @@ fn cmd_sweep(args: &[String]) -> Result<(), String> {
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     // One shared driver with the standalone `replay` bin.
     bench::replay::run_replay_cli(args, "phonocmap replay")
+}
+
+fn cmd_parallel_bench(args: &[String]) -> Result<(), String> {
+    // One shared driver with the standalone `parallel` bin.
+    bench::parallel::run_parallel_cli(args, "phonocmap parallel-bench")
 }
 
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
