@@ -8,7 +8,7 @@
 
 use bench::{paper_problem, TABLE2_APPS};
 use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
-use phonoc_core::{DeltaScratch, EvalScratch, Mapping, MappingProblem, Objective};
+use phonoc_core::{DeltaScratch, DseConfig, EvalScratch, Mapping, MappingProblem, Objective};
 use phonoc_phys::PhysicalParameters;
 use phonoc_route::XyRouting;
 use phonoc_router::crux::crux_router;
@@ -124,8 +124,7 @@ fn full_vs_delta(c: &mut Criterion) {
         let optimized = phonoc_core::run_dse(
             &problem,
             phonoc_opt::registry::optimizer("r-pbla").unwrap().as_ref(),
-            3_000,
-            5,
+            &DseConfig::new(3_000, 5),
         )
         .best_mapping;
         let opt_state = evaluator.init_state(&optimized);

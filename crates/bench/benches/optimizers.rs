@@ -6,7 +6,7 @@
 
 use bench::paper_problem;
 use criterion::{criterion_group, criterion_main, Criterion};
-use phonoc_core::{run_dse, MappingOptimizer, Objective};
+use phonoc_core::{run_dse, DseConfig, MappingOptimizer, Objective};
 use phonoc_opt::{GeneticAlgorithm, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch};
 use phonoc_topo::TopologyKind;
 
@@ -24,7 +24,7 @@ fn optimizer_overhead(c: &mut Criterion) {
     group.sample_size(10);
     for opt in &optimizers {
         group.bench_function(opt.name(), |b| {
-            b.iter(|| run_dse(&problem, opt.as_ref(), budget, 42));
+            b.iter(|| run_dse(&problem, opt.as_ref(), &DseConfig::new(budget, 42)));
         });
     }
     group.finish();

@@ -8,7 +8,7 @@
 
 use bench::{arg_value, paper_problem, write_results_file, TABLE2_APPS};
 use phonoc_core::montecarlo::activity_study;
-use phonoc_core::{run_dse, Objective};
+use phonoc_core::{run_dse, DseConfig, Objective};
 use phonoc_opt::Rpbla;
 use phonoc_topo::TopologyKind;
 use std::fmt::Write as _;
@@ -28,7 +28,7 @@ fn main() {
     let mut violations = 0usize;
     for app in TABLE2_APPS {
         let problem = paper_problem(app, TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
-        let mapping = run_dse(&problem, &Rpbla, 10_000, seed).best_mapping;
+        let mapping = run_dse(&problem, &Rpbla, &DseConfig::new(10_000, seed)).best_mapping;
         for activity in [0.25, 0.5, 1.0] {
             let s = activity_study(&problem, &mapping, activity, samples, seed);
             if s.min_sampled_snr < s.worst_case_snr {

@@ -7,7 +7,7 @@
 //! ```
 
 use bench::{arg_value, paper_problem, write_results_file};
-use phonoc_core::{run_dse, MappingOptimizer, Objective};
+use phonoc_core::{run_dse, DseConfig, MappingOptimizer, Objective};
 use phonoc_opt::{
     GeneticAlgorithm, IteratedLocalSearch, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch,
 };
@@ -39,7 +39,7 @@ fn main() {
     for app in APPS {
         let problem = paper_problem(app, TopologyKind::Mesh, Objective::MaximizeWorstCaseSnr);
         for opt in &optimizers {
-            let r = run_dse(&problem, opt.as_ref(), budget, seed);
+            let r = run_dse(&problem, opt.as_ref(), &DseConfig::new(budget, seed));
             let evals_to_best = r.history.last().map_or(0, |(e, _)| *e);
             println!(
                 "{app:<10} {:>10} {:>12.2} {:>22}",

@@ -11,7 +11,7 @@
 //! ```
 
 use bench::{arg_value, problem_with_router, router_by_name, write_results_file};
-use phonoc_core::{run_dse, Objective};
+use phonoc_core::{run_dse, DseConfig, Objective};
 use phonoc_opt::Rpbla;
 use phonoc_topo::TopologyKind;
 use std::fmt::Write as _;
@@ -47,8 +47,8 @@ fn main() {
                 Objective::MinimizeWorstCaseLoss,
                 router,
             );
-            let snr = run_dse(&snr_problem, &Rpbla, budget, seed).best_score;
-            let loss = run_dse(&loss_problem, &Rpbla, budget, seed).best_score;
+            let snr = run_dse(&snr_problem, &Rpbla, &DseConfig::new(budget, seed)).best_score;
+            let loss = run_dse(&loss_problem, &Rpbla, &DseConfig::new(budget, seed)).best_score;
             println!(
                 "{app:<10} {router_name:>12} {rings:>10} {crossings:>14} {snr:>12.2} {loss:>12.3}"
             );

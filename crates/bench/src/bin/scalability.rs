@@ -17,7 +17,7 @@
 use bench::sweep::scenario_problem_with_objective;
 use bench::{arg_value, write_results_file};
 use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
-use phonoc_core::{run_dse, Objective};
+use phonoc_core::{run_dse, DseConfig, Objective};
 use phonoc_opt::Rpbla;
 use phonoc_phys::{PhysicalParameters, PowerBudget};
 use std::fmt::Write as _;
@@ -62,7 +62,7 @@ fn main() {
         };
         let problem = scenario_problem_with_objective(&spec, Objective::MinimizeWorstCaseLoss);
         let edges = problem.cg().edge_count();
-        let result = run_dse(&problem, &Rpbla, budget, seed);
+        let result = run_dse(&problem, &Rpbla, &DseConfig::new(budget, seed));
         let (metrics, _) = problem.evaluate(&result.best_mapping);
 
         let il = metrics.worst_case_il;

@@ -15,7 +15,7 @@
 use bench::{
     arg_value, paper_problem, write_results_file, PAPER_TABLE2_LOSS, PAPER_TABLE2_SNR, TABLE2_APPS,
 };
-use phonoc_core::{run_dse, MappingOptimizer, Objective};
+use phonoc_core::{run_dse, DseConfig, MappingOptimizer, Objective};
 use phonoc_opt::{GeneticAlgorithm, RandomSearch, Rpbla};
 use phonoc_topo::TopologyKind;
 use std::fmt::Write as _;
@@ -63,8 +63,10 @@ fn main() {
                 loss: 0.0,
             }; 3];
             for (i, (_, algo)) in algos.iter().enumerate() {
-                let snr = run_dse(&snr_problem, algo.as_ref(), budget, seed).best_score;
-                let loss = run_dse(&loss_problem, algo.as_ref(), budget, seed).best_score;
+                let snr =
+                    run_dse(&snr_problem, algo.as_ref(), &DseConfig::new(budget, seed)).best_score;
+                let loss =
+                    run_dse(&loss_problem, algo.as_ref(), &DseConfig::new(budget, seed)).best_score;
                 cells[i] = Cell { snr, loss };
             }
             cells

@@ -74,7 +74,9 @@ pub struct SweepConfig {
 impl SweepConfig {
     /// The full sweep behind the committed `BENCH_sweep.json`: R-PBLA
     /// runs under all three pinned neighbourhood streams so every cell
-    /// records the quality comparison.
+    /// records the quality comparison, plus the objective-suffixed
+    /// power columns (`!power`, `!margin-pam4`) that score the same
+    /// cells under the modulation-aware laser-power objectives.
     #[must_use]
     pub fn full() -> SweepConfig {
         SweepConfig {
@@ -87,6 +89,8 @@ impl SweepConfig {
                 "r-pbla@exhaustive".into(),
                 "r-pbla@sampled".into(),
                 "r-pbla@locality".into(),
+                "r-pbla@sampled!power".into(),
+                "r-pbla@sampled!margin-pam4".into(),
                 PORTFOLIO_SPEC.into(),
             ],
             smoke: false,
@@ -113,6 +117,7 @@ impl SweepConfig {
                 "rs".into(),
                 "r-pbla@exhaustive".into(),
                 "r-pbla@sampled".into(),
+                "r-pbla@sampled!power".into(),
                 PORTFOLIO_SPEC.into(),
             ],
             smoke: true,
@@ -198,12 +203,20 @@ impl PeekTimings {
 /// One optimizer-registry run inside a scenario.
 #[derive(Debug, Clone)]
 pub struct OptOutcome {
-    /// Registry spec (`name[@neighborhood]`, e.g. `r-pbla@sampled`).
+    /// Registry spec (`name[@policy][/peek][!objective]`, e.g.
+    /// `r-pbla@sampled` or `r-pbla@sampled!power`).
     pub algo: String,
     /// The neighbourhood policy the run pinned (`auto` when the spec
     /// left the context default).
     pub neighborhood: &'static str,
-    /// Best worst-case-SNR score found (dB).
+    /// The objective the run scored under: the scenario default (`snr`)
+    /// unless the spec carried an `!objective` override. Scores across
+    /// rows with *different* objectives are on different scales and
+    /// must not be compared directly.
+    pub objective: &'static str,
+    /// Best score found under `objective` (dB; worst-case SNR for the
+    /// default rows, negated launch power / SNR margin for the
+    /// power-family rows).
     pub best_score: f64,
     /// Budget consumed (full-evaluation-equivalents).
     pub evaluations: usize,
@@ -474,19 +487,20 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                 .unwrap_or_else(|e| panic!("bad optimizer spec `{name}`: {e}"));
             let t = Instant::now();
             match search {
-                phonoc_opt::SearchSpec::Single(opt, policy) => {
-                    let policy = policy.unwrap_or_default();
-                    let result = phonoc_core::run_dse_configured(
-                        &problem,
-                        opt.as_ref(),
-                        cfg.budget,
-                        spec.seed,
-                        phonoc_core::PeekStrategy::default(),
-                        policy,
-                    );
+                phonoc_opt::SearchSpec::Single(single) => {
+                    let policy = single.policy.unwrap_or_default();
+                    let mut config = phonoc_core::DseConfig::new(cfg.budget, spec.seed)
+                        .with_strategy(single.strategy.unwrap_or_default())
+                        .with_policy(policy);
+                    config.objective = single.objective;
+                    let result = phonoc_core::run_dse(&problem, single.optimizer.as_ref(), &config);
                     OptOutcome {
                         algo: name.clone(),
                         neighborhood: policy.name(),
+                        objective: single
+                            .objective
+                            .unwrap_or_else(|| problem.objective())
+                            .name(),
                         best_score: result.best_score,
                         evaluations: result.evaluations,
                         full_evaluations: result.full_evaluations,
@@ -520,6 +534,7 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                     OptOutcome {
                         algo: name.clone(),
                         neighborhood: "portfolio",
+                        objective: problem.objective().name(),
                         best_score: result.best_score,
                         evaluations: result.evaluations,
                         full_evaluations: result.lanes.iter().map(|l| l.full_evaluations).sum(),
@@ -681,19 +696,22 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the report as the `phonocmap-bench-sweep/5` JSON document
+/// Renders the report as the `phonocmap-bench-sweep/6` JSON document
 /// (hand-rolled — the workspace builds offline, without `serde_json`).
 /// Version 2 added the per-optimizer `neighborhood` field and the
 /// `r-pbla@policy` quality comparison rows; version 3 the
 /// equal-total-budget portfolio row (`neighborhood: "portfolio"`);
 /// version 4 the portfolio row's `ms_workers1`/`ms_workers4`
 /// lane-parallel wall-clock pair; version 5 the `host_cores` field
-/// that says how many cores actually stood behind that pair.
+/// that says how many cores actually stood behind that pair; version 6
+/// the per-row `objective` field and the objective-suffixed power
+/// columns (`!power`, `!margin-pam4`) scoring every cell under the
+/// modulation-aware laser-power objectives.
 #[must_use]
 pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/5\",");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/6\",");
     let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
     let _ = writeln!(
         out,
@@ -728,7 +746,11 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"ms_workers1/ms_workers4 on the portfolio row time the identical bit-equal run pinned to 1 and 4 worker threads; on a multi-core host the pair is the lane-parallel speed-up, on a single-core host the two are expected to be at parity within noise — host_cores above says which case this file is (the committed file comes from a 1-core box, so its pair is parity-by-construction, not a measured speed-up).\""
+        "    \"ms_workers1/ms_workers4 on the portfolio row time the identical bit-equal run pinned to 1 and 4 worker threads; on a multi-core host the pair is the lane-parallel speed-up, on a single-core host the two are expected to be at parity within noise — host_cores above says which case this file is (the committed file comes from a 1-core box, so its pair is parity-by-construction, not a measured speed-up).\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"Objective-suffixed rows (!power, !margin-pam4) re-score the same cell under the modulation-aware laser-power objectives: best_score is -(required worst-link launch power) for !power and the worst-link SNR margin for !margin-pam4, both deterministic per (cell, algo). Their scores live on different scales from the snr rows — compare them only within the same objective column.\""
     );
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"summary\": {{");
@@ -780,10 +802,11 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
         for (j, o) in s.optimizers.iter().enumerate() {
             let _ = write!(
                 out,
-                "{}{{\"algo\": \"{}\", \"neighborhood\": \"{}\", \"best_score\": {:.4}, \"evaluations\": {}, \"full_evaluations\": {}, \"delta_evaluations\": {}, \"ms\": {}",
+                "{}{{\"algo\": \"{}\", \"neighborhood\": \"{}\", \"objective\": \"{}\", \"best_score\": {:.4}, \"evaluations\": {}, \"full_evaluations\": {}, \"delta_evaluations\": {}, \"ms\": {}",
                 if j == 0 { "" } else { ", " },
                 json_escape(&o.algo),
                 o.neighborhood,
+                o.objective,
                 o.best_score,
                 o.evaluations,
                 o.full_evaluations,
@@ -829,6 +852,7 @@ mod tests {
             optimizers: vec![
                 "rs".into(),
                 "r-pbla@sampled".into(),
+                "r-pbla@sampled!power".into(),
                 "portfolio:r-pbla+sa,exchange=best,rounds=2".into(),
             ],
             smoke: true,
@@ -844,19 +868,27 @@ mod tests {
         assert_eq!(report.scenarios.len(), 2);
         for s in &report.scenarios {
             assert!(s.edges > 0 && s.tasks == 16);
-            assert_eq!(s.optimizers.len(), 3);
+            assert_eq!(s.optimizers.len(), 4);
             assert_eq!(s.optimizers[0].neighborhood, "auto");
             assert_eq!(s.optimizers[1].neighborhood, "sampled");
-            assert_eq!(s.optimizers[2].neighborhood, "portfolio");
-            assert!(s.optimizers[2].evaluations <= 20);
-            assert!(s.optimizers[2].lane_parallel_ms.is_some());
+            assert_eq!(s.optimizers[2].neighborhood, "sampled");
+            assert_eq!(s.optimizers[3].neighborhood, "portfolio");
+            assert_eq!(s.optimizers[1].objective, "snr");
+            // The power column scores under its override, not the
+            // scenario default.
+            assert_eq!(s.optimizers[2].algo, "r-pbla@sampled!power");
+            assert_eq!(s.optimizers[2].objective, "power");
+            assert!(s.optimizers[3].evaluations <= 20);
+            assert!(s.optimizers[3].lane_parallel_ms.is_some());
             assert!(s.optimizers[0].lane_parallel_ms.is_none());
             assert!(s.optimizers.iter().all(|o| o.best_score.is_finite()));
             assert!((0.0..=1.0).contains(&s.hybrid_full_share));
         }
         assert!(report.host_cores >= 1);
         let json = report_to_json(&report, "test");
-        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/5\""));
+        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/6\""));
+        assert!(json.contains("\"objective\": \"power\""));
+        assert!(json.contains("\"objective\": \"snr\""));
         assert!(json.contains("\"host_cores\""));
         assert!(json.contains("\"ms_workers1\""));
         assert!(json.contains("\"ms_workers4\""));

@@ -26,26 +26,51 @@
 //!
 //! # Typed, objective-aware peeks
 //!
-//! Peeks dispatch on the problem [`Objective`] and return a [`MoveEval`]
-//! **typed by what was actually computed**, so stale figures cannot
-//! leak:
+//! Peeks dispatch on the problem [`Objective`] **family** (see
+//! [`Objective::is_loss_based`]) and return a [`MoveEval`] **typed by
+//! what was actually computed**, so stale figures cannot leak:
 //!
-//! * loss objective — [`MoveEval::Loss`] from the crosstalk-free fast
-//!   path (`evaluate_delta_loss`), one to two orders of magnitude
-//!   cheaper than an SNR delta;
-//! * SNR objective, exact ([`OptContext::peek_move`] /
-//!   [`OptContext::peek_moves`]) — [`MoveEval::Snr`] with the full
-//!   bit-exact delta, or [`MoveEval::Full`] when the active
-//!   [`PeekStrategy`] routed the move to a full scratch re-evaluation;
-//! * SNR objective, improving-only ([`OptContext::peek_move_improving`]
-//!   / [`OptContext::peek_moves_improving`]) — bound-then-verify: moves
+//! * loss-based family (worst-case loss, and the modulation-aware
+//!   laser-power objective, which is the same worst-link figure shifted
+//!   by a constant margin) — [`MoveEval::Loss`] from the crosstalk-free
+//!   fast path (`evaluate_delta_loss`), one to two orders of magnitude
+//!   cheaper than an SNR delta; improving-only scans additionally ride
+//!   the bound-then-verify loss peek (`evaluate_delta_loss_bounded`)
+//!   against the threshold [`Objective::il_threshold_for_score`]
+//!   derives from the cursor score;
+//! * SNR-based family (worst-case SNR, SNR margin), exact
+//!   ([`OptContext::peek_move`] / [`OptContext::peek_moves`]) —
+//!   [`MoveEval::Snr`] with the full bit-exact delta, or
+//!   [`MoveEval::Full`] when the active [`PeekStrategy`] routed the
+//!   move to a full scratch re-evaluation;
+//! * SNR-based family, improving-only
+//!   ([`OptContext::peek_move_improving`] /
+//!   [`OptContext::peek_moves_improving`]) — bound-then-verify: moves
 //!   that cannot beat the cursor come back as [`MoveEval::Bounded`]
 //!   (admissible upper bound, cheap), candidates that might improve are
 //!   scored exactly. Greedy selection over an improving scan is
 //!   identical to one over exact peeks (property-tested).
 //!
+//! Every route is bit-identical for every objective in its family
+//! (`tests/hybrid_properties.rs` pins all four objectives under all
+//! three strategies), so an optimizer written against the peek family
+//! is objective-generic for free: the same greedy scan minimizes loss,
+//! maximizes SNR, or minimizes the modulation-aware launch power,
+//! depending only on the [`Objective`] the context carries.
+//!
 //! Only exact variants can be committed; [`OptContext::apply_scored_move`]
 //! rejects a bounded peek.
+//!
+//! # One entry point
+//!
+//! Callers run searches through [`run_dse`] with a [`DseConfig`]: the
+//! budget and seed plus the optional knobs — [`PeekStrategy`],
+//! [`NeighborhoodPolicy`], an [`Objective`] override (applied via
+//! [`OptContext::set_objective`] *before* any evaluation, so a
+//! session's scores are always on one scale), and a seed-start
+//! [`Mapping`]. The former `run_dse_with_strategy` /
+//! `run_dse_with_policy` / `run_dse_configured` / `run_dse_session`
+//! wrappers are deprecated shims over the same path.
 //!
 //! # The adaptive (hybrid) evaluation strategy
 //!
@@ -86,8 +111,7 @@
 //! materializes. The engine only stores and hands out the policy —
 //! scoring, routing and budget accounting are unchanged underneath, so
 //! every policy inherits the bit-exactness and honest-ledger guarantees
-//! above. Set it per run with [`run_dse_with_policy`] /
-//! [`run_dse_configured`].
+//! above. Set it per run with [`DseConfig::with_policy`].
 //!
 //! # Seeded starts (portfolio lanes, warm starts)
 //!
@@ -132,7 +156,8 @@
 //! [`OptContext::evaluate_batch`].
 
 use crate::evaluator::{
-    BoundedDelta, DeltaScratch, EvalScratch, EvalState, EvalSummary, PeekCostModel, ScoreDelta,
+    BoundedDelta, BoundedLossDelta, DeltaScratch, EvalScratch, EvalState, EvalSummary,
+    PeekCostModel, ScoreDelta,
 };
 use crate::mapping::{Mapping, Move};
 use crate::parallel;
@@ -196,7 +221,7 @@ impl fmt::Display for PeekStrategy {
 /// engine-level knob behind the `Neighborhood` move streams implemented
 /// in `phonoc-opt`. The policy lives on the [`OptContext`] (set it with
 /// [`OptContext::set_neighborhood_policy`] or run through
-/// [`run_dse_with_policy`]) so one setting reaches every optimizer a
+/// [`DseConfig::with_policy`]) so one setting reaches every optimizer a
 /// sweep runs, while the hybrid peek router and the honest budget
 /// ledger keep working unchanged underneath: a policy only changes
 /// *which* moves a scan looks at, never how a looked-at move is scored
@@ -406,6 +431,10 @@ fn route_full(
 /// enforcement, incumbent tracking and a seeded RNG.
 pub struct OptContext<'p> {
     problem: &'p MappingProblem,
+    /// The objective scores are computed under — the problem's own
+    /// unless overridden with [`OptContext::set_objective`] before the
+    /// first evaluation (the [`DseConfig::objective`] hook).
+    objective: Objective,
     rng: StdRng,
     /// Budget in edge units (`budget_evals × unit`).
     budget_units: u64,
@@ -457,6 +486,7 @@ impl<'p> OptContext<'p> {
         let unit = problem.evaluator().edge_count().max(1) as u64;
         OptContext {
             problem,
+            objective: problem.objective(),
             rng: StdRng::seed_from_u64(seed),
             budget_units: budget as u64 * unit,
             used_units: 0,
@@ -502,6 +532,7 @@ impl<'p> OptContext<'p> {
             self.spare_scratch = c.scratch;
         }
         self.problem = problem;
+        self.objective = problem.objective();
         self.rng = StdRng::seed_from_u64(seed);
         self.unit = problem.evaluator().edge_count().max(1) as u64;
         self.budget_units = budget as u64 * self.unit;
@@ -511,6 +542,31 @@ impl<'p> OptContext<'p> {
         self.best = None;
         self.history.clear();
         self.seed_start = None;
+    }
+
+    /// The objective every evaluation and peek scores under — the
+    /// problem's own unless overridden.
+    #[must_use]
+    pub fn objective(&self) -> Objective {
+        self.objective
+    }
+
+    /// Overrides the scoring objective for this session — how
+    /// [`DseConfig::objective`] re-targets a search (e.g. a `!power`
+    /// spec suffix) without rebuilding the problem and its precomputed
+    /// evaluator capital. Resets to the problem's own objective on
+    /// [`OptContext::reset_for`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any evaluation already happened (mixing scores from
+    /// two objectives in one incumbent/history would be meaningless).
+    pub fn set_objective(&mut self, objective: Objective) {
+        assert!(
+            self.used_units == 0 && self.cursor.is_none() && self.best.is_none(),
+            "set_objective must be called before any evaluation"
+        );
+        self.objective = objective;
     }
 
     /// The active neighbourhood-enumeration policy.
@@ -656,8 +712,7 @@ impl<'p> OptContext<'p> {
             .evaluator()
             .evaluate_into(mapping, None, &mut self.full_scratch);
         let score = self
-            .problem
-            .objective()
+            .objective
             .score_worst_cases(summary.worst_case_il, summary.worst_case_snr);
         self.record(mapping, score);
         Some(score)
@@ -679,7 +734,7 @@ impl<'p> OptContext<'p> {
             .problem
             .evaluator()
             .evaluate_summaries_batch(&mappings[..admit]);
-        let objective = self.problem.objective();
+        let objective = self.objective;
         let mut scores = Vec::with_capacity(admit);
         for (mapping, s) in mappings.iter().zip(summaries) {
             self.charge(self.unit);
@@ -768,8 +823,7 @@ impl<'p> OptContext<'p> {
         self.full_evaluations += 1;
         let state = self.problem.evaluator().init_state(&mapping);
         let score = self
-            .problem
-            .objective()
+            .objective
             .score_worst_cases(state.worst_case_il(), state.worst_case_snr());
         self.record(&mapping, score);
         let scratch = self
@@ -836,8 +890,7 @@ impl<'p> OptContext<'p> {
             .evaluator()
             .evaluate_into(&moved, None, &mut self.full_scratch);
         let score = self
-            .problem
-            .objective()
+            .objective
             .score_worst_cases(summary.worst_case_il, summary.worst_case_snr);
         self.charge(self.unit);
         self.full_evaluations += 1;
@@ -846,16 +899,18 @@ impl<'p> OptContext<'p> {
     }
 
     /// Incrementally scores `mv` against the cursor without moving it,
-    /// dispatching on the problem [`Objective`]:
+    /// dispatching on the [`Objective`] family (see
+    /// [`Objective::is_loss_based`]):
     ///
-    /// * loss objective — the crosstalk-free fast path
+    /// * loss-based objectives (worst-case loss, laser power) — the
+    ///   crosstalk-free fast path
     ///   ([`crate::Evaluator::evaluate_delta_loss`]), charged
     ///   `max(1, moved_edges)` units, returning [`MoveEval::Loss`];
-    /// * SNR objective — routed per the active [`PeekStrategy`]: the
-    ///   exact SNR-bearing delta, charged `max(1, affected_edges)`
-    ///   units and returning [`MoveEval::Snr`], or a full scratch
-    ///   re-evaluation, charged `edge_count` units and returning
-    ///   [`MoveEval::Full`].
+    /// * SNR-based objectives (worst-case SNR, SNR margin) — routed per
+    ///   the active [`PeekStrategy`]: the exact SNR-bearing delta,
+    ///   charged `max(1, affected_edges)` units and returning
+    ///   [`MoveEval::Snr`], or a full scratch re-evaluation, charged
+    ///   `edge_count` units and returning [`MoveEval::Full`].
     ///
     /// Either way the score is bit-identical to a full evaluation of
     /// the moved mapping. Returns `None` once the budget is exhausted.
@@ -867,47 +922,43 @@ impl<'p> OptContext<'p> {
         if self.exhausted() {
             return None;
         }
-        if matches!(self.problem.objective(), Objective::MaximizeWorstCaseSnr)
-            && self.routes_to_full(mv, false)
-        {
+        if self.objective.uses_snr() && self.routes_to_full(mv, false) {
             return Some(self.peek_move_full(mv));
         }
+        let objective = self.objective;
         let cursor = self.cursor.as_mut().expect("peek_move without set_current");
         let evaluator = self.problem.evaluator();
-        let (ev, cost) = match self.problem.objective() {
-            Objective::MinimizeWorstCaseLoss => {
-                let (new_worst_il, moved_edges) = evaluator.evaluate_delta_loss(
-                    &cursor.state,
-                    &cursor.mapping,
+        let (ev, cost) = if objective.is_loss_based() {
+            let (new_worst_il, moved_edges) = evaluator.evaluate_delta_loss(
+                &cursor.state,
+                &cursor.mapping,
+                mv,
+                &mut cursor.scratch,
+            );
+            (
+                MoveEval::Loss {
                     mv,
-                    &mut cursor.scratch,
-                );
-                (
-                    MoveEval::Loss {
-                        mv,
-                        score: new_worst_il.0,
-                        new_worst_il,
-                        moved_edges,
-                    },
+                    score: objective.score_worst_il(new_worst_il),
+                    new_worst_il,
                     moved_edges,
-                )
-            }
-            Objective::MaximizeWorstCaseSnr => {
-                let delta = evaluator.evaluate_delta_with(
-                    &cursor.state,
-                    &cursor.mapping,
+                },
+                moved_edges,
+            )
+        } else {
+            let delta = evaluator.evaluate_delta_with(
+                &cursor.state,
+                &cursor.mapping,
+                mv,
+                &mut cursor.scratch,
+            );
+            (
+                MoveEval::Snr {
                     mv,
-                    &mut cursor.scratch,
-                );
-                (
-                    MoveEval::Snr {
-                        mv,
-                        score: delta.new_worst_snr.0,
-                        delta,
-                    },
-                    delta.affected_edges,
-                )
-            }
+                    score: objective.score_worst_snr(delta.new_worst_snr),
+                    delta,
+                },
+                delta.affected_edges,
+            )
         };
         self.charge((cost as u64).max(1));
         self.delta_evaluations += 1;
@@ -916,15 +967,19 @@ impl<'p> OptContext<'p> {
     }
 
     /// Like [`OptContext::peek_move`], but only guarantees an exact
-    /// score for moves that can *improve* on the cursor: under the SNR
-    /// objective, candidates are run through the bound-then-verify peek
-    /// ([`crate::Evaluator::evaluate_delta_bounded`]) with the cursor
-    /// score as threshold, and non-improving moves come back as
-    /// [`MoveEval::Bounded`] at a fraction of the exact-delta cost
-    /// (charged by the work actually performed). Moves that can beat
-    /// the cursor are scored exactly, bit-identical to
-    /// [`OptContext::peek_move`]. Under the loss objective the fast
-    /// path is already cheap and exact, so this is identical to
+    /// score for moves that can *improve* on the cursor: candidates are
+    /// run through the objective family's bound-then-verify peek
+    /// ([`crate::Evaluator::evaluate_delta_bounded`] for SNR-based
+    /// objectives, [`crate::Evaluator::evaluate_delta_loss_bounded`]
+    /// for the laser-power objective) with the admissible rejection
+    /// threshold the objective derives from the cursor score
+    /// ([`Objective::snr_threshold_for_score`] /
+    /// [`Objective::il_threshold_for_score`]), and non-improving moves
+    /// come back as [`MoveEval::Bounded`] at a fraction of the exact
+    /// cost (charged by the work actually performed). Moves that can
+    /// beat the cursor are scored exactly, bit-identical to
+    /// [`OptContext::peek_move`]. Under the plain loss objective the
+    /// fast path is already cheap and exact, so this is identical to
     /// `peek_move`. Moves the active [`PeekStrategy`] routes to full
     /// evaluation come back as exact [`MoveEval::Full`]s whether they
     /// improve or not — which never changes what a greedy scan selects,
@@ -938,34 +993,72 @@ impl<'p> OptContext<'p> {
     ///
     /// Panics if no cursor is set.
     pub fn peek_move_improving(&mut self, mv: Move) -> Option<MoveEval> {
-        if matches!(self.problem.objective(), Objective::MinimizeWorstCaseLoss) {
+        if matches!(self.objective, Objective::MinimizeWorstCaseLoss) {
             return self.peek_move(mv);
         }
         if self.exhausted() {
             return None;
         }
-        if self.routes_to_full(mv, true) {
+        if self.objective.uses_snr() && self.routes_to_full(mv, true) {
             return Some(self.peek_move_full(mv));
         }
+        let objective = self.objective;
         let cursor = self.cursor.as_mut().expect("peek_move without set_current");
-        let threshold = Db(cursor.score);
-        let bounded = self.problem.evaluator().evaluate_delta_bounded(
-            &cursor.state,
-            &cursor.mapping,
-            mv,
-            &mut cursor.scratch,
-            threshold,
-        );
-        let (ev, cost) = match bounded {
-            BoundedDelta::Rejected { bound, cost } => (MoveEval::Bounded { mv, bound }, cost),
-            BoundedDelta::Exact(delta) => (
-                MoveEval::Snr {
-                    mv,
-                    score: delta.new_worst_snr.0,
-                    delta,
-                },
-                delta.affected_edges,
-            ),
+        let evaluator = self.problem.evaluator();
+        let (ev, cost) = if objective.is_loss_based() {
+            let threshold = objective.il_threshold_for_score(cursor.score);
+            match evaluator.evaluate_delta_loss_bounded(
+                &cursor.state,
+                &cursor.mapping,
+                mv,
+                &mut cursor.scratch,
+                threshold,
+            ) {
+                BoundedLossDelta::Rejected { bound, cost } => (
+                    MoveEval::Bounded {
+                        mv,
+                        bound: Db(objective.score_worst_il(bound)),
+                    },
+                    cost,
+                ),
+                BoundedLossDelta::Exact {
+                    new_worst_il,
+                    moved_edges,
+                } => (
+                    MoveEval::Loss {
+                        mv,
+                        score: objective.score_worst_il(new_worst_il),
+                        new_worst_il,
+                        moved_edges,
+                    },
+                    moved_edges,
+                ),
+            }
+        } else {
+            let threshold = objective.snr_threshold_for_score(cursor.score);
+            match evaluator.evaluate_delta_bounded(
+                &cursor.state,
+                &cursor.mapping,
+                mv,
+                &mut cursor.scratch,
+                threshold,
+            ) {
+                BoundedDelta::Rejected { bound, cost } => (
+                    MoveEval::Bounded {
+                        mv,
+                        bound: Db(objective.score_worst_snr(bound)),
+                    },
+                    cost,
+                ),
+                BoundedDelta::Exact(delta) => (
+                    MoveEval::Snr {
+                        mv,
+                        score: objective.score_worst_snr(delta.new_worst_snr),
+                        delta,
+                    },
+                    delta.affected_edges,
+                ),
+            }
         };
         self.charge((cost as u64).max(1));
         self.delta_evaluations += 1;
@@ -991,31 +1084,31 @@ impl<'p> OptContext<'p> {
         if self.exhausted() || moves.is_empty() {
             return Vec::new();
         }
-        let evals: Vec<(MoveEval, usize)> = match self.problem.objective() {
-            Objective::MinimizeWorstCaseLoss => {
-                let cursor = self
-                    .cursor
-                    .as_ref()
-                    .expect("peek_moves without set_current");
-                self.problem
-                    .evaluator()
-                    .evaluate_delta_loss_batch(&cursor.state, &cursor.mapping, moves)
-                    .into_iter()
-                    .zip(moves)
-                    .map(|((new_worst_il, moved_edges), &mv)| {
-                        (
-                            MoveEval::Loss {
-                                mv,
-                                score: new_worst_il.0,
-                                new_worst_il,
-                                moved_edges,
-                            },
+        let evals: Vec<(MoveEval, usize)> = if self.objective.is_loss_based() {
+            let objective = self.objective;
+            let cursor = self
+                .cursor
+                .as_ref()
+                .expect("peek_moves without set_current");
+            self.problem
+                .evaluator()
+                .evaluate_delta_loss_batch(&cursor.state, &cursor.mapping, moves)
+                .into_iter()
+                .zip(moves)
+                .map(|((new_worst_il, moved_edges), &mv)| {
+                    (
+                        MoveEval::Loss {
+                            mv,
+                            score: objective.score_worst_il(new_worst_il),
+                            new_worst_il,
                             moved_edges,
-                        )
-                    })
-                    .collect()
-            }
-            Objective::MaximizeWorstCaseSnr => self.scan_snr_batch(moves, false),
+                        },
+                        moved_edges,
+                    )
+                })
+                .collect()
+        } else {
+            self.scan_snr_batch(moves, false)
         };
         self.admit_peeked(evals)
     }
@@ -1033,14 +1126,59 @@ impl<'p> OptContext<'p> {
     ///
     /// Panics if no cursor is set.
     pub fn peek_moves_improving(&mut self, moves: &[Move]) -> Vec<MoveEval> {
-        if matches!(self.problem.objective(), Objective::MinimizeWorstCaseLoss) {
+        if matches!(self.objective, Objective::MinimizeWorstCaseLoss) {
             return self.peek_moves(moves);
         }
         if self.exhausted() || moves.is_empty() {
             return Vec::new();
         }
-        let evals = self.scan_snr_batch(moves, true);
+        let evals = if self.objective.is_loss_based() {
+            self.scan_loss_bounded_batch(moves)
+        } else {
+            self.scan_snr_batch(moves, true)
+        };
         self.admit_peeked(evals)
+    }
+
+    /// The loss-family improving batch scan (laser-power objective):
+    /// every move runs through the bound-then-verify loss peek against
+    /// the objective's admissible threshold at the cursor score, in one
+    /// order-preserving parallel pass. Returns `(eval, honest cost)`
+    /// pairs in input order; the caller charges them.
+    fn scan_loss_bounded_batch(&self, moves: &[Move]) -> Vec<(MoveEval, usize)> {
+        let cursor = self
+            .cursor
+            .as_ref()
+            .expect("peek_moves without set_current");
+        let objective = self.objective;
+        let threshold = objective.il_threshold_for_score(cursor.score);
+        self.problem
+            .evaluator()
+            .evaluate_delta_loss_bounded_batch(&cursor.state, &cursor.mapping, moves, threshold)
+            .into_iter()
+            .zip(moves)
+            .map(|(bounded, &mv)| match bounded {
+                BoundedLossDelta::Rejected { bound, cost } => (
+                    MoveEval::Bounded {
+                        mv,
+                        bound: Db(objective.score_worst_il(bound)),
+                    },
+                    cost,
+                ),
+                BoundedLossDelta::Exact {
+                    new_worst_il,
+                    moved_edges,
+                } => (
+                    MoveEval::Loss {
+                        mv,
+                        score: objective.score_worst_il(new_worst_il),
+                        new_worst_il,
+                        moved_edges,
+                    },
+                    moved_edges,
+                ),
+            })
+            .collect()
     }
 
     /// The shared SNR batch scan: routes every move up front per the
@@ -1057,9 +1195,10 @@ impl<'p> OptContext<'p> {
             .cursor
             .as_ref()
             .expect("peek_moves without set_current");
+        let objective = self.objective;
         let evaluator = self.problem.evaluator();
         let unit = self.unit as usize;
-        let threshold = Db(cursor.score);
+        let threshold = objective.snr_threshold_for_score(cursor.score);
         let routed: Vec<(Move, bool)> = moves
             .iter()
             .map(|&mv| {
@@ -1076,7 +1215,8 @@ impl<'p> OptContext<'p> {
                 if full {
                     let moved = cursor.mapping.with_move(mv);
                     let summary = evaluator.evaluate_into(&moved, None, full_scratch);
-                    let score = summary.worst_case_snr.0;
+                    let score =
+                        objective.score_worst_cases(summary.worst_case_il, summary.worst_case_snr);
                     (MoveEval::Full { mv, score, summary }, unit)
                 } else if improving {
                     match evaluator.evaluate_delta_bounded(
@@ -1086,13 +1226,17 @@ impl<'p> OptContext<'p> {
                         delta_scratch,
                         threshold,
                     ) {
-                        BoundedDelta::Rejected { bound, cost } => {
-                            (MoveEval::Bounded { mv, bound }, cost)
-                        }
+                        BoundedDelta::Rejected { bound, cost } => (
+                            MoveEval::Bounded {
+                                mv,
+                                bound: Db(objective.score_worst_snr(bound)),
+                            },
+                            cost,
+                        ),
                         BoundedDelta::Exact(delta) => (
                             MoveEval::Snr {
                                 mv,
-                                score: delta.new_worst_snr.0,
+                                score: objective.score_worst_snr(delta.new_worst_snr),
                                 delta,
                             },
                             delta.affected_edges,
@@ -1108,7 +1252,7 @@ impl<'p> OptContext<'p> {
                     (
                         MoveEval::Snr {
                             mv,
-                            score: delta.new_worst_snr.0,
+                            score: objective.score_worst_snr(delta.new_worst_snr),
                             delta,
                         },
                         delta.affected_edges,
@@ -1183,8 +1327,7 @@ impl<'p> OptContext<'p> {
             &mut cursor.scratch,
         );
         let score = self
-            .problem
-            .objective()
+            .objective
             .score_worst_cases(cursor.state.worst_case_il(), cursor.state.worst_case_snr());
         debug_assert_eq!(
             score,
@@ -1196,11 +1339,9 @@ impl<'p> OptContext<'p> {
         // descents change path lengths and occupancy, and routing
         // should track the placement the peeks actually score (a cheap
         // `O(tiles + edges)` pass, paid once per commit). Skipped when
-        // no peek will ever consult the model — the loss objective
-        // rides its own fast path, and pinned strategies never route.
-        if self.strategy == PeekStrategy::Hybrid
-            && matches!(self.problem.objective(), Objective::MaximizeWorstCaseSnr)
-        {
+        // no peek will ever consult the model — loss-based objectives
+        // ride their own fast path, and pinned strategies never route.
+        if self.strategy == PeekStrategy::Hybrid && self.objective.uses_snr() {
             cursor.model = PeekCostModel::of(&cursor.state);
         }
         let mapping = cursor.mapping.clone();
@@ -1277,8 +1418,100 @@ pub struct DseResult {
     pub history: Vec<(usize, f64)>,
 }
 
-/// Runs `optimizer` on `problem` with an evaluation `budget` and RNG
-/// `seed`, under the default [`PeekStrategy::Hybrid`] peek routing.
+/// Everything a single search session is configured with — budget,
+/// seed, peek routing, neighbourhood policy, objective override, seeded
+/// start — built fluently and handed to [`run_dse`], the one search
+/// entry point:
+///
+/// ```ignore
+/// let result = run_dse(&problem, &Rpbla, &DseConfig::new(2_000, 42));
+/// let tuned = run_dse(
+///     &problem,
+///     &Rpbla,
+///     &DseConfig::new(2_000, 42)
+///         .with_policy(NeighborhoodPolicy::Sampled)
+///         .with_strategy(PeekStrategy::Delta)
+///         .with_objective(Objective::MinimizeLaserPower { modulation: Modulation::Ook }),
+/// );
+/// ```
+///
+/// `DseConfig::new(budget, seed)` is exactly the classic defaults:
+/// hybrid peeks, auto neighbourhood, the problem's own objective, a
+/// random starting point. A config is plain data (`Clone`), so sweeps
+/// can build one base config and vary a field per cell.
+#[derive(Debug, Clone, Default)]
+pub struct DseConfig {
+    /// Evaluation budget in full-evaluation-equivalents.
+    pub budget: usize,
+    /// RNG seed — same seed, same result.
+    pub seed: u64,
+    /// SNR-peek routing (cost only — never changes scores).
+    pub strategy: PeekStrategy,
+    /// Neighbourhood-enumeration policy for swap-based scans.
+    pub policy: NeighborhoodPolicy,
+    /// Objective override for this session (`None` scores under the
+    /// problem's own objective) — how a `!power` spec suffix re-targets
+    /// a search without rebuilding the problem.
+    pub objective: Option<Objective>,
+    /// Mapping the optimizer's first [`OptContext::initial_mapping`]
+    /// call hands out — the elite-exchange hook portfolio lanes resume
+    /// through. `None` keeps the classic random start.
+    pub start: Option<Mapping>,
+}
+
+impl DseConfig {
+    /// A config with the classic defaults: hybrid peeks, auto
+    /// neighbourhood, the problem's own objective, a random start.
+    #[must_use]
+    pub fn new(budget: usize, seed: u64) -> Self {
+        DseConfig {
+            budget,
+            seed,
+            ..DseConfig::default()
+        }
+    }
+
+    /// Pins the SNR-peek routing strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: PeekStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Pins the neighbourhood-enumeration policy.
+    #[must_use]
+    pub fn with_policy(mut self, policy: NeighborhoodPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Overrides the scoring objective for this session.
+    #[must_use]
+    pub fn with_objective(mut self, objective: Objective) -> Self {
+        self.objective = Some(objective);
+        self
+    }
+
+    /// Plants the mapping the optimizer starts from (the portfolio
+    /// elite-exchange / warm-start hook).
+    #[must_use]
+    pub fn with_start(mut self, start: Mapping) -> Self {
+        self.start = Some(start);
+        self
+    }
+}
+
+/// Runs `optimizer` on `problem` under `config` — **the** search entry
+/// point: every knob a session has (budget, seed, peek strategy,
+/// neighbourhood policy, objective override, seeded start) arrives
+/// through the one [`DseConfig`]. The portfolio subsystem drives this
+/// once per (lane, round) with [`DseConfig::start`] carrying the
+/// exchanged incumbent; plain callers build
+/// `DseConfig::new(budget, seed)` and go.
+///
+/// Sessions are deterministic per `(config, problem)`: same seed, same
+/// result, with the honest budget ledger and incumbent tracking
+/// documented on [`OptContext`].
 ///
 /// # Panics
 ///
@@ -1288,21 +1521,25 @@ pub struct DseResult {
 pub fn run_dse(
     problem: &MappingProblem,
     optimizer: &dyn MappingOptimizer,
-    budget: usize,
-    seed: u64,
+    config: &DseConfig,
 ) -> DseResult {
-    run_dse_with_strategy(problem, optimizer, budget, seed, PeekStrategy::default())
+    let mut ctx = OptContext::new(problem, config.budget, config.seed);
+    if let Some(objective) = config.objective {
+        ctx.set_objective(objective);
+    }
+    ctx.set_peek_strategy(config.strategy);
+    ctx.set_neighborhood_policy(config.policy);
+    if let Some(start) = &config.start {
+        ctx.set_seed_start(start.clone());
+    }
+    optimizer.optimize(&mut ctx);
+    ctx.finish(optimizer.name())
 }
 
-/// [`run_dse`] with an explicit SNR-peek [`PeekStrategy`]. Exact scores
-/// are bit-identical under every strategy; pinning one changes only
-/// what each peek costs (and therefore how many fit in the budget) —
-/// used by strategy benchmarks and by tests that exercise one routing
-/// path's accounting.
-///
-/// # Panics
-///
-/// Same as [`run_dse`].
+/// Deprecated spelling of [`run_dse`] with an explicit
+/// [`PeekStrategy`].
+#[deprecated(note = "use run_dse(problem, optimizer, \
+                     &DseConfig::new(budget, seed).with_strategy(strategy))")]
 #[must_use]
 pub fn run_dse_with_strategy(
     problem: &MappingProblem,
@@ -1311,25 +1548,17 @@ pub fn run_dse_with_strategy(
     seed: u64,
     strategy: PeekStrategy,
 ) -> DseResult {
-    run_dse_configured(
+    run_dse(
         problem,
         optimizer,
-        budget,
-        seed,
-        strategy,
-        NeighborhoodPolicy::default(),
+        &DseConfig::new(budget, seed).with_strategy(strategy),
     )
 }
 
-/// [`run_dse`] with an explicit [`NeighborhoodPolicy`] under the
-/// default peek routing. Unlike a [`PeekStrategy`], a neighbourhood
-/// policy *does* change what a search looks at (that is its point), so
-/// final scores may differ between policies — but each policy stays
-/// deterministic per seed, bit-exactly scored, and honestly billed.
-///
-/// # Panics
-///
-/// Same as [`run_dse`].
+/// Deprecated spelling of [`run_dse`] with an explicit
+/// [`NeighborhoodPolicy`].
+#[deprecated(note = "use run_dse(problem, optimizer, \
+                     &DseConfig::new(budget, seed).with_policy(policy))")]
 #[must_use]
 pub fn run_dse_with_policy(
     problem: &MappingProblem,
@@ -1338,23 +1567,17 @@ pub fn run_dse_with_policy(
     seed: u64,
     policy: NeighborhoodPolicy,
 ) -> DseResult {
-    run_dse_configured(
+    run_dse(
         problem,
         optimizer,
-        budget,
-        seed,
-        PeekStrategy::default(),
-        policy,
+        &DseConfig::new(budget, seed).with_policy(policy),
     )
 }
 
-/// The fully configured DSE runner: explicit peek routing *and*
-/// neighbourhood policy. [`run_dse`], [`run_dse_with_strategy`] and
-/// [`run_dse_with_policy`] are thin wrappers over this.
-///
-/// # Panics
-///
-/// Same as [`run_dse`].
+/// Deprecated spelling of [`run_dse`] with explicit strategy and
+/// policy.
+#[deprecated(note = "use run_dse(problem, optimizer, &DseConfig::new(budget, seed)\
+                     .with_strategy(strategy).with_policy(policy))")]
 #[must_use]
 pub fn run_dse_configured(
     problem: &MappingProblem,
@@ -1364,43 +1587,19 @@ pub fn run_dse_configured(
     strategy: PeekStrategy,
     policy: NeighborhoodPolicy,
 ) -> DseResult {
-    run_dse_session(
+    run_dse(
         problem,
         optimizer,
-        budget,
-        seed,
-        DseConfig {
-            strategy,
-            policy,
-            start: None,
-        },
+        &DseConfig::new(budget, seed)
+            .with_strategy(strategy)
+            .with_policy(policy),
     )
 }
 
-/// Everything a single search session can be configured with beyond
-/// its budget and seed. `Default` is exactly what [`run_dse`] uses:
-/// hybrid peeks, auto neighbourhood, a random starting point.
-#[derive(Debug, Clone, Default)]
-pub struct DseConfig {
-    /// SNR-peek routing (cost only — never changes scores).
-    pub strategy: PeekStrategy,
-    /// Neighbourhood-enumeration policy for swap-based scans.
-    pub policy: NeighborhoodPolicy,
-    /// Mapping the optimizer's first [`OptContext::initial_mapping`]
-    /// call hands out — the elite-exchange hook portfolio lanes resume
-    /// through. `None` keeps the classic random start.
-    pub start: Option<Mapping>,
-}
-
-/// Runs one fully configured search session — the entry point the
-/// portfolio subsystem drives once per (lane, round), with
-/// [`DseConfig::start`] carrying the exchanged incumbent between
-/// rounds. [`run_dse_configured`] is a thin wrapper with no starting
-/// mapping.
-///
-/// # Panics
-///
-/// Same as [`run_dse`].
+/// Deprecated spelling of [`run_dse`] taking budget and seed beside the
+/// config (they now live *in* [`DseConfig`]).
+#[deprecated(note = "use run_dse(problem, optimizer, &config) with \
+                     DseConfig::new(budget, seed)")]
 #[must_use]
 pub fn run_dse_session(
     problem: &MappingProblem,
@@ -1409,14 +1608,15 @@ pub fn run_dse_session(
     seed: u64,
     config: DseConfig,
 ) -> DseResult {
-    let mut ctx = OptContext::new(problem, budget, seed);
-    ctx.set_peek_strategy(config.strategy);
-    ctx.set_neighborhood_policy(config.policy);
-    if let Some(start) = config.start {
-        ctx.set_seed_start(start);
-    }
-    optimizer.optimize(&mut ctx);
-    ctx.finish(optimizer.name())
+    run_dse(
+        problem,
+        optimizer,
+        &DseConfig {
+            budget,
+            seed,
+            ..config
+        },
+    )
 }
 
 #[cfg(test)]
@@ -1461,16 +1661,50 @@ mod tests {
     #[test]
     fn budget_is_enforced_exactly() {
         let p = tiny_problem();
-        let r = run_dse(&p, &FirstRandom, 37, 1);
+        let r = run_dse(&p, &FirstRandom, &DseConfig::new(37, 1));
         assert_eq!(r.evaluations, 37);
         assert_eq!(r.full_evaluations, 37);
         assert_eq!(r.delta_evaluations, 0);
     }
 
     #[test]
+    fn objective_override_rescores_the_session() {
+        let p = tiny_problem(); // problem objective: worst-case SNR
+        let power = Objective::by_name("power").unwrap();
+        let r = run_dse(
+            &p,
+            &FirstRandom,
+            &DseConfig::new(37, 1).with_objective(power),
+        );
+        // The session's best score is the override objective of its
+        // best mapping, bit-for-bit.
+        let metrics = p.evaluator().evaluate(&r.best_mapping);
+        assert_eq!(r.best_score, power.score(&metrics));
+        // Overriding with the problem's own objective is the identity.
+        let plain = run_dse(&p, &FirstRandom, &DseConfig::new(37, 1));
+        let same = run_dse(
+            &p,
+            &FirstRandom,
+            &DseConfig::new(37, 1).with_objective(p.objective()),
+        );
+        assert_eq!(plain.best_mapping, same.best_mapping);
+        assert_eq!(plain.best_score, same.best_score);
+    }
+
+    #[test]
+    #[should_panic(expected = "set_objective")]
+    fn objective_cannot_change_mid_session() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 10, 0);
+        let m = ctx.random_mapping();
+        ctx.evaluate(&m).unwrap();
+        ctx.set_objective(Objective::by_name("power").unwrap());
+    }
+
+    #[test]
     fn incumbent_never_worsens() {
         let p = tiny_problem();
-        let r = run_dse(&p, &FirstRandom, 100, 2);
+        let r = run_dse(&p, &FirstRandom, &DseConfig::new(100, 2));
         let mut prev = f64::NEG_INFINITY;
         for (_, s) in &r.history {
             assert!(*s > prev, "history must be strictly improving");
@@ -1482,8 +1716,8 @@ mod tests {
     #[test]
     fn same_seed_same_result() {
         let p = tiny_problem();
-        let a = run_dse(&p, &FirstRandom, 50, 99);
-        let b = run_dse(&p, &FirstRandom, 50, 99);
+        let a = run_dse(&p, &FirstRandom, &DseConfig::new(50, 99));
+        let b = run_dse(&p, &FirstRandom, &DseConfig::new(50, 99));
         assert_eq!(a.best_mapping, b.best_mapping);
         assert!((a.best_score - b.best_score).abs() < 1e-12);
     }
@@ -1491,8 +1725,8 @@ mod tests {
     #[test]
     fn different_seeds_usually_differ() {
         let p = tiny_problem();
-        let a = run_dse(&p, &FirstRandom, 10, 1);
-        let b = run_dse(&p, &FirstRandom, 10, 2);
+        let a = run_dse(&p, &FirstRandom, &DseConfig::new(10, 1));
+        let b = run_dse(&p, &FirstRandom, &DseConfig::new(10, 2));
         // Scores may coincide, but the mappings should differ for a
         // 10-draw random search over 9!/(1!)= large space.
         assert_ne!(a.best_mapping, b.best_mapping);

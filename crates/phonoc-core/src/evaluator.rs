@@ -88,7 +88,9 @@ use crate::mapping::Mapping;
 
 #[path = "evaluator_delta.rs"]
 mod delta;
-pub use delta::{BoundedDelta, DeltaScratch, EvalState, PeekCostModel, ScoreDelta};
+pub use delta::{
+    BoundedDelta, BoundedLossDelta, DeltaScratch, EvalState, PeekCostModel, ScoreDelta,
+};
 use phonoc_apps::CommunicationGraph;
 use phonoc_phys::{Db, LinearGain, PhysicalParameters};
 use phonoc_route::RoutingAlgorithm;

@@ -212,6 +212,34 @@ pub enum BoundedDelta {
     Exact(ScoreDelta),
 }
 
+/// Outcome of a bound-then-verify *loss* peek
+/// ([`Evaluator::evaluate_delta_loss_bounded`]) — the crosstalk-free
+/// sibling of [`BoundedDelta`], used by the loss-based objective family
+/// (worst-case loss, laser power) in improving-only scans.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BoundedLossDelta {
+    /// The move cannot lift the worst-case insertion loss above the
+    /// threshold it was tested against: its exact new worst-case IL is
+    /// `≤ bound ≤ threshold`. The exhaustive edge scan was **not**
+    /// performed — a rejected peek must never be committed.
+    Rejected {
+        /// An admissible upper bound on the move's new worst-case
+        /// insertion loss (dB, negative; higher = better).
+        bound: Db,
+        /// Moved edges whose new paths were looked up before rejection —
+        /// the honest evaluator work, used for budget accounting.
+        cost: usize,
+    },
+    /// The move may beat the threshold: the exact new worst case was
+    /// computed, bit-identical to [`Evaluator::evaluate_delta_loss`].
+    Exact {
+        /// Worst-case insertion loss after the move.
+        new_worst_il: Db,
+        /// Edges whose paths the move changes (the delta's honest cost).
+        moved_edges: usize,
+    },
+}
+
 /// The hybrid peek's cost model: a per-cursor calibration deciding, for
 /// each candidate [`Move`], whether a full scratch re-evaluation
 /// ([`Evaluator::evaluate_into`]) or the incremental SNR delta
@@ -837,6 +865,131 @@ impl Evaluator {
     ) -> Vec<(Db, usize)> {
         parallel::parallel_map_with(moves, DeltaScratch::default, |scratch, &mv| {
             self.evaluate_delta_loss(state, mapping, mv, scratch)
+        })
+    }
+
+    /// Bound-then-verify loss peek: scores `mv` only as far as needed to
+    /// decide whether its new worst-case insertion loss can exceed
+    /// `threshold` — the loss-family analogue of
+    /// [`Evaluator::evaluate_delta_bounded`], used by the laser-power
+    /// objective's improving-only scans.
+    ///
+    /// Insertion loss is per-edge (no coupling), so the new worst case
+    /// is `min(min over moved edges of their new IL, min over unmoved
+    /// edges of their old IL)`. Two admissible upper bounds reject most
+    /// non-improving moves after the `O(moved)` marking pass alone,
+    /// skipping the exhaustive `O(edges)` scan:
+    ///
+    /// 1. **Moved-minimum bound** — the new worst case cannot exceed
+    ///    the minimum new IL over the moved edges;
+    /// 2. **Structural bound** — when no moved edge carries the current
+    ///    worst-case loss, the (unchanged) worst edge still bounds the
+    ///    new worst case at `state.worst_il`; with the threshold at the
+    ///    cursor score this rejects every move that does not touch the
+    ///    worst edge.
+    ///
+    /// If neither bound fires, the returned
+    /// [`BoundedLossDelta::Exact`] is bit-identical to
+    /// [`Evaluator::evaluate_delta_loss`] — accepted moves always carry
+    /// exact scores, so greedy selection over bounded peeks matches
+    /// selection over exact peeks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the move is out of range for `mapping`.
+    #[must_use]
+    pub fn evaluate_delta_loss_bounded(
+        &self,
+        state: &EvalState,
+        mapping: &Mapping,
+        mv: Move,
+        scratch: &mut DeltaScratch,
+        threshold: Db,
+    ) -> BoundedLossDelta {
+        let edges = self.edge_endpoints.len();
+        let tasks = mapping.task_count();
+        scratch.begin(edges, self.tile_count, state.acc.len());
+
+        let (a, b) = mv.positions(mapping);
+        if a == b || a >= tasks || edges == 0 {
+            // Neutral move: the exact value is free.
+            return BoundedLossDelta::Exact {
+                new_worst_il: Db(state.worst_il),
+                moved_edges: 0,
+            };
+        }
+        let perm = mapping.permutation();
+        let task_b = if b < tasks { Some(b) } else { None };
+        let new_tile = |task: usize| -> usize {
+            if task == a {
+                perm[b].0
+            } else if Some(task) == task_b {
+                perm[a].0
+            } else {
+                perm[task].0
+            }
+        };
+        for &t in [Some(a), task_b].iter().flatten() {
+            for &e in &self.task_edges[t] {
+                if scratch.moved_mark[e] != scratch.epoch {
+                    scratch.moved_mark[e] = scratch.epoch;
+                    scratch.moved.push(e);
+                    let (s, d) = self.edge_endpoints[e];
+                    scratch.new_path[e] = new_tile(s) * self.tile_count + new_tile(d);
+                }
+            }
+        }
+        // Admissible bound, O(moved): the new worst case is at most the
+        // minimum new IL over moved edges, and — when the current worst
+        // edge is untouched — at most the (unchanged) old worst case.
+        let mut bound = f64::INFINITY;
+        let mut worst_edge_moved = false;
+        for &e in &scratch.moved {
+            bound = bound.min(self.path(scratch.new_path[e]).total_db);
+            if state.il[e] <= state.worst_il {
+                worst_edge_moved = true;
+            }
+        }
+        if !worst_edge_moved {
+            bound = bound.min(state.worst_il);
+        }
+        if bound <= threshold.0 {
+            return BoundedLossDelta::Rejected {
+                bound: Db(bound),
+                cost: scratch.moved.len(),
+            };
+        }
+        // Verify: the exhaustive scan, with the same expressions as
+        // `evaluate_delta_loss` (bit-identical exact value).
+        let mut worst_il = 0.0f64;
+        for e in 0..edges {
+            let il = if scratch.is_moved(e) {
+                self.path(scratch.new_path[e]).total_db
+            } else {
+                state.il[e]
+            };
+            worst_il = worst_il.min(il);
+        }
+        BoundedLossDelta::Exact {
+            new_worst_il: Db(worst_il),
+            moved_edges: scratch.moved.len(),
+        }
+    }
+
+    /// [`Evaluator::evaluate_delta_loss_bounded`] over a batch of moves,
+    /// all tested against the same threshold, in parallel. Results are
+    /// in input order; each worker reuses its sticky scratch slot, so
+    /// the outcome is deterministic and identical to a sequential loop.
+    #[must_use]
+    pub fn evaluate_delta_loss_bounded_batch(
+        &self,
+        state: &EvalState,
+        mapping: &Mapping,
+        moves: &[Move],
+        threshold: Db,
+    ) -> Vec<BoundedLossDelta> {
+        parallel::parallel_map_with(moves, DeltaScratch::default, |scratch, &mv| {
+            self.evaluate_delta_loss_bounded(state, mapping, mv, scratch, threshold)
         })
     }
 

@@ -24,20 +24,30 @@
 //!   `evaluate_summaries_batch`, `evaluate_delta_batch`) with
 //!   deterministic, input-ordered results.
 //! * [`problem`] — [`problem::MappingProblem`]: CG + topology + router +
-//!   routing + parameters + objective.
-//! * [`engine`] — the budgeted, seeded search harness: the
-//!   [`engine::MappingOptimizer`] trait, full/batch evaluation, and the
-//!   move cursor ([`engine::OptContext::set_current`], the typed
-//!   objective-aware peek family [`engine::OptContext::peek_move`] /
-//!   `peek_moves` / `peek_move_improving` / `peek_moves_improving`,
-//!   and [`engine::OptContext::apply_scored_move`]) with **work-aware
+//!   routing + parameters + objective. [`problem::Objective`] spans
+//!   three families: worst-case insertion loss, worst-case SNR, and the
+//!   modulation-aware laser-power objectives (`power`, `margin` and
+//!   their PAM-4 variants) built on `phonoc_phys::LaserBudget`.
+//! * [`engine`] — the budgeted, seeded search harness behind the single
+//!   entry point [`engine::run_dse`]`(problem, optimizer, &`
+//!   [`engine::DseConfig`]`)`: the [`engine::MappingOptimizer`] trait,
+//!   full/batch evaluation, and the move cursor
+//!   ([`engine::OptContext::set_current`], the typed objective-aware
+//!   peek family [`engine::OptContext::peek_move`] / `peek_moves` /
+//!   `peek_move_improving` / `peek_moves_improving`, and
+//!   [`engine::OptContext::apply_scored_move`]) with **work-aware
 //!   budget accounting**: a full evaluation costs `edge_count` integer
-//!   units, a peek only the evaluator work it actually triggered.
+//!   units, a peek only the evaluator work it actually triggered. The
+//!   peek family is objective-generic, so one optimizer implementation
+//!   serves all three objective families bit-identically.
 //! * [`parallel`] — the deterministic fork–join primitive behind batch
 //!   evaluation (std-thread based; no external dependencies; tiny
 //!   batches stay on the caller thread via a per-worker chunk floor).
 //! * [`analysis`] — human-facing per-communication reports with BER and
-//!   power-budget verdicts.
+//!   power-budget verdicts, plus the per-source laser budget
+//!   ([`analysis::LaserReport`]): required launch power per source
+//!   under the problem objective's modulation format, chip total, and
+//!   nonlinearity-threshold feasibility.
 //! * [`error`] — shared error type.
 //!
 //! # Example: full evaluation
@@ -110,15 +120,17 @@ pub mod parallel;
 pub mod pareto;
 pub mod problem;
 
-pub use analysis::{analyze, EdgeReport, NetworkReport};
+pub use analysis::{analyze, EdgeReport, LaserReport, NetworkReport, SourceLaserReport};
 pub use engine::{
-    run_dse, run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy,
-    DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext, PeekStrategy,
+    run_dse, DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext,
+    PeekStrategy,
 };
+#[allow(deprecated)]
+pub use engine::{run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy};
 pub use error::CoreError;
 pub use evaluator::{
-    BoundedDelta, DeltaScratch, EdgeMetrics, EvalScratch, EvalState, EvalSummary, Evaluator,
-    EvaluatorOptions, NetworkMetrics, PeekCostModel, ScoreDelta,
+    BoundedDelta, BoundedLossDelta, DeltaScratch, EdgeMetrics, EvalScratch, EvalState, EvalSummary,
+    Evaluator, EvaluatorOptions, NetworkMetrics, PeekCostModel, ScoreDelta,
 };
 pub use mapping::{Mapping, Move};
 pub use montecarlo::{activity_study, ActivityStudy};
@@ -129,9 +141,12 @@ pub use problem::{MappingProblem, Objective};
 pub mod prelude {
     pub use crate::analysis::{analyze, NetworkReport};
     pub use crate::engine::{
-        run_dse, run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy,
-        DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext,
+        run_dse, DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext,
         PeekStrategy,
+    };
+    #[allow(deprecated)]
+    pub use crate::engine::{
+        run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy,
     };
     pub use crate::error::CoreError;
     pub use crate::evaluator::{

@@ -216,6 +216,200 @@ fn greedy_descent_is_strategy_invariant_and_commits_true_scores() {
     }
 }
 
+/// Cross-layer objectives over a small scenario slice: every member of
+/// [`Objective::ALL`] beyond the two plain paper objectives.
+fn power_family_instances() -> Vec<(Objective, MappingProblem)> {
+    let mut out = Vec::new();
+    for objective in Objective::ALL {
+        if objective.modulation().is_none() {
+            continue;
+        }
+        for (family, mesh) in [(ScenarioFamily::Random, 4), (ScenarioFamily::Hotspot, 6)] {
+            let spec = ScenarioSpec {
+                family,
+                mesh,
+                density_pct: 100,
+                seed: 1,
+            };
+            let problem = MappingProblem::new(
+                spec.build(),
+                Topology::mesh(spec.mesh, spec.mesh, Length::from_mm(2.5)),
+                crux_router(),
+                Box::new(XyRouting),
+                PhysicalParameters::default(),
+                objective,
+            )
+            .expect("scenario problems are valid");
+            out.push((objective, problem));
+        }
+    }
+    out
+}
+
+#[test]
+fn power_family_peeks_are_bit_identical_under_every_strategy() {
+    for (objective, p) in power_family_instances() {
+        let mut rng = StdRng::seed_from_u64(0x90E4);
+        let start = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+        let moves: Vec<Move> = (0..30).map(|_| start.random_swap_move(&mut rng)).collect();
+
+        let mut contexts: Vec<OptContext<'_>> = STRATEGIES
+            .iter()
+            .map(|&s| {
+                let mut ctx = OptContext::new(&p, 10_000_000, 0);
+                ctx.set_peek_strategy(s);
+                ctx.set_current(start.clone()).expect("budget is huge");
+                ctx
+            })
+            .collect();
+
+        for &mv in &moves {
+            let evals: Vec<MoveEval> = contexts
+                .iter_mut()
+                .map(|ctx| ctx.peek_move(mv).expect("budget is huge"))
+                .collect();
+            for (ev, strategy) in evals.iter().zip(STRATEGIES) {
+                assert!(ev.is_exact(), "{objective}: {strategy:?}");
+                assert_eq!(
+                    ev.score(),
+                    evals[0].score(),
+                    "{objective}: {strategy:?} diverged on {mv:?}"
+                );
+            }
+            // The peek score is the objective applied to a full
+            // independent evaluation, to the bit — the delta/bounded/
+            // hybrid routes all collapse onto the same number.
+            let metrics = p.evaluator().evaluate(&start.with_move(mv));
+            assert_eq!(
+                evals[0].score(),
+                objective.score(&metrics),
+                "{objective}: {mv:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn power_family_greedy_descent_is_strategy_invariant() {
+    for (objective, p) in power_family_instances() {
+        let moves = admitted_subset(p.task_count(), p.tile_count(), 300);
+        let mut rng = StdRng::seed_from_u64(0x90E5);
+        let start = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+
+        let mut contexts: Vec<OptContext<'_>> = STRATEGIES
+            .iter()
+            .map(|&s| {
+                let mut ctx = OptContext::new(&p, 10_000_000, 0);
+                ctx.set_peek_strategy(s);
+                ctx.set_current(start.clone()).expect("budget is huge");
+                ctx
+            })
+            .collect();
+
+        for step in 0..3 {
+            let scans: Vec<Vec<MoveEval>> = contexts
+                .iter_mut()
+                .map(|ctx| ctx.peek_moves_improving(&moves))
+                .collect();
+            let current = contexts[0].current_score().expect("cursor set");
+            let reference = best_of(&scans[0]).expect("nonempty scan");
+            let improving = reference.score() > current;
+            for (scan, strategy) in scans.iter().zip(STRATEGIES) {
+                let best = best_of(scan).expect("nonempty scan");
+                if improving {
+                    assert_eq!(
+                        best.mv(),
+                        reference.mv(),
+                        "{objective}: {strategy:?} selected a different move at step {step}"
+                    );
+                    assert_eq!(best.score(), reference.score(), "{objective}");
+                    assert!(best.is_exact(), "{objective}: improving move not exact");
+                } else {
+                    assert!(
+                        best.score() <= current,
+                        "{objective}: {strategy:?} invented an improvement"
+                    );
+                }
+            }
+            if !improving {
+                break;
+            }
+            for (ctx, scan) in contexts.iter_mut().zip(&scans) {
+                let best = *best_of(scan).expect("nonempty scan");
+                ctx.apply_scored_move(&best);
+            }
+            // Committed scores are true objective scores.
+            let mapping = contexts[0].current_mapping().unwrap().clone();
+            let score = contexts[0].current_score().unwrap();
+            for ctx in &contexts {
+                assert_eq!(ctx.current_mapping().unwrap(), &mapping, "{objective}");
+                assert_eq!(ctx.current_score().unwrap(), score, "{objective}");
+            }
+            let metrics = p.evaluator().evaluate(&mapping);
+            assert_eq!(score, objective.score(&metrics), "{objective}: drift");
+        }
+    }
+}
+
+#[test]
+fn power_route_peeks_keep_the_budget_ledger_honest() {
+    for (objective, p) in power_family_instances() {
+        let mut ctx = OptContext::new(&p, 10_000_000, 3);
+        ctx.set_peek_strategy(PeekStrategy::Hybrid);
+        let start = ctx.random_mapping();
+        ctx.set_current(start).expect("budget is huge");
+        assert_eq!(ctx.full_evaluations(), 1, "set_current is one full");
+        assert_eq!(ctx.used(), 1, "a full costs one equivalent");
+
+        let moves = admitted_subset(p.task_count(), p.tile_count(), 100);
+
+        // Exact scan: loss-based objectives never route to full (their
+        // fast path is always cheaper); SNR-based ones may.
+        let before = ctx.used();
+        let scanned = ctx.peek_moves(&moves);
+        let routed_full = scanned
+            .iter()
+            .filter(|ev| matches!(ev, MoveEval::Full { .. }))
+            .count();
+        if objective.is_loss_based() {
+            assert_eq!(routed_full, 0, "{objective}: loss peeks routed to full");
+        }
+        assert_eq!(ctx.full_evaluations(), 1 + routed_full, "{objective}");
+        assert_eq!(
+            ctx.delta_evaluations(),
+            moves.len() - routed_full,
+            "{objective}"
+        );
+        // Work-aware accounting (in full-evaluation-equivalents): the
+        // scan is never free, and no peek may cost more than a full.
+        let spent = ctx.used() - before;
+        assert!(spent > 0, "{objective}: peeks were free");
+        assert!(spent <= moves.len(), "{objective}: peeks over-charged");
+
+        // Improving scan: bounded rejections also charge their work —
+        // one more booked delta per peek, nonzero total spend.
+        let before = ctx.used();
+        let deltas_before = ctx.delta_evaluations();
+        let improving = ctx.peek_moves_improving(&moves);
+        assert_eq!(improving.len(), moves.len());
+        let routed_full = improving
+            .iter()
+            .filter(|ev| matches!(ev, MoveEval::Full { .. }))
+            .count();
+        if objective.is_loss_based() {
+            assert_eq!(routed_full, 0, "{objective}: loss peeks routed to full");
+        }
+        assert_eq!(
+            ctx.delta_evaluations() - deltas_before,
+            moves.len() - routed_full,
+            "{objective}: every peek (rejections included) books one delta"
+        );
+        let spent = ctx.used() - before;
+        assert!(spent > 0, "{objective}: rejections were free");
+        assert!(spent <= moves.len(), "{objective}");
+    }
+}
+
 #[test]
 fn hybrid_books_every_peek_as_exactly_one_evaluation() {
     for (spec, p) in scenario_instances() {

@@ -10,8 +10,8 @@
 //!   compared to exact peeks (PIP + VOPD, both objectives).
 
 use phonoc_core::{
-    BoundedDelta, DeltaScratch, EvalScratch, Evaluator, Mapping, MappingProblem, Move, MoveEval,
-    Objective, OptContext,
+    BoundedDelta, BoundedLossDelta, DeltaScratch, EvalScratch, Evaluator, Mapping, MappingProblem,
+    Move, MoveEval, Objective, OptContext,
 };
 use phonoc_phys::{Db, Length, PhysicalParameters};
 use phonoc_route::XyRouting;
@@ -42,6 +42,15 @@ fn instances() -> Vec<MappingProblem> {
     for objective in [
         Objective::MinimizeWorstCaseLoss,
         Objective::MaximizeWorstCaseSnr,
+        // One objective from each cross-layer power family: the loss
+        // fast path (power) and the SNR machinery (margin) both run
+        // through every bounded/greedy invariant below.
+        Objective::MinimizeLaserPower {
+            modulation: phonoc_phys::Modulation::Ook,
+        },
+        Objective::MaximizeSnrMargin {
+            modulation: phonoc_phys::Modulation::Pam4,
+        },
     ] {
         out.push(problem("pip", 3, 3, objective));
         out.push(problem("pip", 4, 4, objective));
@@ -155,6 +164,91 @@ fn bounded_delta_is_admissible_and_exact_when_it_completes() {
                     }
                 }
             }
+        }
+    }
+}
+
+#[test]
+fn bounded_loss_delta_is_admissible_and_exact_when_it_completes() {
+    for p in instances() {
+        let ev = p.evaluator();
+        let mut rng = StdRng::seed_from_u64(0xB1055);
+        let mut scratch = DeltaScratch::default();
+        for _ in 0..20 {
+            let mapping = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+            let state = ev.init_state(&mapping);
+            for _ in 0..10 {
+                let mv = mapping.random_swap_move(&mut rng);
+                let (exact_il, exact_moved) =
+                    ev.evaluate_delta_loss(&state, &mapping, mv, &mut scratch);
+                // Thresholds around the interesting region, including
+                // the exact answer itself (boundary: `<=` must reject).
+                for threshold in [
+                    state.worst_case_il(),
+                    Db(state.worst_case_il().0 - 5.0),
+                    Db(state.worst_case_il().0 + 5.0),
+                    exact_il,
+                ] {
+                    match ev.evaluate_delta_loss_bounded(
+                        &state,
+                        &mapping,
+                        mv,
+                        &mut scratch,
+                        threshold,
+                    ) {
+                        BoundedLossDelta::Exact {
+                            new_worst_il,
+                            moved_edges,
+                        } => {
+                            // The fall-through is bit-identical to the
+                            // plain loss fast path. (Unlike the SNR
+                            // peek, an exact result may still land at
+                            // or below the threshold: the bound only
+                            // screens the *moved* edges, and an exact
+                            // non-improving score is as usable to the
+                            // scan as a rejection.)
+                            assert_eq!(new_worst_il, exact_il, "{p:?}: {mv:?} at {threshold}");
+                            assert_eq!(moved_edges, exact_moved);
+                        }
+                        BoundedLossDelta::Rejected { bound, cost } => {
+                            // Admissible: the exact score can never beat
+                            // the bound the rejection reported.
+                            assert!(
+                                exact_il.0 <= bound.0,
+                                "{p:?}: {mv:?} bound {bound} below exact {exact_il}"
+                            );
+                            assert!(
+                                bound.0 <= threshold.0,
+                                "{p:?}: {mv:?} rejected with bound {bound} above {threshold}"
+                            );
+                            // A rejection only charges the marking pass.
+                            assert!(cost <= exact_moved.max(1));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bounded_loss_delta_batch_matches_sequential() {
+    for p in instances() {
+        let ev = p.evaluator();
+        let mut rng = StdRng::seed_from_u64(0xBA7C5);
+        let mut scratch = DeltaScratch::default();
+        let mapping = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
+        let state = ev.init_state(&mapping);
+        let threshold = state.worst_case_il();
+        let moves: Vec<Move> = (0..40)
+            .map(|_| mapping.random_swap_move(&mut rng))
+            .collect();
+        let batch = ev.evaluate_delta_loss_bounded_batch(&state, &mapping, &moves, threshold);
+        assert_eq!(batch.len(), moves.len());
+        for (&mv, got) in moves.iter().zip(&batch) {
+            let want =
+                ev.evaluate_delta_loss_bounded(&state, &mapping, mv, &mut scratch, threshold);
+            assert_eq!(*got, want, "{p:?}: {mv:?}");
         }
     }
 }

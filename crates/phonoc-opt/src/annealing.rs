@@ -136,20 +136,18 @@ mod tests {
     use super::*;
     use crate::random_search::RandomSearch;
     use crate::test_support::tiny_problem;
-    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
+    use phonoc_core::{run_dse, DseConfig, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
         let p = tiny_problem();
-        let r = run_dse(&p, &SimulatedAnnealing::default(), 500, 17);
+        let r = run_dse(&p, &SimulatedAnnealing::default(), &DseConfig::new(500, 17));
         assert_eq!(r.evaluations, 500);
         assert!(r.best_mapping.is_valid());
-        let rd = run_dse_with_strategy(
+        let rd = run_dse(
             &p,
             &SimulatedAnnealing::default(),
-            500,
-            17,
-            PeekStrategy::Delta,
+            &DseConfig::new(500, 17).with_strategy(PeekStrategy::Delta),
         );
         assert!(rd.delta_evaluations > 0, "sa must walk on the move API");
     }
@@ -157,16 +155,16 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let p = tiny_problem();
-        let a = run_dse(&p, &SimulatedAnnealing::default(), 300, 8);
-        let b = run_dse(&p, &SimulatedAnnealing::default(), 300, 8);
+        let a = run_dse(&p, &SimulatedAnnealing::default(), &DseConfig::new(300, 8));
+        let b = run_dse(&p, &SimulatedAnnealing::default(), &DseConfig::new(300, 8));
         assert_eq!(a.best_mapping, b.best_mapping);
     }
 
     #[test]
     fn not_worse_than_random_search() {
         let p = tiny_problem();
-        let rs = run_dse(&p, &RandomSearch, 800, 55);
-        let sa = run_dse(&p, &SimulatedAnnealing::default(), 800, 55);
+        let rs = run_dse(&p, &RandomSearch, &DseConfig::new(800, 55));
+        let sa = run_dse(&p, &SimulatedAnnealing::default(), &DseConfig::new(800, 55));
         assert!(
             sa.best_score >= rs.best_score - 0.5,
             "sa {} far below rs {}",

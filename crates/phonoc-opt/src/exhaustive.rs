@@ -76,7 +76,7 @@ fn enumerate(
 mod tests {
     use super::*;
     use crate::test_support::micro_problem;
-    use phonoc_core::run_dse;
+    use phonoc_core::{run_dse, DseConfig};
 
     #[test]
     fn space_size_formula() {
@@ -90,7 +90,7 @@ mod tests {
     fn enumerates_the_whole_space() {
         let p = micro_problem();
         let space = Exhaustive::space_size(p.task_count(), p.tile_count());
-        let r = run_dse(&p, &Exhaustive, space + 10, 0);
+        let r = run_dse(&p, &Exhaustive, &DseConfig::new(space + 10, 0));
         assert_eq!(r.evaluations, space, "must evaluate every mapping once");
     }
 
@@ -101,7 +101,7 @@ mod tests {
         use crate::rpbla::Rpbla;
         let p = micro_problem();
         let space = Exhaustive::space_size(p.task_count(), p.tile_count());
-        let truth = run_dse(&p, &Exhaustive, space, 0).best_score;
+        let truth = run_dse(&p, &Exhaustive, &DseConfig::new(space, 0)).best_score;
         // Give each heuristic the full space worth of budget: they should
         // find the global optimum of this micro instance.
         for opt in [
@@ -109,7 +109,7 @@ mod tests {
             &GeneticAlgorithm::default(),
             &SimulatedAnnealing::default(),
         ] {
-            let r = run_dse(&p, opt, space, 1234);
+            let r = run_dse(&p, opt, &DseConfig::new(space, 1234));
             assert!(
                 (r.best_score - truth).abs() < 1e-9,
                 "{} reached {} but optimum is {truth}",

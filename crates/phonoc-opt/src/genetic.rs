@@ -259,7 +259,7 @@ fn mapping_from_perm(perm: Vec<TileId>, task_count: usize) -> Mapping {
 mod tests {
     use super::*;
     use crate::test_support::tiny_problem;
-    use phonoc_core::run_dse;
+    use phonoc_core::{run_dse, DseConfig};
     use proptest::prelude::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -267,7 +267,7 @@ mod tests {
     #[test]
     fn ga_respects_budget_and_validity() {
         let p = tiny_problem();
-        let r = run_dse(&p, &GeneticAlgorithm::default(), 500, 3);
+        let r = run_dse(&p, &GeneticAlgorithm::default(), &DseConfig::new(500, 3));
         assert_eq!(r.evaluations, 500);
         assert!(r.best_mapping.is_valid());
     }
@@ -275,8 +275,8 @@ mod tests {
     #[test]
     fn ga_is_deterministic_per_seed() {
         let p = tiny_problem();
-        let a = run_dse(&p, &GeneticAlgorithm::default(), 300, 11);
-        let b = run_dse(&p, &GeneticAlgorithm::default(), 300, 11);
+        let a = run_dse(&p, &GeneticAlgorithm::default(), &DseConfig::new(300, 11));
+        let b = run_dse(&p, &GeneticAlgorithm::default(), &DseConfig::new(300, 11));
         assert_eq!(a.best_mapping, b.best_mapping);
     }
 
@@ -286,10 +286,16 @@ mod tests {
         // every policy must stay valid, budget-exact and deterministic.
         let p = tiny_problem();
         for policy in phonoc_core::NeighborhoodPolicy::ALL {
-            let a =
-                phonoc_core::run_dse_with_policy(&p, &GeneticAlgorithm::default(), 200, 6, policy);
-            let b =
-                phonoc_core::run_dse_with_policy(&p, &GeneticAlgorithm::default(), 200, 6, policy);
+            let a = phonoc_core::run_dse(
+                &p,
+                &GeneticAlgorithm::default(),
+                &DseConfig::new(200, 6).with_policy(policy),
+            );
+            let b = phonoc_core::run_dse(
+                &p,
+                &GeneticAlgorithm::default(),
+                &DseConfig::new(200, 6).with_policy(policy),
+            );
             assert_eq!(a.evaluations, 200, "{policy}");
             assert!(a.best_mapping.is_valid(), "{policy}");
             assert_eq!(a.best_mapping, b.best_mapping, "{policy}");
@@ -303,7 +309,7 @@ mod tests {
             crossover: Crossover::Ox,
             ..GeneticAlgorithm::default()
         };
-        let r = run_dse(&p, &ga, 300, 4);
+        let r = run_dse(&p, &ga, &DseConfig::new(300, 4));
         assert!(r.best_mapping.is_valid());
     }
 
@@ -315,7 +321,7 @@ mod tests {
             elite: 5,
             ..GeneticAlgorithm::default()
         };
-        let r = run_dse(&p, &ga, 50, 1);
+        let r = run_dse(&p, &ga, &DseConfig::new(50, 1));
         assert_eq!(r.evaluations, 50);
     }
 

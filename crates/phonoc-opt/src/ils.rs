@@ -106,20 +106,18 @@ mod tests {
     use super::*;
     use crate::random_search::RandomSearch;
     use crate::test_support::tiny_problem;
-    use phonoc_core::{run_dse, run_dse_with_strategy, PeekStrategy};
+    use phonoc_core::{run_dse, DseConfig, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
         let p = tiny_problem();
-        let r = run_dse(&p, &IteratedLocalSearch::default(), 600, 4);
+        let r = run_dse(&p, &IteratedLocalSearch::default(), &DseConfig::new(600, 4));
         assert_eq!(r.evaluations, 600);
         assert!(r.best_mapping.is_valid());
-        let rd = run_dse_with_strategy(
+        let rd = run_dse(
             &p,
             &IteratedLocalSearch::default(),
-            600,
-            4,
-            PeekStrategy::Delta,
+            &DseConfig::new(600, 4).with_strategy(PeekStrategy::Delta),
         );
         assert!(rd.delta_evaluations > 0, "ils must descend on the move API");
     }
@@ -127,16 +125,24 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let p = tiny_problem();
-        let a = run_dse(&p, &IteratedLocalSearch::default(), 400, 21);
-        let b = run_dse(&p, &IteratedLocalSearch::default(), 400, 21);
+        let a = run_dse(
+            &p,
+            &IteratedLocalSearch::default(),
+            &DseConfig::new(400, 21),
+        );
+        let b = run_dse(
+            &p,
+            &IteratedLocalSearch::default(),
+            &DseConfig::new(400, 21),
+        );
         assert_eq!(a.best_mapping, b.best_mapping);
     }
 
     #[test]
     fn not_worse_than_random_search() {
         let p = tiny_problem();
-        let rs = run_dse(&p, &RandomSearch, 900, 8);
-        let ils = run_dse(&p, &IteratedLocalSearch::default(), 900, 8);
+        let rs = run_dse(&p, &RandomSearch, &DseConfig::new(900, 8));
+        let ils = run_dse(&p, &IteratedLocalSearch::default(), &DseConfig::new(900, 8));
         assert!(
             ils.best_score >= rs.best_score - 0.5,
             "ils {} far below rs {}",
@@ -149,7 +155,7 @@ mod tests {
     fn strong_kicks_still_work() {
         let p = tiny_problem();
         let ils = IteratedLocalSearch { kick_strength: 10 };
-        let r = run_dse(&p, &ils, 300, 2);
+        let r = run_dse(&p, &ils, &DseConfig::new(300, 2));
         assert!(r.best_mapping.is_valid());
     }
 }

@@ -103,7 +103,7 @@
 //! # Example
 //!
 //! ```
-//! use phonoc_core::{run_dse, MappingProblem, Objective};
+//! use phonoc_core::{run_dse, DseConfig, MappingProblem, Objective};
 //! use phonoc_opt::Rpbla;
 //! use phonoc_phys::{Length, PhysicalParameters};
 //! use phonoc_route::XyRouting;
@@ -119,7 +119,7 @@
 //!     PhysicalParameters::default(),
 //!     Objective::MaximizeWorstCaseSnr,
 //! )?;
-//! let result = run_dse(&problem, &Rpbla, 2_000, 42);
+//! let result = run_dse(&problem, &Rpbla, &DseConfig::new(2_000, 42));
 //! assert!(result.best_mapping.is_valid());
 //! # Ok(())
 //! # }
@@ -149,7 +149,9 @@ pub use portfolio::{
     PortfolioResult, PortfolioSpec,
 };
 pub use random_search::RandomSearch;
-pub use registry::{builtin_names, optimizer, optimizer_spec, search_spec, SearchSpec};
+pub use registry::{
+    builtin_names, optimizer, optimizer_spec, search_spec, single_spec, SearchSpec, SingleSpec,
+};
 pub use rpbla::Rpbla;
 pub use tabu::TabuSearch;
 pub use warm::{FamilyKey, RequestKey, WarmCache, WarmSolve, WarmSource};

@@ -18,7 +18,7 @@
 //! the lanes as **bulk-synchronous rounds**:
 //!
 //! 1. every lane runs one budgeted search session
-//!    ([`phonoc_core::run_dse_session`]) — in parallel across CPU
+//!    ([`phonoc_core::run_dse`]) — in parallel across CPU
 //!    cores via [`phonoc_core::parallel::parallel_map_tasks`];
 //! 2. lane results are folded into per-lane incumbents in **fixed lane
 //!    order** (the reduction never depends on scheduling);
@@ -74,7 +74,7 @@
 use crate::registry;
 use phonoc_core::parallel::parallel_map_tasks;
 use phonoc_core::{
-    run_dse_session, DseConfig, Mapping, MappingProblem, NeighborhoodPolicy, PeekStrategy,
+    run_dse, DseConfig, Mapping, MappingProblem, NeighborhoodPolicy, Objective, PeekStrategy,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -131,9 +131,9 @@ impl fmt::Display for ExchangePolicy {
 }
 
 /// One lane of a portfolio: a registry optimizer, the neighbourhood
-/// policy its scans pin, and the peek strategy its SNR peeks route
-/// through. The lane's RNG stream is derived from the portfolio seed
-/// and the lane index at run time.
+/// policy its scans pin, the peek strategy its SNR peeks route
+/// through, and an optional objective override. The lane's RNG stream
+/// is derived from the portfolio seed and the lane index at run time.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LaneSpec {
     /// Registry optimizer spec (`name[@policy]`, e.g. `r-pbla@sampled`
@@ -146,41 +146,46 @@ pub struct LaneSpec {
     /// `/peek` suffix; hybrid by default — cost-only, never changes
     /// scores).
     pub strategy: PeekStrategy,
+    /// Objective override from an optional `!objective` suffix; `None`
+    /// scores under the problem's own objective. Lanes with different
+    /// objectives race on **different scales** — elite exchange and
+    /// the best-lane budget weighting still compare their raw scores,
+    /// so a mixed-objective portfolio is a deliberate cross-seeding
+    /// tool, not an apples-to-apples race.
+    pub objective: Option<Objective>,
 }
 
 impl LaneSpec {
-    /// Parses one lane of a portfolio spec: `name[@policy][/peek]`,
-    /// e.g. `r-pbla@sampled`, `sa`, `r-pbla@locality/delta`.
+    /// Parses one lane of a portfolio spec under the unified search
+    /// grammar `name[@policy][/peek][!objective]`
+    /// ([`registry::single_spec`]), e.g. `r-pbla@sampled`, `sa`,
+    /// `r-pbla@locality/delta`, `r-pbla@sampled/hybrid!power`.
     ///
     /// # Errors
     ///
     /// Returns a message naming the unknown optimizer, neighbourhood
-    /// policy or peek strategy.
+    /// policy, peek strategy or objective.
     pub fn parse(spec: &str) -> Result<LaneSpec, String> {
-        let (algo, strategy) = match spec.split_once('/') {
-            Some((algo, peek)) => (
-                algo,
-                PeekStrategy::by_name(peek)
-                    .ok_or_else(|| format!("unknown peek strategy `{peek}` in lane `{spec}`"))?,
-            ),
-            None => (spec, PeekStrategy::default()),
-        };
-        let (_, policy) = registry::optimizer_spec(algo)
-            .ok_or_else(|| format!("unknown optimizer spec `{algo}` in lane `{spec}`"))?;
+        let parsed = registry::single_spec(spec)?;
         Ok(LaneSpec {
-            algo: algo.to_owned(),
-            policy: policy.unwrap_or_default(),
-            strategy,
+            algo: parsed.algo,
+            policy: parsed.policy.unwrap_or_default(),
+            strategy: parsed.strategy.unwrap_or_default(),
+            objective: parsed.objective,
         })
     }
 
-    /// The canonical lane label (`name[@policy][/peek]`, suffixes only
-    /// when non-default).
+    /// The canonical lane label (`name[@policy][/peek][!objective]`,
+    /// suffixes only when non-default / present — pre-suffix spec
+    /// strings keep their exact bytes).
     #[must_use]
     pub fn label(&self) -> String {
         let mut label = self.algo.clone();
         if self.strategy != PeekStrategy::default() {
             let _ = write!(label, "/{}", self.strategy);
+        }
+        if let Some(objective) = self.objective {
+            let _ = write!(label, "!{}", objective.name());
         }
         label
     }
@@ -517,6 +522,7 @@ struct LaneRun {
     algo: String,
     policy: NeighborhoodPolicy,
     strategy: PeekStrategy,
+    objective: Option<Objective>,
     budget: usize,
     seed: u64,
     start: Option<Mapping>,
@@ -626,6 +632,7 @@ pub fn run_portfolio_seeded(
                 algo: ls.algo.clone(),
                 policy: ls.policy,
                 strategy: ls.strategy,
+                objective: ls.objective,
                 budget: allot[lane],
                 seed: lane_round_seed(seed, lane, round),
                 start,
@@ -641,14 +648,15 @@ pub fn run_portfolio_seeded(
             }
             let (optimizer, _) =
                 registry::optimizer_spec(&run.algo).expect("lane specs are validated at parse");
-            Some(run_dse_session(
+            Some(run_dse(
                 problem,
                 optimizer.as_ref(),
-                run.budget,
-                run.seed,
-                DseConfig {
+                &DseConfig {
+                    budget: run.budget,
+                    seed: run.seed,
                     strategy: run.strategy,
                     policy: run.policy,
+                    objective: run.objective,
                     start: run.start.clone(),
                 },
             ))
@@ -842,6 +850,21 @@ mod tests {
         assert_eq!(spec.lanes[1].strategy, PeekStrategy::Full);
         assert_eq!(spec.exchange, ExchangePolicy::Ring);
         assert!(spec.canonical().contains("r-pbla@sampled/delta"));
+        // Objective suffix (the unified grammar's third knob).
+        let spec = PortfolioSpec::parse("r-pbla@sampled!power+tabu/full!margin,rounds=3").unwrap();
+        assert!(spec.lanes[0].objective.unwrap().is_loss_based());
+        assert_eq!(spec.lanes[0].strategy, PeekStrategy::default());
+        assert!(spec.lanes[1].objective.unwrap().uses_snr());
+        assert_eq!(spec.lanes[1].strategy, PeekStrategy::Full);
+        assert_eq!(
+            spec.canonical(),
+            "portfolio:r-pbla@sampled!power+tabu/full!margin,exchange=best,rounds=3"
+        );
+        assert_eq!(
+            PortfolioSpec::parse("r-pbla@sampled!power+tabu/full!margin,rounds=3").unwrap(),
+            spec
+        );
+        assert!(PortfolioSpec::parse("rs!nonsense").is_err());
     }
 
     #[test]
@@ -875,6 +898,65 @@ mod tests {
         assert_eq!(spec.canonical(), format!("portfolio:{TWO_LANE},collapse=3"));
         let reparsed = PortfolioSpec::parse(&format!("{TWO_LANE},collapse=3")).unwrap();
         assert_eq!(spec, reparsed);
+    }
+
+    /// A `!objective` lane suffix must actually re-target the lane: a
+    /// single-lane `!power` portfolio scores under the power objective
+    /// (worst-case loss minus the modulation's required SNR margin),
+    /// not under the problem's own SNR objective.
+    #[test]
+    fn objective_suffixed_lanes_score_under_the_override() {
+        let p = tiny_problem(); // problem objective: worst-case SNR
+        let spec = PortfolioSpec::parse("r-pbla!power,rounds=2").unwrap();
+        let r = run_portfolio(&p, &spec, 400, 9);
+        assert_eq!(r.lanes[0].label, "r-pbla!power");
+        assert!(r.best_mapping.is_valid());
+        // The reported score is the power objective of the winning
+        // mapping — reproduce it from a fresh evaluation.
+        let power = phonoc_core::Objective::by_name("power").unwrap();
+        let metrics = p.evaluator().evaluate(&r.best_mapping);
+        assert_eq!(r.best_score, power.score(&metrics));
+        // Deterministic like every other spec.
+        let r2 = run_portfolio(&p, &spec, 400, 9);
+        assert_eq!(r2.best_score, r.best_score);
+        assert_eq!(r2.best_mapping, r.best_mapping);
+    }
+
+    /// Golden warm-cache keys: canonical spec strings are the spec half
+    /// of every [`crate::RequestKey`], so they are pinned **byte for
+    /// byte**. Adding grammar (the `/peek` and `!objective` suffixes)
+    /// must never move a pre-existing key; new suffixes must print
+    /// exactly one way.
+    #[test]
+    fn canonical_spec_strings_are_golden() {
+        for (input, golden) in [
+            // Pre-suffix keys (committed by earlier PRs): exact bytes.
+            (
+                TWO_LANE,
+                "portfolio:r-pbla@sampled+r-pbla@locality,exchange=best,rounds=14",
+            ),
+            ("rs+sa", "portfolio:rs+sa,exchange=best,rounds=6"),
+            (
+                "r-pbla@sampled/delta+tabu/full,exchange=ring",
+                "portfolio:r-pbla@sampled/delta+tabu/full,exchange=ring,rounds=6",
+            ),
+            // Objective-suffixed keys: one canonical spelling each
+            // (`/hybrid` is the default peek and normalizes away).
+            (
+                "r-pbla@sampled/hybrid!power+r-pbla@locality,rounds=4",
+                "portfolio:r-pbla@sampled!power+r-pbla@locality,exchange=best,rounds=4",
+            ),
+            (
+                "sa!power-pam4+rs!margin",
+                "portfolio:sa!power-pam4+rs!margin,exchange=best,rounds=6",
+            ),
+        ] {
+            let spec = PortfolioSpec::parse(input).unwrap();
+            assert_eq!(spec.canonical(), golden, "input `{input}`");
+            // Canonical forms are fixed points of parse ∘ canonical.
+            let body = golden.strip_prefix("portfolio:").unwrap();
+            assert_eq!(PortfolioSpec::parse(body).unwrap().canonical(), golden);
+        }
     }
 
     #[test]

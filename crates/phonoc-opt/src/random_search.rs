@@ -49,12 +49,12 @@ impl MappingOptimizer for RandomSearch {
 mod tests {
     use super::*;
     use crate::test_support::tiny_problem;
-    use phonoc_core::run_dse;
+    use phonoc_core::{run_dse, DseConfig};
 
     #[test]
     fn uses_whole_budget() {
         let p = tiny_problem();
-        let r = run_dse(&p, &RandomSearch, 123, 7);
+        let r = run_dse(&p, &RandomSearch, &DseConfig::new(123, 7));
         assert_eq!(r.evaluations, 123);
         assert!(r.best_mapping.is_valid());
     }
@@ -62,8 +62,8 @@ mod tests {
     #[test]
     fn more_budget_never_hurts() {
         let p = tiny_problem();
-        let small = run_dse(&p, &RandomSearch, 20, 5);
-        let large = run_dse(&p, &RandomSearch, 400, 5);
+        let small = run_dse(&p, &RandomSearch, &DseConfig::new(20, 5));
+        let large = run_dse(&p, &RandomSearch, &DseConfig::new(400, 5));
         assert!(
             large.best_score >= small.best_score,
             "a prefix-extended search cannot be worse under the same seed"

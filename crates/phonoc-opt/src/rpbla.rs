@@ -145,20 +145,22 @@ mod tests {
     use super::*;
     use crate::random_search::RandomSearch;
     use crate::test_support::tiny_problem;
-    use phonoc_core::{
-        run_dse, run_dse_with_policy, run_dse_with_strategy, NeighborhoodPolicy, PeekStrategy,
-    };
+    use phonoc_core::{run_dse, DseConfig, NeighborhoodPolicy, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
         let p = tiny_problem();
-        let r = run_dse(&p, &Rpbla, 400, 9);
+        let r = run_dse(&p, &Rpbla, &DseConfig::new(400, 9));
         assert_eq!(r.evaluations, 400);
         assert!(r.best_mapping.is_valid());
         // The descent scans run on the peek API; pin the delta backend
         // (the hybrid router legitimately picks full passes on a dense
         // 3×3) to check the incremental path is really exercised.
-        let rd = run_dse_with_strategy(&p, &Rpbla, 400, 9, PeekStrategy::Delta);
+        let rd = run_dse(
+            &p,
+            &Rpbla,
+            &DseConfig::new(400, 9).with_strategy(PeekStrategy::Delta),
+        );
         assert!(
             rd.delta_evaluations > 0,
             "R-PBLA must use incremental scans"
@@ -169,7 +171,7 @@ mod tests {
     fn respects_budget_under_every_neighborhood_policy() {
         let p = tiny_problem();
         for policy in NeighborhoodPolicy::ALL {
-            let r = run_dse_with_policy(&p, &Rpbla, 300, 9, policy);
+            let r = run_dse(&p, &Rpbla, &DseConfig::new(300, 9).with_policy(policy));
             assert_eq!(r.evaluations, 300, "{policy}");
             assert!(r.best_mapping.is_valid(), "{policy}");
         }
@@ -179,8 +181,8 @@ mod tests {
     fn deterministic_per_seed() {
         let p = tiny_problem();
         for policy in NeighborhoodPolicy::ALL {
-            let a = run_dse_with_policy(&p, &Rpbla, 300, 21, policy);
-            let b = run_dse_with_policy(&p, &Rpbla, 300, 21, policy);
+            let a = run_dse(&p, &Rpbla, &DseConfig::new(300, 21).with_policy(policy));
+            let b = run_dse(&p, &Rpbla, &DseConfig::new(300, 21).with_policy(policy));
             assert_eq!(a.best_mapping, b.best_mapping, "{policy}");
         }
     }
@@ -188,7 +190,7 @@ mod tests {
     #[test]
     fn descends_monotonically_within_history() {
         let p = tiny_problem();
-        let r = run_dse(&p, &Rpbla, 600, 2);
+        let r = run_dse(&p, &Rpbla, &DseConfig::new(600, 2));
         let mut prev = f64::NEG_INFINITY;
         for (_, s) in &r.history {
             assert!(*s > prev);
@@ -203,8 +205,8 @@ mod tests {
         // problem.
         let p = tiny_problem();
         let budget = 800;
-        let rs = run_dse(&p, &RandomSearch, budget, 33);
-        let rp = run_dse(&p, &Rpbla, budget, 33);
+        let rs = run_dse(&p, &RandomSearch, &DseConfig::new(budget, 33));
+        let rp = run_dse(&p, &Rpbla, &DseConfig::new(budget, 33));
         assert!(
             rp.best_score >= rs.best_score,
             "r-pbla {} < rs {}",

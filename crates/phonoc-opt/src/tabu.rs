@@ -112,17 +112,19 @@ impl MappingOptimizer for TabuSearch {
 mod tests {
     use super::*;
     use crate::test_support::tiny_problem;
-    use phonoc_core::{
-        run_dse, run_dse_with_policy, run_dse_with_strategy, NeighborhoodPolicy, PeekStrategy,
-    };
+    use phonoc_core::{run_dse, DseConfig, NeighborhoodPolicy, PeekStrategy};
 
     #[test]
     fn respects_budget_and_validity() {
         let p = tiny_problem();
-        let r = run_dse(&p, &TabuSearch::default(), 400, 13);
+        let r = run_dse(&p, &TabuSearch::default(), &DseConfig::new(400, 13));
         assert_eq!(r.evaluations, 400);
         assert!(r.best_mapping.is_valid());
-        let rd = run_dse_with_strategy(&p, &TabuSearch::default(), 400, 13, PeekStrategy::Delta);
+        let rd = run_dse(
+            &p,
+            &TabuSearch::default(),
+            &DseConfig::new(400, 13).with_strategy(PeekStrategy::Delta),
+        );
         assert!(rd.delta_evaluations > 0, "tabu must use incremental scans");
     }
 
@@ -130,8 +132,16 @@ mod tests {
     fn deterministic_per_seed() {
         let p = tiny_problem();
         for policy in NeighborhoodPolicy::ALL {
-            let a = run_dse_with_policy(&p, &TabuSearch::default(), 250, 5, policy);
-            let b = run_dse_with_policy(&p, &TabuSearch::default(), 250, 5, policy);
+            let a = run_dse(
+                &p,
+                &TabuSearch::default(),
+                &DseConfig::new(250, 5).with_policy(policy),
+            );
+            let b = run_dse(
+                &p,
+                &TabuSearch::default(),
+                &DseConfig::new(250, 5).with_policy(policy),
+            );
             assert_eq!(a.best_mapping, b.best_mapping, "{policy}");
             assert_eq!(a.evaluations, 250, "{policy}");
         }

@@ -10,7 +10,7 @@
 //! indices — pinned here so the restriction stays physical.
 
 use phonoc_core::{
-    run_dse_with_policy, Mapping, MappingProblem, Move, NeighborhoodPolicy, Objective, OptContext,
+    run_dse, DseConfig, Mapping, MappingProblem, Move, NeighborhoodPolicy, Objective, OptContext,
     PeekStrategy,
 };
 use phonoc_opt::neighborhood::{admitted_moves, Neighborhood, LOCALITY_START_RADIUS};
@@ -254,11 +254,11 @@ fn budget_ledger_stays_honest_under_every_policy() {
     let p = mid_problem();
     for policy in NeighborhoodPolicy::ALL {
         for budget in [37, 200] {
-            let r = run_dse_with_policy(&p, &Rpbla, budget, 5, policy);
+            let r = run_dse(&p, &Rpbla, &DseConfig::new(budget, 5).with_policy(policy));
             assert_eq!(r.evaluations, budget, "{policy} budget {budget}");
             assert!(r.best_mapping.is_valid());
             // Determinism of the whole run, not just the stream.
-            let r2 = run_dse_with_policy(&p, &Rpbla, budget, 5, policy);
+            let r2 = run_dse(&p, &Rpbla, &DseConfig::new(budget, 5).with_policy(policy));
             assert_eq!(r.best_mapping, r2.best_mapping, "{policy}");
             assert!((r.best_score - r2.best_score).abs() < 1e-15);
         }

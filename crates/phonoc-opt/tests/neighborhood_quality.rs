@@ -10,7 +10,7 @@
 //! statistical ones.
 
 use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
-use phonoc_core::{run_dse_with_policy, MappingProblem, NeighborhoodPolicy, Objective};
+use phonoc_core::{run_dse, DseConfig, MappingProblem, NeighborhoodPolicy, Objective};
 use phonoc_opt::Rpbla;
 use phonoc_phys::{Length, PhysicalParameters};
 use phonoc_route::XyRouting;
@@ -37,9 +37,21 @@ fn problem(family: ScenarioFamily, mesh: usize, seed: u64) -> MappingProblem {
 
 /// Final R-PBLA score per policy at an equal budget.
 fn scores(p: &MappingProblem, budget: usize, seed: u64) -> (f64, f64, f64) {
-    let ex = run_dse_with_policy(p, &Rpbla, budget, seed, NeighborhoodPolicy::Exhaustive);
-    let sa = run_dse_with_policy(p, &Rpbla, budget, seed, NeighborhoodPolicy::Sampled);
-    let lo = run_dse_with_policy(p, &Rpbla, budget, seed, NeighborhoodPolicy::Locality);
+    let ex = run_dse(
+        p,
+        &Rpbla,
+        &DseConfig::new(budget, seed).with_policy(NeighborhoodPolicy::Exhaustive),
+    );
+    let sa = run_dse(
+        p,
+        &Rpbla,
+        &DseConfig::new(budget, seed).with_policy(NeighborhoodPolicy::Sampled),
+    );
+    let lo = run_dse(
+        p,
+        &Rpbla,
+        &DseConfig::new(budget, seed).with_policy(NeighborhoodPolicy::Locality),
+    );
     assert_eq!(ex.evaluations, budget);
     assert_eq!(sa.evaluations, budget);
     assert_eq!(lo.evaluations, budget);

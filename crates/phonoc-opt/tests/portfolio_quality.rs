@@ -11,7 +11,7 @@
 //! `scripts/bench_gate.py --strict-quality`).
 
 use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
-use phonoc_core::{run_dse_with_policy, MappingProblem, NeighborhoodPolicy, Objective};
+use phonoc_core::{run_dse, DseConfig, MappingProblem, NeighborhoodPolicy, Objective};
 use phonoc_opt::{run_portfolio, PortfolioSpec, Rpbla};
 use phonoc_phys::{Length, PhysicalParameters};
 use phonoc_route::XyRouting;
@@ -51,12 +51,18 @@ fn portfolio_matches_or_beats_the_best_single_lane_at_12x12() {
     for family in [ScenarioFamily::Pipeline, ScenarioFamily::Hotspot] {
         for seed in [1u64, 2] {
             let p = problem(family, 12, seed);
-            let sampled =
-                run_dse_with_policy(&p, &Rpbla, BUDGET, seed, NeighborhoodPolicy::Sampled)
-                    .best_score;
-            let locality =
-                run_dse_with_policy(&p, &Rpbla, BUDGET, seed, NeighborhoodPolicy::Locality)
-                    .best_score;
+            let sampled = run_dse(
+                &p,
+                &Rpbla,
+                &DseConfig::new(BUDGET, seed).with_policy(NeighborhoodPolicy::Sampled),
+            )
+            .best_score;
+            let locality = run_dse(
+                &p,
+                &Rpbla,
+                &DseConfig::new(BUDGET, seed).with_policy(NeighborhoodPolicy::Locality),
+            )
+            .best_score;
             let best_lane = sampled.max(locality);
             let portfolio = run_portfolio(&p, &spec, BUDGET, seed);
             assert!(

@@ -16,6 +16,16 @@
 //! * [`ber`] — Q-factor / bit-error-rate estimation (extension).
 //! * [`budget`] — laser power budget and WDM scalability analysis
 //!   (extension).
+//! * [`modulation`] — OOK / PAM-4 modulation presets with their
+//!   BER-derived required SNR margins, and the [`LaserBudget`]
+//!   launch-power model (cross-layer extension): a format's margin is
+//!   the bisection inverse of the [`ber`] model at 10⁻⁹ BER (OOK
+//!   ≈ 15.56 dB; PAM-4 adds the `10·log10(9) ≈ 9.54 dB` multilevel eye
+//!   penalty), and a source laser must launch
+//!   `sensitivity + margin + |worst-link loss|` dBm. These margins are
+//!   what the mapping tool's power objectives
+//!   (`Objective::MinimizeLaserPower` / `MaximizeSnrMargin` in
+//!   `phonoc-core`) are built on.
 //!
 //! # Example: evaluating one switching stage by hand
 //!
@@ -40,12 +50,14 @@
 pub mod ber;
 pub mod budget;
 pub mod elements;
+pub mod modulation;
 pub mod params;
 pub mod units;
 pub mod wdm;
 
 pub use budget::PowerBudget;
 pub use elements::{ElementTransfer, PseKind, ResonanceState};
+pub use modulation::{LaserBudget, Modulation};
 pub use params::{PhysicalParameters, PhysicalParametersBuilder};
 pub use units::{Db, Dbm, Length, LinearGain, Milliwatts};
 pub use wdm::{wdm_feasibility, WdmFeasibility, WdmGrid};

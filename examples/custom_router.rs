@@ -105,7 +105,7 @@ fn main() -> Result<(), CoreError> {
             PhysicalParameters::default(),
             Objective::MaximizeWorstCaseSnr,
         )?;
-        let result = run_dse(&problem, &Rpbla, budget, 9);
+        let result = run_dse(&problem, &Rpbla, &DseConfig::new(budget, 9));
         let report = analyze(&problem, &result.best_mapping);
         println!(
             "{name:>10}: optimized worst-case SNR {:>6.2} dB | worst-case IL {:>7.3} dB",

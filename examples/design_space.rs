@@ -57,7 +57,7 @@ fn main() -> Result<(), CoreError> {
                 PhysicalParameters::default(),
                 objective,
             )?;
-            let result = run_dse(&problem, &Rpbla, budget, 17);
+            let result = run_dse(&problem, &Rpbla, &DseConfig::new(budget, 17));
             let report = analyze(&problem, &result.best_mapping);
             println!(
                 "{:<14} {:<16} {:>12.3} {:>12.2} {:>10.1e} {:>10}",

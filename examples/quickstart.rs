@@ -32,7 +32,7 @@ fn main() -> Result<(), CoreError> {
 
     // 5. Optimize with the paper's R-PBLA under a 20 000-evaluation
     //    budget, then compare.
-    let result = run_dse(&problem, &Rpbla, 20_000, 42);
+    let result = run_dse(&problem, &Rpbla, &DseConfig::new(20_000, 42));
     let after = analyze(&problem, &result.best_mapping);
 
     println!("=== random mapping ===\n{before}");

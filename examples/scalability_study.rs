@@ -42,7 +42,7 @@ fn main() -> Result<(), CoreError> {
 
         let random_mapping = Mapping::random(problem.task_count(), problem.tile_count(), &mut rng);
         let (random_metrics, _) = problem.evaluate(&random_mapping);
-        let optimized = run_dse(&problem, &Rpbla, budget, 23);
+        let optimized = run_dse(&problem, &Rpbla, &DseConfig::new(budget, 23));
         let (opt_metrics, _) = problem.evaluate(&optimized.best_mapping);
 
         let r_il = random_metrics.worst_case_il;

@@ -26,7 +26,7 @@ fn main() -> Result<(), CoreError> {
     )?;
 
     // An optimized mapping to study.
-    let optimized = run_dse(&problem, &Rpbla, 20_000, 13).best_mapping;
+    let optimized = run_dse(&problem, &Rpbla, &DseConfig::new(20_000, 13)).best_mapping;
 
     println!("Monte-Carlo validation of the worst-case SNR bound (MPEG-4, 4×3 mesh)\n");
     println!(

@@ -5,12 +5,20 @@ against the committed baselines.
 Usage:
     python3 scripts/bench_gate.py [BENCH_sweep_smoke.json] [BENCH_evaluator.json]
         [--baseline BENCH_sweep.json] [--warmstart BENCH_warmstart.json]
-        [--parallel BENCH_parallel.json] [--strict] [--strict-quality]
+        [--parallel BENCH_parallel.json] [--lint-deprecated REPO_ROOT]
+        [--strict] [--strict-quality]
 
 Checks (all *advisory* — the script always exits 0 — unless --strict
 makes any finding fatal, --strict-quality makes the quality findings
-(checks 3, 5 and 6, which are deterministic data, not timing) fatal,
-or an input file is malformed):
+(checks 3, 5, 6 and 7 plus the deprecation lint — deterministic data,
+not timing) fatal, or an input file is malformed):
+
+--lint-deprecated REPO_ROOT greps the Rust tree for callers of the
+deprecated `run_dse_*` entry-point wrappers (`run_dse_with_strategy`,
+`run_dse_with_policy`, `run_dse_configured`, `run_dse_session`) outside
+the files that define and re-export them — the single-entry-point
+contract of the `run_dse(problem, optimizer, &DseConfig)` API. Any hit
+is a quality finding (fatal under --strict or --strict-quality).
 
 1. Hybrid regression: per scenario, the adaptive peek must stay within
    GENEROUS_HYBRID_FACTOR of the best single strategy. The committed
@@ -56,7 +64,17 @@ or an input file is malformed):
    gate is skipped there (the hit checks still apply); warm/cold
    wall-clock comparisons are never gated — timings on shared runners
    are advisory by nature.
-7. Parallel dispatch (--parallel BENCH_parallel.json): the persistent
+7. Power columns (schema phonocmap-bench-sweep/6+): every scenario must
+   carry the objective-suffixed power-family rows (`!power`,
+   `!margin-pam4` on the full matrix, `!power` on smoke) with a finite
+   score and a non-zero evaluation count — the cross-layer laser-power
+   objectives ride the same cells as the SNR rows. Missing or degenerate
+   rows are quality findings (deterministic data, fatal under
+   --strict-quality). Per-cell score drift for these rows is covered by
+   check 4, which compares every (cell, algo) pair including the
+   suffixed specs; their scores live on a different scale from the snr
+   rows, so checks 3 and 5 compare only rows sharing an objective.
+8. Parallel dispatch (--parallel BENCH_parallel.json): the persistent
    worker pool must not cost more than the retained scope-spawn
    reference it replaced. Per measured cell, pool_ns above
    spawn_ns * PARALLEL_CELL_SLACK is an advisory (individual cells on
@@ -153,6 +171,12 @@ def opt_scores(scenario):
     }
 
 
+def row_objective(row):
+    """Objective a row scored under; files before schema /6 carry no
+    field, and everything they recorded was the snr default."""
+    return row.get("objective", "snr")
+
+
 def check_neighborhood_quality(sweep):
     advisories = []
     for sc in sweep.get("scenarios", []):
@@ -196,15 +220,22 @@ def check_portfolio_quality(sweep):
         if sc["mesh"] < NEIGHBORHOOD_MESH_FLOOR:
             continue
         rows = portfolio_rows(sc)
-        lanes = [
-            (o["algo"], o["best_score"])
-            for o in sc.get("optimizers", [])
-            if o["algo"].startswith("r-pbla@") and o.get("neighborhood") != "portfolio"
-        ]
-        if not rows or not lanes:
+        if not rows:
             continue
-        best_lane_name, best_lane = max(lanes, key=lambda kv: kv[1])
         for row in rows:
+            # Compare only against single lanes scoring under the same
+            # objective — the !power/!margin rows live on a different
+            # scale and would poison the max().
+            lanes = [
+                (o["algo"], o["best_score"])
+                for o in sc.get("optimizers", [])
+                if o["algo"].startswith("r-pbla@")
+                and o.get("neighborhood") != "portfolio"
+                and row_objective(o) == row_objective(row)
+            ]
+            if not lanes:
+                continue
+            best_lane_name, best_lane = max(lanes, key=lambda kv: kv[1])
             compared += 1
             margin = row["best_score"] - best_lane
             if margin >= 0:
@@ -229,6 +260,115 @@ def check_portfolio_quality(sweep):
                 f"below the required {PORTFOLIO_WIN_SHARE:.0%}"
             )
     return strict, advisories
+
+
+def sweep_schema_version(sweep):
+    """Numeric suffix of the schema tag, 0 when missing/unparseable."""
+    tag = sweep.get("schema", "")
+    try:
+        return int(tag.rsplit("/", 1)[1])
+    except (IndexError, ValueError):
+        return 0
+
+
+def check_power_columns(sweep):
+    """Returns quality findings for the power-objective columns.
+
+    Schema /6 sweeps run the objective-suffixed specs on every cell;
+    a cell without them (or with a degenerate row) means the column
+    silently fell out of the matrix. Pre-/6 files are skipped — they
+    predate the power objectives.
+    """
+    findings = []
+    if sweep_schema_version(sweep) < 6:
+        return findings
+    cells = power_cells = power_rows = 0
+    for sc in sweep.get("scenarios", []):
+        cells += 1
+        rows = [
+            o
+            for o in sc.get("optimizers", [])
+            if row_objective(o) not in ("snr", "loss")
+        ]
+        if not rows:
+            findings.append(
+                f"{sc['id']}: no power-objective optimizer row (schema /6 "
+                f"sweeps run the !power columns on every cell)"
+            )
+            continue
+        power_cells += 1
+        for o in rows:
+            power_rows += 1
+            score = o.get("best_score")
+            if not isinstance(score, (int, float)) or score != score:
+                findings.append(
+                    f"{sc['id']}/{o['algo']}: power-objective score {score!r} "
+                    f"is not a finite number"
+                )
+            if not o.get("evaluations"):
+                findings.append(
+                    f"{sc['id']}/{o['algo']}: power-objective row consumed no "
+                    f"optimizer budget (evaluations = "
+                    f"{o.get('evaluations')!r})"
+                )
+    if cells:
+        print(
+            f"bench_gate: power-objective columns present on "
+            f"{power_cells}/{cells} cells ({power_rows} rows)"
+        )
+    return findings
+
+
+DEPRECATED_ENTRY_POINTS = (
+    "run_dse_with_strategy",
+    "run_dse_with_policy",
+    "run_dse_configured",
+    "run_dse_session",
+)
+# Files allowed to mention the deprecated names: the definitions, their
+# re-exports, and this script's own documentation.
+DEPRECATION_ALLOWED = (
+    "crates/phonoc-core/src/engine.rs",
+    "crates/phonoc-core/src/lib.rs",
+    "scripts/bench_gate.py",
+)
+
+
+def check_deprecated_callers(root):
+    """Returns quality findings: in-tree users of the deprecated
+    `run_dse_*` wrappers outside their defining/re-exporting files."""
+    import os
+
+    findings = []
+    for base in ("crates", "src"):
+        for dirpath, _dirnames, filenames in os.walk(os.path.join(root, base)):
+            for fname in filenames:
+                if not fname.endswith(".rs"):
+                    continue
+                path = os.path.join(dirpath, fname)
+                rel = os.path.relpath(path, root).replace(os.sep, "/")
+                if rel in DEPRECATION_ALLOWED:
+                    continue
+                try:
+                    with open(path, encoding="utf-8") as fh:
+                        lines = fh.readlines()
+                except OSError as exc:
+                    findings.append(f"{rel}: unreadable ({exc})")
+                    continue
+                for lineno, line in enumerate(lines, 1):
+                    for name in DEPRECATED_ENTRY_POINTS:
+                        if name in line:
+                            findings.append(
+                                f"{rel}:{lineno}: uses deprecated `{name}` — "
+                                f"migrate to run_dse(problem, optimizer, "
+                                f"&DseConfig)"
+                            )
+    if not findings:
+        print(
+            "bench_gate: deprecation lint clean — no in-tree callers of "
+            "the deprecated run_dse_* wrappers"
+        )
+    return findings
 
 
 def check_score_drift(sweep, baseline):
@@ -394,6 +534,7 @@ def main(argv):
     baseline_path = None
     warmstart_path = None
     parallel_path = None
+    lint_root = None
     i = 1
     while i < len(argv):
         arg = argv[i]
@@ -419,13 +560,19 @@ def main(argv):
                 return 2
             parallel_path = argv[i + 1]
             i += 1
+        elif arg == "--lint-deprecated":
+            if i + 1 >= len(argv):
+                print("bench_gate: --lint-deprecated needs a path", file=sys.stderr)
+                return 2
+            lint_root = argv[i + 1]
+            i += 1
         elif arg.startswith("--"):
             print(f"bench_gate: unknown flag {arg}", file=sys.stderr)
             return 2
         else:
             args.append(arg)
         i += 1
-    if not args and not warmstart_path and not parallel_path:
+    if not args and not warmstart_path and not parallel_path and not lint_root:
         print(__doc__)
         return 2
     advisories = []
@@ -438,6 +585,7 @@ def main(argv):
         quality_advisories += check_neighborhood_quality(sweep)
         portfolio_strict, portfolio_advisories = check_portfolio_quality(sweep)
         quality_advisories += portfolio_strict
+        quality_advisories += check_power_columns(sweep)
         advisories += quality_advisories + portfolio_advisories
         if baseline_path:
             advisories += check_score_drift(sweep, load(baseline_path))
@@ -455,6 +603,10 @@ def main(argv):
         par_quality, par_advisories = check_parallel(load(parallel_path))
         quality_advisories += par_quality
         advisories += par_quality + par_advisories
+    if lint_root:
+        lint_findings = check_deprecated_callers(lint_root)
+        quality_advisories += lint_findings
+        advisories += lint_findings
     if advisories:
         print(f"bench_gate: {len(advisories)} advisory finding(s):")
         for a in advisories:
@@ -463,8 +615,8 @@ def main(argv):
             return 1
         if strict_quality and quality_advisories:
             print(
-                "bench_gate: quality claim (neighborhood/portfolio/warm-start/"
-                "parallel) violated — fatal"
+                "bench_gate: quality claim (neighborhood/portfolio/power/"
+                "warm-start/parallel/deprecation) violated — fatal"
             )
             return 1
         print("bench_gate: advisory mode — not failing the build")

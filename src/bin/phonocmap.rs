@@ -6,7 +6,7 @@
 //! phonocmap describe-router crux
 //! phonocmap show-app VOPD [--dot]
 //! phonocmap analyze  --app VOPD [--topology mesh] [--router crux] [--seed 1]
-//! phonocmap optimize --app VOPD [--algo r-pbla] [--objective snr|loss]
+//! phonocmap optimize --app VOPD [--algo r-pbla] [--objective snr|loss|power|margin]
 //!                    [--topology mesh|torus|ring] [--router crux]
 //!                    [--neighborhood auto|exhaustive|sampled|locality]
 //!                    [--budget 100000] [--seed 42]
@@ -78,8 +78,11 @@ commands:
 options (analyze/optimize/portfolio):
   --topology mesh|torus|ring   (default mesh)
   --router   crux|crossbar|xy-crossbar   (default crux)
-  --objective snr|loss         (default snr)
-  --algo rs|ga|r-pbla|sa|tabu|ils  (default r-pbla; optimize only)
+  --objective snr|loss|power[-pam4]|margin[-pam4]   (default snr)
+  --algo NAME[@policy][/peek][!objective]  (default r-pbla; optimize only)
+             NAME: rs|ga|r-pbla|sa|tabu|ils|exhaustive or portfolio:...
+             /peek pins full|delta|bounded|hybrid; !objective re-targets
+             the search (loss|snr|power[-pam4]|margin[-pam4])
   --neighborhood auto|exhaustive|sampled|locality  (default auto: exhaustive
              swap scans up to ~8x8 meshes, budget-aware sampling beyond)
   --budget N                   evaluations (default 100000)
@@ -174,9 +177,10 @@ fn build_problem(args: &[String]) -> Result<Setup, String> {
     let topology_kind = flag(args, "--topology").unwrap_or_else(|| "mesh".into());
     let router_name = flag(args, "--router").unwrap_or_else(|| "crux".into());
     let objective = match flag(args, "--objective").as_deref() {
-        None | Some("snr") => Objective::MaximizeWorstCaseSnr,
-        Some("loss") => Objective::MinimizeWorstCaseLoss,
-        Some(other) => return Err(format!("unknown objective `{other}` (snr|loss)")),
+        None => Objective::MaximizeWorstCaseSnr,
+        Some(name) => Objective::by_name(name).ok_or_else(|| {
+            format!("unknown objective `{name}` (snr|loss|power[-pam4]|margin[-pam4])")
+        })?,
     };
     let seed: u64 = flag(args, "--seed")
         .map(|s| s.parse().map_err(|_| format!("bad seed `{s}`")))
@@ -350,45 +354,51 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     if budget == 0 {
         return Err("--budget must be at least 1".into());
     }
-    // `--algo portfolio:...` runs the multi-lane racer (same engine as
-    // the dedicated `portfolio` subcommand).
-    if let Some(body) = algo_name.strip_prefix("portfolio:") {
-        if flag(args, "--neighborhood").is_some() {
-            return Err(
-                "--neighborhood does not apply to a portfolio run: each lane pins its own \
-                 policy in the spec (e.g. `portfolio:r-pbla@locality+sa`)"
-                    .into(),
-            );
+    // `--algo` speaks the one search grammar:
+    // `name[@policy][/peek][!objective]` for a single optimizer (e.g.
+    // `r-pbla@sampled/hybrid!power`), or `portfolio:...` for the
+    // multi-lane racer (same engine as the `portfolio` subcommand).
+    let single = match phonocmap::opt::search_spec(&algo_name)? {
+        phonocmap::opt::SearchSpec::Portfolio(spec) => {
+            if flag(args, "--neighborhood").is_some() {
+                return Err(
+                    "--neighborhood does not apply to a portfolio run: each lane pins its own \
+                     policy in the spec (e.g. `portfolio:r-pbla@locality+sa`)"
+                        .into(),
+                );
+            }
+            return run_portfolio_session(&problem, &spec, budget, seed);
         }
-        let spec = PortfolioSpec::parse(body)?;
-        return run_portfolio_session(&problem, &spec, budget, seed);
-    }
-    let (optimizer, spec_policy) = phonocmap::opt::optimizer_spec(&algo_name)
-        .ok_or_else(|| format!("unknown optimizer `{algo_name}`"))?;
+        phonocmap::opt::SearchSpec::Single(single) => single,
+    };
     let explicit_policy = match flag(args, "--neighborhood") {
         Some(name) => Some(NeighborhoodPolicy::by_name(&name).ok_or_else(|| {
             format!("unknown neighborhood `{name}` (auto|exhaustive|sampled|locality)")
         })?),
         // `--algo r-pbla@sampled` works too; an explicit flag wins.
-        None => spec_policy,
+        None => single.policy,
     };
     // The policy only steers the swap-neighbourhood scanners; warn
     // instead of silently mislabeling a population-strategy run.
-    if explicit_policy.is_some() && matches!(optimizer.name(), "rs" | "ga" | "exhaustive") {
+    if explicit_policy.is_some() && matches!(single.optimizer.name(), "rs" | "ga" | "exhaustive") {
         eprintln!(
             "warning: `{}` does not scan a swap neighborhood; --neighborhood has no effect",
-            optimizer.name()
+            single.optimizer.name()
         );
     }
     let policy = explicit_policy.unwrap_or_default();
 
-    let result = run_dse_with_policy(&problem, optimizer.as_ref(), budget, seed, policy);
+    let mut config = DseConfig::new(budget, seed)
+        .with_strategy(single.strategy.unwrap_or_default())
+        .with_policy(policy);
+    config.objective = single.objective;
+    // A `!objective` suffix re-targets the session; report under the
+    // objective the scores actually mean.
+    let objective = single.objective.unwrap_or_else(|| problem.objective());
+    let result = run_dse(&problem, single.optimizer.as_ref(), &config);
     println!(
         "{} finished: {} evaluations, best {} = {:.3}",
-        result.optimizer,
-        result.evaluations,
-        problem.objective(),
-        result.best_score
+        result.optimizer, result.evaluations, objective, result.best_score
     );
     println!("task placement:");
     for t in problem.cg().tasks() {

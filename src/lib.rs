@@ -34,7 +34,7 @@
 //! )?;
 //!
 //! // Optimize with the paper's R-PBLA under a fixed evaluation budget.
-//! let result = run_dse(&problem, &Rpbla, 2_000, 42);
+//! let result = run_dse(&problem, &Rpbla, &DseConfig::new(2_000, 42));
 //! let report = analyze(&problem, &result.best_mapping);
 //! println!("{report}");
 //! # Ok(())
@@ -55,8 +55,8 @@ pub use phonoc_topo as topo;
 pub mod prelude {
     pub use phonoc_apps::{benchmarks, CgBuilder, CommunicationGraph};
     pub use phonoc_core::{
-        analyze, run_dse, run_dse_with_policy, CoreError, DseResult, Evaluator, Mapping,
-        MappingOptimizer, MappingProblem, NeighborhoodPolicy, NetworkReport, Objective, OptContext,
+        analyze, run_dse, CoreError, DseConfig, DseResult, Evaluator, Mapping, MappingOptimizer,
+        MappingProblem, NeighborhoodPolicy, NetworkReport, Objective, OptContext,
     };
     pub use phonoc_opt::{
         run_portfolio, ExchangePolicy, Exhaustive, GeneticAlgorithm, PortfolioResult,

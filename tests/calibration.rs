@@ -117,7 +117,7 @@ fn hub_limited_mpeg4_cannot_reach_the_plateau() {
     // communications, capping SNR around 20 dB — exactly what the
     // paper's Table II shows (19.06–21.08 across all algorithms).
     let p = mesh_problem("MPEG-4", Objective::MaximizeWorstCaseSnr);
-    let r = run_dse(&p, &Rpbla, 10_000, 3);
+    let r = run_dse(&p, &Rpbla, &DseConfig::new(10_000, 3));
     assert!(
         r.best_score < 30.0,
         "MPEG-4 must stay hub-limited, got {}",
@@ -137,7 +137,7 @@ fn losses_land_in_the_papers_band() {
     // must be inside.
     for app in ["PIP", "MWD", "VOPD", "DVOPD"] {
         let p = mesh_problem(app, Objective::MinimizeWorstCaseLoss);
-        let r = run_dse(&p, &Rpbla, 5_000, 9);
+        let r = run_dse(&p, &Rpbla, &DseConfig::new(5_000, 9));
         assert!(
             r.best_score > -3.5 && r.best_score < -1.0,
             "{app}: optimized loss {} outside the plausible band",
@@ -153,8 +153,8 @@ fn bigger_networks_lose_more() {
     // DVOPD application that is mapped on the bigger topology."
     let small = mesh_problem("PIP", Objective::MinimizeWorstCaseLoss);
     let large = mesh_problem("DVOPD", Objective::MinimizeWorstCaseLoss);
-    let small_loss = run_dse(&small, &Rpbla, 4_000, 4).best_score;
-    let large_loss = run_dse(&large, &Rpbla, 4_000, 4).best_score;
+    let small_loss = run_dse(&small, &Rpbla, &DseConfig::new(4_000, 4)).best_score;
+    let large_loss = run_dse(&large, &Rpbla, &DseConfig::new(4_000, 4)).best_score;
     assert!(
         large_loss < small_loss,
         "DVOPD ({large_loss}) must lose more than PIP ({small_loss})"
@@ -205,8 +205,8 @@ fn rpbla_matches_or_beats_rs_on_every_benchmark() {
     // The paper's headline Table II ordering at equal budget.
     for app in ["PIP", "MWD", "VOPD", "MPEG-4"] {
         let p = mesh_problem(app, Objective::MaximizeWorstCaseSnr);
-        let rs = run_dse(&p, &RandomSearch, 3_000, 55);
-        let rp = run_dse(&p, &Rpbla, 3_000, 55);
+        let rs = run_dse(&p, &RandomSearch, &DseConfig::new(3_000, 55));
+        let rp = run_dse(&p, &Rpbla, &DseConfig::new(3_000, 55));
         assert!(
             rp.best_score >= rs.best_score - 1e-9,
             "{app}: r-pbla {} < rs {}",

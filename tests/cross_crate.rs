@@ -45,7 +45,7 @@ fn yx_routing_on_the_full_crossbar_works() {
         Objective::MaximizeWorstCaseSnr,
     )
     .expect("crossbar supports all turns");
-    let r = run_dse(&p, &RandomSearch, 200, 1);
+    let r = run_dse(&p, &RandomSearch, &DseConfig::new(200, 1));
     assert!(r.best_mapping.is_valid());
 }
 
@@ -62,7 +62,7 @@ fn ring_topology_with_ring_routing_composes_with_crux() {
         Objective::MinimizeWorstCaseLoss,
     )
     .expect("ring + ring-routing + crux is a valid stack");
-    let r = run_dse(&p, &Rpbla, 500, 2);
+    let r = run_dse(&p, &Rpbla, &DseConfig::new(500, 2));
     assert!(r.best_score < 0.0, "ring paths lose power");
 }
 
@@ -155,7 +155,7 @@ fn custom_router_flows_through_the_whole_stack() {
         Objective::MinimizeWorstCaseLoss,
     )
     .expect("1-D mesh never needs N/S connections");
-    let r = run_dse(&p, &Rpbla, 1_000, 6);
+    let r = run_dse(&p, &Rpbla, &DseConfig::new(1_000, 6));
     // The optimum for a pipeline on a line is the identity-like chain:
     // every hop adjacent.
     let report = analyze(&p, &r.best_mapping);

@@ -55,7 +55,7 @@ fn every_optimizer_runs_every_small_benchmark() {
     for app in ["PIP", "MPEG-4"] {
         let p = problem_for(app, false, Objective::MaximizeWorstCaseSnr);
         for opt in &optimizers {
-            let r = run_dse(&p, opt.as_ref(), 400, 5);
+            let r = run_dse(&p, opt.as_ref(), &DseConfig::new(400, 5));
             assert_eq!(r.evaluations, 400, "{app}/{}", opt.name());
             assert!(r.best_mapping.is_valid());
             assert!(r.best_score.is_finite());
@@ -66,7 +66,7 @@ fn every_optimizer_runs_every_small_benchmark() {
 #[test]
 fn reports_round_trip_through_analysis() {
     let p = problem_for("VOPD", false, Objective::MinimizeWorstCaseLoss);
-    let r = run_dse(&p, &Rpbla, 1_000, 1);
+    let r = run_dse(&p, &Rpbla, &DseConfig::new(1_000, 1));
     let report = analyze(&p, &r.best_mapping);
     assert_eq!(report.edges.len(), p.cg().edge_count());
     assert_eq!(report.application, "VOPD");
@@ -90,7 +90,7 @@ fn optimization_never_loses_to_a_random_baseline() {
         let mut rng = StdRng::seed_from_u64(77);
         let random = Mapping::random(p.task_count(), p.tile_count(), &mut rng);
         let (_, random_score) = p.evaluate(&random);
-        let optimized = run_dse(&p, &Rpbla, 3_000, 77);
+        let optimized = run_dse(&p, &Rpbla, &DseConfig::new(3_000, 77));
         assert!(
             optimized.best_score >= random_score,
             "{objective}: optimized {} < random {random_score}",
@@ -103,8 +103,16 @@ fn optimization_never_loses_to_a_random_baseline() {
 fn seeded_runs_are_fully_reproducible_across_the_stack() {
     let p1 = problem_for("Wavelet", true, Objective::MaximizeWorstCaseSnr);
     let p2 = problem_for("Wavelet", true, Objective::MaximizeWorstCaseSnr);
-    let a = run_dse(&p1, &GeneticAlgorithm::default(), 1_500, 1234);
-    let b = run_dse(&p2, &GeneticAlgorithm::default(), 1_500, 1234);
+    let a = run_dse(
+        &p1,
+        &GeneticAlgorithm::default(),
+        &DseConfig::new(1_500, 1234),
+    );
+    let b = run_dse(
+        &p2,
+        &GeneticAlgorithm::default(),
+        &DseConfig::new(1_500, 1234),
+    );
     assert_eq!(a.best_mapping, b.best_mapping);
     assert_eq!(a.history, b.history);
 }
