@@ -230,7 +230,31 @@ pub struct OptOutcome {
     /// run pinned to 1 and to 4 worker threads, in milliseconds — the
     /// measured lane-parallel speed-up. `None` for single-lane rows.
     pub lane_parallel_ms: Option<(u64, u64)>,
+    /// Admissible bound on the best achievable score under this row's
+    /// objective (score space, higher-is-better dB — a *lower* bound in
+    /// classic cost parlance, hence the name): the certified optimum
+    /// when the exact lane proved the cell, otherwise the Gilmore–Lawler
+    /// root bound (`phonoc_opt::exact::root_bound`), finite on every
+    /// mesh size.
+    pub lower_bound: f64,
+    /// `lower_bound − best_score` ≥ 0: the certified distance between
+    /// this row's achieved score and the bound. Zero with
+    /// `proved_optimal` means the row *is* optimal; zero without it
+    /// means the root bound happens to be tight.
+    pub gap_db: f64,
+    /// Whether the exact branch-and-bound lane
+    /// (`phonoc_opt::exact::prove`, run per distinct objective on
+    /// meshes ≤ [`PROVE_MESH_LIMIT`] at the row budget and seed)
+    /// exhausted the search space *and* this row's score bit-equals the
+    /// certified optimum.
+    pub proved_optimal: bool,
 }
+
+/// Largest mesh side on which [`measure_scenario`] attempts a full
+/// optimality proof (`phonoc_opt::exact::prove` at the row budget).
+/// Beyond it the search space dwarfs any sweep budget, so cells report
+/// the cheap root bound and `proved_optimal: false` honestly.
+pub const PROVE_MESH_LIMIT: usize = 4;
 
 /// Everything measured for one scenario.
 #[derive(Debug, Clone)]
@@ -479,7 +503,7 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
     let edges = problem.cg().edge_count();
     let (timings, hybrid_full_share) = time_strategies(&problem, spec, cfg);
 
-    let optimizers = cfg
+    let mut optimizers: Vec<OptOutcome> = cfg
         .optimizers
         .iter()
         .map(|name| {
@@ -507,6 +531,9 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                         delta_evaluations: result.delta_evaluations,
                         ms: t.elapsed().as_millis() as u64,
                         lane_parallel_ms: None,
+                        lower_bound: f64::INFINITY,
+                        gap_db: f64::INFINITY,
+                        proved_optimal: false,
                     }
                 }
                 phonoc_opt::SearchSpec::Portfolio(pspec) => {
@@ -541,11 +568,54 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                         delta_evaluations: result.lanes.iter().map(|l| l.delta_evaluations).sum(),
                         ms,
                         lane_parallel_ms: Some((pinned_ms[0], pinned_ms[1])),
+                        lower_bound: f64::INFINITY,
+                        gap_db: f64::INFINITY,
+                        proved_optimal: false,
                     }
                 }
             }
         })
         .collect();
+
+    // Optimality-gap columns (schema /7). One admissible bound per
+    // *distinct* row objective — the cheap Gilmore–Lawler root bound on
+    // any mesh, upgraded to the certified optimum when the exact
+    // branch-and-bound lane can exhaust the space at the row budget —
+    // shared by every row scoring under that objective. Scores across
+    // different objectives are on different scales, so gaps are only
+    // ever computed within a row's own objective.
+    let mut bounds: Vec<(&'static str, f64, Option<f64>)> = Vec::new();
+    for o in &mut optimizers {
+        let (root, proved_optimum) = match bounds.iter().find(|(name, ..)| *name == o.objective) {
+            Some(&(_, root, proved)) => (root, proved),
+            None => {
+                let objective =
+                    Objective::by_name(o.objective).expect("rows carry registry objective names");
+                let root = phonoc_opt::exact::root_bound(&problem, objective);
+                let proved = (spec.mesh <= PROVE_MESH_LIMIT)
+                    .then(|| {
+                        let config = phonoc_core::DseConfig::new(cfg.budget, spec.seed)
+                            .with_objective(objective);
+                        let cert = phonoc_opt::exact::prove(&problem, &config);
+                        cert.proved.then_some(cert.result.best_score)
+                    })
+                    .flatten();
+                bounds.push((o.objective, root, proved));
+                (root, proved)
+            }
+        };
+        match proved_optimum {
+            Some(optimum) => {
+                o.lower_bound = optimum;
+                o.proved_optimal = o.best_score.to_bits() == optimum.to_bits();
+            }
+            None => {
+                o.lower_bound = root;
+                o.proved_optimal = false;
+            }
+        }
+        o.gap_db = o.lower_bound - o.best_score;
+    }
 
     ScenarioOutcome {
         spec: *spec,
@@ -696,7 +766,7 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the report as the `phonocmap-bench-sweep/6` JSON document
+/// Renders the report as the `phonocmap-bench-sweep/7` JSON document
 /// (hand-rolled — the workspace builds offline, without `serde_json`).
 /// Version 2 added the per-optimizer `neighborhood` field and the
 /// `r-pbla@policy` quality comparison rows; version 3 the
@@ -706,12 +776,15 @@ fn json_escape(s: &str) -> String {
 /// that says how many cores actually stood behind that pair; version 6
 /// the per-row `objective` field and the objective-suffixed power
 /// columns (`!power`, `!margin-pam4`) scoring every cell under the
-/// modulation-aware laser-power objectives.
+/// modulation-aware laser-power objectives; version 7 the per-row
+/// optimality-certificate columns `lower_bound` / `gap_db` /
+/// `proved_optimal` (see `phonoc_opt::exact`), gated by
+/// `scripts/bench_gate.py --gaps`.
 #[must_use]
 pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/6\",");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/7\",");
     let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
     let _ = writeln!(
         out,
@@ -750,7 +823,11 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"Objective-suffixed rows (!power, !margin-pam4) re-score the same cell under the modulation-aware laser-power objectives: best_score is -(required worst-link launch power) for !power and the worst-link SNR margin for !margin-pam4, both deterministic per (cell, algo). Their scores live on different scales from the snr rows — compare them only within the same objective column.\""
+        "    \"Objective-suffixed rows (!power, !margin-pam4) re-score the same cell under the modulation-aware laser-power objectives: best_score is -(required worst-link launch power) for !power and the worst-link SNR margin for !margin-pam4, both deterministic per (cell, algo). Their scores live on different scales from the snr rows — compare them only within the same objective column.\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"lower_bound is an admissible bound on the best achievable score under the row's objective (score space, so numerically an upper bound; 'lower' is the classic cost-minimization name): the certified optimum where the exact branch-and-bound lane exhausted the space within the row budget (proved_optimal says whether this row's score bit-equals it), otherwise the Gilmore-Lawler root bound. gap_db = lower_bound - best_score >= 0 is the certified distance from optimal; compare gaps only within one objective column. bench_gate --gaps holds the committed file to: proved cells stay proved, median gaps do not widen.\""
     );
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"summary\": {{");
@@ -816,6 +893,11 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
             if let Some((w1, w4)) = o.lane_parallel_ms {
                 let _ = write!(out, ", \"ms_workers1\": {w1}, \"ms_workers4\": {w4}");
             }
+            let _ = write!(
+                out,
+                ", \"lower_bound\": {:.4}, \"gap_db\": {:.4}, \"proved_optimal\": {}",
+                o.lower_bound, o.gap_db, o.proved_optimal
+            );
             out.push('}');
         }
         out.push_str("]\n");
@@ -883,10 +965,35 @@ mod tests {
             assert!(s.optimizers[0].lane_parallel_ms.is_none());
             assert!(s.optimizers.iter().all(|o| o.best_score.is_finite()));
             assert!((0.0..=1.0).contains(&s.hybrid_full_share));
+            // Schema /7 gap columns: finite admissible bounds on every
+            // row, non-negative gaps, and any proved row's gap is zero.
+            for o in &s.optimizers {
+                assert!(o.lower_bound.is_finite(), "{}: bound not finite", o.algo);
+                assert!(o.gap_db >= 0.0, "{}: negative gap {}", o.algo, o.gap_db);
+                assert!(
+                    !o.proved_optimal || o.gap_db == 0.0,
+                    "{}: proved rows must have a zero gap",
+                    o.algo
+                );
+            }
+            // Rows sharing an objective share one bound.
+            assert_eq!(
+                s.optimizers[0].lower_bound.to_bits(),
+                s.optimizers[1].lower_bound.to_bits(),
+                "snr rows must share the snr bound"
+            );
+            assert_ne!(
+                s.optimizers[1].lower_bound.to_bits(),
+                s.optimizers[2].lower_bound.to_bits(),
+                "the power row's bound lives on its own scale"
+            );
         }
         assert!(report.host_cores >= 1);
         let json = report_to_json(&report, "test");
-        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/6\""));
+        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/7\""));
+        assert!(json.contains("\"lower_bound\""));
+        assert!(json.contains("\"gap_db\""));
+        assert!(json.contains("\"proved_optimal\""));
         assert!(json.contains("\"objective\": \"power\""));
         assert!(json.contains("\"objective\": \"snr\""));
         assert!(json.contains("\"host_cores\""));

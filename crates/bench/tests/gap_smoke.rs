@@ -1,0 +1,98 @@
+//! The gap-measurement smoke: runs the exact lane on every ≤4×4 cell of
+//! the smoke matrix, under every objective the sweep's gap columns
+//! score, and pins the contracts `bench_gate.py --gaps` relies on:
+//!
+//! * the root bound is finite and dominates the achieved score on every
+//!   cell (`gap_db ≥ 0`), at the standard sweep budget;
+//! * certificates are byte-identical across repeated runs (node and
+//!   leaf counts, scores, bounds — bit-for-bit);
+//! * `measure_scenario`'s gap columns agree with a direct
+//!   `exact::root_bound` call per row objective.
+
+use bench::sweep::{scenario_problem, PROVE_MESH_LIMIT};
+use phonoc_apps::scenario::ScenarioMatrix;
+use phonoc_core::{DseConfig, Objective};
+use phonoc_opt::exact;
+
+/// The standard sweep budget (`SweepConfig::full().budget`), restated
+/// here so the smoke exercises the same configuration the committed
+/// `BENCH_sweep.json` gap columns were produced with.
+const SWEEP_BUDGET: usize = 1_500;
+
+fn smoke_cells() -> Vec<phonoc_apps::scenario::ScenarioSpec> {
+    let cells: Vec<_> = ScenarioMatrix::smoke()
+        .specs()
+        .into_iter()
+        .filter(|s| s.mesh <= PROVE_MESH_LIMIT)
+        .collect();
+    assert!(!cells.is_empty(), "the smoke matrix must have ≤4×4 cells");
+    cells
+}
+
+fn objectives() -> [Objective; 4] {
+    [
+        Objective::by_name("loss").unwrap(),
+        Objective::by_name("snr").unwrap(),
+        Objective::by_name("power").unwrap(),
+        Objective::by_name("margin-pam4").unwrap(),
+    ]
+}
+
+#[test]
+fn exact_bounds_dominate_on_every_small_smoke_cell() {
+    for spec in smoke_cells() {
+        let problem = scenario_problem(&spec);
+        for objective in objectives() {
+            let config = DseConfig::new(SWEEP_BUDGET, spec.seed).with_objective(objective);
+            let cert = exact::prove(&problem, &config);
+            let id = spec.id();
+            let name = objective.name();
+            assert!(
+                cert.root_bound.is_finite(),
+                "{id} !{name}: root bound must be finite"
+            );
+            assert!(
+                cert.result.best_score.is_finite(),
+                "{id} !{name}: score must be finite"
+            );
+            assert!(
+                cert.gap_db >= 0.0,
+                "{id} !{name}: bound {} below achieved score {}",
+                cert.root_bound,
+                cert.result.best_score
+            );
+            assert!(
+                !cert.proved || cert.result.evaluations <= SWEEP_BUDGET,
+                "{id} !{name}: a proof must fit the ledger"
+            );
+            // The sweep's root-bound column is this same value.
+            assert_eq!(
+                exact::root_bound(&problem, objective).to_bits(),
+                cert.root_bound.to_bits(),
+                "{id} !{name}: prove and root_bound must agree"
+            );
+        }
+    }
+}
+
+#[test]
+fn certificates_reproduce_byte_for_byte_on_smoke_cells() {
+    for spec in smoke_cells() {
+        let problem = scenario_problem(&spec);
+        let config = DseConfig::new(SWEEP_BUDGET, spec.seed).with_objective(objectives()[1]);
+        let a = exact::prove(&problem, &config);
+        let b = exact::prove(&problem, &config);
+        let id = spec.id();
+        assert_eq!(a.nodes, b.nodes, "{id}: node counts must reproduce");
+        assert_eq!(a.leaves, b.leaves, "{id}: leaf counts must reproduce");
+        assert_eq!(a.proved, b.proved, "{id}");
+        assert_eq!(
+            a.result.best_score.to_bits(),
+            b.result.best_score.to_bits(),
+            "{id}"
+        );
+        assert_eq!(a.result.best_mapping, b.result.best_mapping, "{id}");
+        assert_eq!(a.result.evaluations, b.result.evaluations, "{id}");
+        assert_eq!(a.root_bound.to_bits(), b.root_bound.to_bits(), "{id}");
+    }
+}

@@ -155,6 +155,7 @@
 //! while population strategies batch-score whole generations with
 //! [`OptContext::evaluate_batch`].
 
+use crate::error::CoreError;
 use crate::evaluator::{
     BoundedDelta, BoundedLossDelta, DeltaScratch, EvalScratch, EvalState, EvalSummary,
     PeekCostModel, ScoreDelta,
@@ -557,16 +558,28 @@ impl<'p> OptContext<'p> {
     /// evaluator capital. Resets to the problem's own objective on
     /// [`OptContext::reset_for`].
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if any evaluation already happened (mixing scores from
-    /// two objectives in one incumbent/history would be meaningless).
-    pub fn set_objective(&mut self, objective: Objective) {
-        assert!(
-            self.used_units == 0 && self.cursor.is_none() && self.best.is_none(),
+    /// [`CoreError::ObjectiveLocked`] if any evaluation or peek already
+    /// happened — mixing scores from two objectives in one
+    /// incumbent/history would be meaningless, so the objective is
+    /// locked by the first evaluation and the context is left
+    /// unchanged. Debug builds additionally assert, so misuse fails
+    /// loudly during development; release builds report the documented
+    /// error.
+    pub fn set_objective(&mut self, objective: Objective) -> Result<(), CoreError> {
+        let locked = self.used_units != 0 || self.cursor.is_some() || self.best.is_some();
+        debug_assert!(
+            !locked,
             "set_objective must be called before any evaluation"
         );
+        if locked {
+            return Err(CoreError::ObjectiveLocked {
+                evaluations: self.used(),
+            });
+        }
         self.objective = objective;
+        Ok(())
     }
 
     /// The active neighbourhood-enumeration policy.
@@ -685,6 +698,29 @@ impl<'p> OptContext<'p> {
     /// the spend saturates at the budget.
     fn charge(&mut self, cost: u64) {
         self.used_units = (self.used_units + cost).min(self.budget_units);
+    }
+
+    /// Admits and charges `cost` edge-units of admissible-bound work —
+    /// the integer-ledger hook certificate searches
+    /// (`phonoc_opt::exact`) ride, so branch-and-bound node expansion
+    /// spends the same budget currency as every evaluation and peek and
+    /// `run_dse` semantics (budget, seed, objective) carry over
+    /// unchanged. Each admitted call charges at least one unit (bound
+    /// maintenance for a node that determined no new communication
+    /// still walks the occupancy tables) and counts as one incremental
+    /// evaluation in the session statistics, exactly like a delta peek
+    /// charged by its affected-edge count.
+    ///
+    /// Returns `false` — charging nothing — once the budget is
+    /// exhausted; the search should then abandon its certificate and
+    /// return with the incumbent.
+    pub fn charge_bound(&mut self, cost: u64) -> bool {
+        if self.exhausted() {
+            return false;
+        }
+        self.charge(cost.max(1));
+        self.delta_evaluations += 1;
+        true
     }
 
     fn record(&mut self, mapping: &Mapping, score: f64) {
@@ -1525,7 +1561,8 @@ pub fn run_dse(
 ) -> DseResult {
     let mut ctx = OptContext::new(problem, config.budget, config.seed);
     if let Some(objective) = config.objective {
-        ctx.set_objective(objective);
+        ctx.set_objective(objective)
+            .expect("a fresh context has not evaluated yet");
     }
     ctx.set_peek_strategy(config.strategy);
     ctx.set_neighborhood_policy(config.policy);
@@ -1692,13 +1729,126 @@ mod tests {
     }
 
     #[test]
+    fn objective_set_before_evaluation_succeeds() {
+        let p = tiny_problem(); // problem objective: worst-case SNR
+        let power = Objective::by_name("power").unwrap();
+        let mut ctx = OptContext::new(&p, 10, 0);
+        ctx.set_objective(power).unwrap();
+        assert_eq!(ctx.objective(), power);
+        let m = ctx.random_mapping();
+        let score = ctx.evaluate(&m).unwrap();
+        let metrics = p.evaluator().evaluate(&m);
+        assert_eq!(score, power.score(&metrics));
+    }
+
+    // The pre-evaluation-only contract of `set_objective`, both builds:
+    // debug builds assert (fail loudly during development), release
+    // builds report the documented `CoreError::ObjectiveLocked` and
+    // leave the context unchanged. CI runs the suite under both
+    // profiles, so each path stays covered.
+    #[cfg(debug_assertions)]
+    #[test]
     #[should_panic(expected = "set_objective")]
     fn objective_cannot_change_mid_session() {
         let p = tiny_problem();
         let mut ctx = OptContext::new(&p, 10, 0);
         let m = ctx.random_mapping();
         ctx.evaluate(&m).unwrap();
-        ctx.set_objective(Objective::by_name("power").unwrap());
+        let _ = ctx.set_objective(Objective::by_name("power").unwrap());
+    }
+
+    #[cfg(not(debug_assertions))]
+    #[test]
+    fn objective_change_mid_session_is_a_documented_error() {
+        let p = tiny_problem();
+        let mut ctx = OptContext::new(&p, 10, 0);
+        let before = ctx.objective();
+        let m = ctx.random_mapping();
+        ctx.evaluate(&m).unwrap();
+        let err = ctx
+            .set_objective(Objective::by_name("power").unwrap())
+            .unwrap_err();
+        assert_eq!(err, CoreError::ObjectiveLocked { evaluations: 1 });
+        assert!(err.to_string().contains("locked"));
+        // The rejected call left the session's objective untouched.
+        assert_eq!(ctx.objective(), before);
+    }
+
+    #[test]
+    fn charge_bound_rides_the_ledger() {
+        let p = tiny_problem();
+        let unit = p.evaluator().edge_count().max(1) as u64;
+        let mut ctx = OptContext::new(&p, 2, 0);
+        // Two full evaluations' worth of units, drained 3 units at a
+        // time: every admitted call charges exactly what it asked for
+        // (min 1) and counts as one incremental evaluation.
+        let mut calls = 0usize;
+        while ctx.charge_bound(3) {
+            calls += 1;
+            assert!(calls <= 2 * unit as usize, "budget never exhausts");
+        }
+        assert!(ctx.exhausted());
+        assert_eq!(calls, (2 * unit).div_ceil(3) as usize);
+        assert_eq!(ctx.delta_evaluations(), calls);
+        assert_eq!(ctx.full_evaluations(), 0);
+        // Exhausted contexts admit nothing and charge nothing.
+        assert!(!ctx.charge_bound(1));
+        assert_eq!(ctx.delta_evaluations(), calls);
+    }
+
+    /// The four `#[deprecated]` `run_dse_*` shims must stay *shims*:
+    /// every field of their result — mapping, score bits, budget
+    /// accounting, history — bit-identical to the equivalent
+    /// `run_dse(problem, optimizer, &DseConfig)` call.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_bit_identically() {
+        let p = tiny_problem();
+        let (budget, seed) = (23, 5);
+        let strategy = PeekStrategy::Delta;
+        let policy = NeighborhoodPolicy::Sampled;
+        let assert_same = |shim: DseResult, config: &DseConfig| {
+            let direct = run_dse(&p, &FirstRandom, config);
+            assert_eq!(shim.optimizer, direct.optimizer);
+            assert_eq!(shim.best_mapping, direct.best_mapping);
+            assert_eq!(shim.best_score.to_bits(), direct.best_score.to_bits());
+            assert_eq!(shim.evaluations, direct.evaluations);
+            assert_eq!(shim.full_evaluations, direct.full_evaluations);
+            assert_eq!(shim.delta_evaluations, direct.delta_evaluations);
+            assert_eq!(shim.history.len(), direct.history.len());
+            for ((si, ss), (di, ds)) in shim.history.iter().zip(&direct.history) {
+                assert_eq!(si, di);
+                assert_eq!(ss.to_bits(), ds.to_bits());
+            }
+        };
+        assert_same(
+            run_dse_with_strategy(&p, &FirstRandom, budget, seed, strategy),
+            &DseConfig::new(budget, seed).with_strategy(strategy),
+        );
+        assert_same(
+            run_dse_with_policy(&p, &FirstRandom, budget, seed, policy),
+            &DseConfig::new(budget, seed).with_policy(policy),
+        );
+        assert_same(
+            run_dse_configured(&p, &FirstRandom, budget, seed, strategy, policy),
+            &DseConfig::new(budget, seed)
+                .with_strategy(strategy)
+                .with_policy(policy),
+        );
+        // `run_dse_session` overlays budget and seed onto a config that
+        // carries the other knobs (including an objective override).
+        let session_config = DseConfig::new(0, 0)
+            .with_strategy(strategy)
+            .with_policy(policy)
+            .with_objective(Objective::by_name("power").unwrap());
+        assert_same(
+            run_dse_session(&p, &FirstRandom, budget, seed, session_config.clone()),
+            &DseConfig {
+                budget,
+                seed,
+                ..session_config
+            },
+        );
     }
 
     #[test]

@@ -32,6 +32,15 @@ pub enum CoreError {
     /// An in-place problem mutation (edge re-weight / add / remove) was
     /// rejected; the problem is left unchanged.
     Mutation(String),
+    /// [`OptContext::set_objective`](crate::OptContext::set_objective)
+    /// was called after the session already evaluated or peeked —
+    /// mixing scores from two objectives in one incumbent/history would
+    /// be meaningless, so the objective is locked by the first
+    /// evaluation. The context is left unchanged.
+    ObjectiveLocked {
+        /// Full-evaluation-equivalents consumed when the call arrived.
+        evaluations: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -49,6 +58,12 @@ impl fmt::Display for CoreError {
             CoreError::InvalidMapping(msg) => write!(f, "invalid mapping: {msg}"),
             CoreError::BadParameters(msg) => write!(f, "invalid physical parameters: {msg}"),
             CoreError::Mutation(msg) => write!(f, "invalid problem mutation: {msg}"),
+            CoreError::ObjectiveLocked { evaluations } => write!(
+                f,
+                "set_objective after {evaluations} evaluation(s): the scoring objective is \
+                 locked once a session evaluates (set it before any evaluation, or start a \
+                 fresh session via reset_for)"
+            ),
         }
     }
 }

@@ -86,6 +86,8 @@
 use crate::error::CoreError;
 use crate::mapping::Mapping;
 
+#[path = "evaluator_bound.rs"]
+pub mod bound;
 #[path = "evaluator_delta.rs"]
 mod delta;
 pub use delta::{

@@ -128,6 +128,7 @@ pub use engine::{
 #[allow(deprecated)]
 pub use engine::{run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy};
 pub use error::CoreError;
+pub use evaluator::bound::{CertificateBound, LowerBound};
 pub use evaluator::{
     BoundedDelta, BoundedLossDelta, DeltaScratch, EdgeMetrics, EvalScratch, EvalState, EvalSummary,
     Evaluator, EvaluatorOptions, NetworkMetrics, PeekCostModel, ScoreDelta,
@@ -149,6 +150,7 @@ pub mod prelude {
         run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy,
     };
     pub use crate::error::CoreError;
+    pub use crate::evaluator::bound::{CertificateBound, LowerBound};
     pub use crate::evaluator::{
         EvalScratch, EvalState, EvalSummary, Evaluator, EvaluatorOptions, NetworkMetrics,
         PeekCostModel, ScoreDelta,

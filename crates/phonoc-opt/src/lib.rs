@@ -90,6 +90,41 @@
 //! (`BENCH_warmstart.json`); `tests/warm_properties.rs` pins the
 //! determinism and key-canonicalization contracts.
 //!
+//! # Optimality certificates
+//!
+//! Heuristic scores are relative; the [`exact`] module makes them
+//! absolute. [`exact::prove`] runs a deterministic branch-and-bound
+//! (registry name `exact`, so `exact!power` and `portfolio:exact+…`
+//! lanes parse like any other spec) that assigns tasks in fixed order,
+//! tries tiles in ascending index order, and prunes with an admissible
+//! score bound ([`phonoc_core::CertificateBound`]) built from two
+//! ingredients: the **unaffected-minimum** bound over determined
+//! communications (a placed communication's IL is final and its noise
+//! only grows — the same monotonicity the engine's bounded SNR peek
+//! trusts) and a **Gilmore–Lawler order-statistic tail** over
+//! undetermined ones (*r* distinct task pairs must occupy *r* distinct
+//! tile-pair paths, so their best IL is at most the *r*-th largest
+//! path IL in the instance — one sort at root, O(1) per node, cheap at
+//! any mesh size). Both are admissible bit-for-bit: the IL side is
+//! exact table comparisons, the SNR side relaxes accumulated noise by
+//! `1 − 1e−9` against summation-order rounding (derivation in
+//! `phonoc_core::evaluator::bound`).
+//!
+//! The resulting [`exact::Certificate`] reports `root_bound` (no
+//! mapping scores above it), `gap_db = root_bound − best_score ≥ 0`,
+//! and `proved` — `true` only when the pruned space was exhausted
+//! within budget, making `best_score` *the* optimum. Node expansion
+//! rides the engine's integer evaluation-unit ledger
+//! ([`phonoc_core::OptContext::charge_bound`]), so `DseConfig` budget,
+//! seed, and objective semantics carry over unchanged, and search
+//! order, tie-breaks, and node counts are reproducible byte-for-byte.
+//! In `BENCH_sweep.json` (schema /7) every cell carries `lower_bound`
+//! (the root bound under the row's objective), `gap_db` (distance from
+//! that bound to the row's achieved score), and `proved_optimal`
+//! (whether the exact lane certified the row's score as optimal);
+//! `scripts/bench_gate.py --gaps` fails a run whose proved set shrinks
+//! or whose median gap widens against the committed baseline.
+//!
 //! | Strategy | Type | Scoring path | Paper status |
 //! |----------|------|--------------|--------------|
 //! | [`RandomSearch`] | sampling | parallel batch | baseline (§II-D2) |
@@ -99,6 +134,7 @@
 //! | [`TabuSearch`] | trajectory | incremental moves | "other strategies" slot |
 //! | [`IteratedLocalSearch`] | perturb + descend | incremental moves | "other strategies" slot |
 //! | [`Exhaustive`] | enumeration | full evaluation | test oracle |
+//! | [`ExactSearch`] | branch and bound | bound + full evaluation | optimality certificates |
 //!
 //! # Example
 //!
@@ -128,6 +164,7 @@
 #![warn(missing_docs)]
 
 pub mod annealing;
+pub mod exact;
 pub mod exhaustive;
 pub mod genetic;
 pub mod ils;
@@ -140,6 +177,7 @@ pub mod tabu;
 pub mod warm;
 
 pub use annealing::SimulatedAnnealing;
+pub use exact::{Certificate, ExactSearch};
 pub use exhaustive::Exhaustive;
 pub use genetic::{Crossover, GeneticAlgorithm};
 pub use ils::IteratedLocalSearch;

@@ -35,6 +35,7 @@
 //! CLI dispatch on.
 
 use crate::annealing::SimulatedAnnealing;
+use crate::exact::ExactSearch;
 use crate::exhaustive::Exhaustive;
 use crate::genetic::GeneticAlgorithm;
 use crate::ils::IteratedLocalSearch;
@@ -46,7 +47,8 @@ use phonoc_core::{MappingOptimizer, NeighborhoodPolicy, Objective, PeekStrategy}
 use std::fmt::Write as _;
 
 /// Instantiates a built-in optimizer by name: `"rs"`, `"ga"`,
-/// `"r-pbla"` (or `"rpbla"`), `"sa"`, `"tabu"`, `"exhaustive"`.
+/// `"r-pbla"` (or `"rpbla"`), `"sa"`, `"tabu"`, `"exhaustive"`,
+/// `"exact"`.
 #[must_use]
 pub fn optimizer(name: &str) -> Option<Box<dyn MappingOptimizer>> {
     match name.to_lowercase().as_str() {
@@ -57,6 +59,7 @@ pub fn optimizer(name: &str) -> Option<Box<dyn MappingOptimizer>> {
         "ils" => Some(Box::new(IteratedLocalSearch::default())),
         "tabu" => Some(Box::new(TabuSearch::default())),
         "exhaustive" => Some(Box::new(Exhaustive)),
+        "exact" => Some(Box::new(ExactSearch)),
         _ => None,
     }
 }
@@ -188,7 +191,16 @@ pub fn search_spec(spec: &str) -> Result<SearchSpec, String> {
 /// Names of all built-in optimizers.
 #[must_use]
 pub fn builtin_names() -> &'static [&'static str] {
-    &["rs", "ga", "r-pbla", "sa", "tabu", "ils", "exhaustive"]
+    &[
+        "rs",
+        "ga",
+        "r-pbla",
+        "sa",
+        "tabu",
+        "ils",
+        "exhaustive",
+        "exact",
+    ]
 }
 
 #[cfg(test)]

@@ -1,0 +1,252 @@
+//! The exact lane's correctness oracle, pinned in CI:
+//!
+//! * **certificate = exhaustive optimum** — on every admitted ≤3×3 and
+//!   2×4 instance (both seeded families, all four objective families),
+//!   `exact::prove` reports `proved` and its certificate score
+//!   bit-matches the [`Exhaustive`] optimizer's best;
+//! * **bound admissibility** — wherever the search proves optimality,
+//!   the Gilmore–Lawler root bound dominates the optimum
+//!   (`root_bound ≥ optimal`, i.e. cost-space `lower_bound ≤ optimal`),
+//!   and on single-edge graphs the root bound *is* the optimum,
+//!   bit-for-bit;
+//! * **registry reach** — `exact` parses under the unified spec grammar
+//!   and a `portfolio:exact+…` lane runs.
+//!
+//! Instances are generated with a hand-rolled SplitMix64 so the matrix
+//! is identical on every run and every platform.
+
+use phonoc_apps::{CgBuilder, CommunicationGraph};
+use phonoc_core::{run_dse, DseConfig, MappingProblem, Objective};
+use phonoc_opt::exact;
+use phonoc_opt::{run_portfolio, Exhaustive, PortfolioSpec};
+use phonoc_phys::{Length, PhysicalParameters};
+use phonoc_route::XyRouting;
+use phonoc_router::crux::crux_router;
+use phonoc_topo::Topology;
+
+/// SplitMix64 — deterministic, dependency-free instance seeding.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn chance(&mut self, percent: u64) -> bool {
+        self.next() % 100 < percent
+    }
+
+    fn bandwidth(&mut self) -> f64 {
+        1.0 + (self.next() % 64) as f64
+    }
+}
+
+/// Family 1: random directed graphs — each ordered pair carries an edge
+/// with 45% probability (at least one edge guaranteed).
+fn random_cg(tasks: usize, seed: u64) -> CommunicationGraph {
+    let mut rng = Rng(seed.wrapping_mul(0x5851_f42d_4c95_7f2d));
+    let mut b = CgBuilder::new(format!("rand-{tasks}-{seed}"));
+    for t in 0..tasks {
+        b = b.task(format!("t{t}"));
+    }
+    let mut edges = 0;
+    for s in 0..tasks {
+        for d in 0..tasks {
+            if s != d && rng.chance(45) {
+                b = b.edge(format!("t{s}"), format!("t{d}"), rng.bandwidth());
+                edges += 1;
+            }
+        }
+    }
+    if edges == 0 {
+        b = b.edge("t0", "t1", 1.0);
+    }
+    b.build().expect("generated CG is valid")
+}
+
+/// Family 2: hotspot graphs — every task talks to task 0, plus sparse
+/// random extra traffic.
+fn hotspot_cg(tasks: usize, seed: u64) -> CommunicationGraph {
+    let mut rng = Rng(seed.wrapping_mul(0xda94_2042_e4dd_58b5));
+    let mut b = CgBuilder::new(format!("hot-{tasks}-{seed}"));
+    for t in 0..tasks {
+        b = b.task(format!("t{t}"));
+    }
+    for t in 1..tasks {
+        b = b.edge(format!("t{t}"), "t0", rng.bandwidth());
+    }
+    for s in 1..tasks {
+        for d in 1..tasks {
+            if s != d && rng.chance(25) {
+                b = b.edge(format!("t{s}"), format!("t{d}"), rng.bandwidth());
+            }
+        }
+    }
+    b.build().expect("generated CG is valid")
+}
+
+fn problem(cg: CommunicationGraph, rows: usize, cols: usize) -> MappingProblem {
+    MappingProblem::new(
+        cg,
+        Topology::mesh(rows, cols, Length::from_mm(2.5)),
+        crux_router(),
+        Box::new(XyRouting),
+        PhysicalParameters::default(),
+        Objective::MaximizeWorstCaseSnr,
+    )
+    .unwrap()
+}
+
+/// The four objective families the sweep exercises: loss, SNR, and the
+/// two modulation-aware laser objectives.
+fn objectives() -> [Objective; 4] {
+    [
+        Objective::by_name("loss").unwrap(),
+        Objective::by_name("snr").unwrap(),
+        Objective::by_name("power").unwrap(),
+        Objective::by_name("margin").unwrap(),
+    ]
+}
+
+/// The admitted instance matrix: both families × 2–4 tasks × two seeds
+/// × both small meshes, capped by enumerable space size.
+fn admitted_instances() -> Vec<(String, MappingProblem)> {
+    const SPACE_CAP: usize = 4_000;
+    let mut out = Vec::new();
+    for &(rows, cols) in &[(3usize, 3usize), (2, 4)] {
+        for tasks in 2..=4usize {
+            for seed in [1u64, 2] {
+                for (family, cg) in [
+                    ("rand", random_cg(tasks, seed)),
+                    ("hot", hotspot_cg(tasks, seed)),
+                ] {
+                    if Exhaustive::space_size(tasks, rows * cols) > SPACE_CAP {
+                        continue;
+                    }
+                    let id = format!("{family}-{tasks}t-{rows}x{cols}-s{seed}");
+                    out.push((id, problem(cg, rows, cols)));
+                }
+            }
+        }
+    }
+    assert!(!out.is_empty(), "the admitted matrix must not be empty");
+    out
+}
+
+#[test]
+fn certificates_bit_match_the_exhaustive_optimum_on_all_admitted_instances() {
+    for (id, p) in admitted_instances() {
+        let space = Exhaustive::space_size(p.task_count(), p.tile_count());
+        for objective in objectives() {
+            let config = DseConfig::new(2 * space + 100, 0).with_objective(objective);
+            let truth = run_dse(&p, &Exhaustive, &config);
+            let cert = exact::prove(&p, &config);
+            assert!(
+                cert.proved,
+                "{id} !{}: budget {} must prove an enumerable instance",
+                objective.name(),
+                config.budget
+            );
+            assert_eq!(
+                cert.result.best_score.to_bits(),
+                truth.best_score.to_bits(),
+                "{id} !{}: certificate {} != exhaustive optimum {}",
+                objective.name(),
+                cert.result.best_score,
+                truth.best_score
+            );
+            // Satellite: Gilmore–Lawler admissibility wherever the
+            // search solves to optimality — the root bound dominates
+            // the proved optimum (cost-space `lower_bound <= optimal`).
+            assert!(
+                cert.root_bound >= truth.best_score,
+                "{id} !{}: root bound {} below the optimum {}",
+                objective.name(),
+                cert.root_bound,
+                truth.best_score
+            );
+            assert!(cert.gap_db >= 0.0, "{id}: gap must be non-negative");
+        }
+    }
+}
+
+#[test]
+fn root_bound_is_exact_on_single_edge_graphs() {
+    for &(rows, cols) in &[(3usize, 3usize), (2, 4)] {
+        let cg = CgBuilder::new("single")
+            .tasks(["a", "b"])
+            .edge("a", "b", 4.0)
+            .build()
+            .unwrap();
+        let p = problem(cg, rows, cols);
+        let space = Exhaustive::space_size(2, rows * cols);
+        for objective in objectives() {
+            let config = DseConfig::new(2 * space + 100, 0).with_objective(objective);
+            let cert = exact::prove(&p, &config);
+            assert!(cert.proved);
+            assert_eq!(
+                cert.root_bound.to_bits(),
+                cert.result.best_score.to_bits(),
+                "{rows}x{cols} !{}: single-edge bound must be exact (bound {}, optimum {})",
+                objective.name(),
+                cert.root_bound,
+                cert.result.best_score
+            );
+            assert_eq!(cert.gap_db, 0.0);
+        }
+    }
+}
+
+#[test]
+fn certificates_are_deterministic_per_config() {
+    let p = problem(random_cg(4, 1), 3, 3);
+    let config = DseConfig::new(1_000, 9).with_objective(Objective::by_name("snr").unwrap());
+    let a = exact::prove(&p, &config);
+    let b = exact::prove(&p, &config);
+    assert_eq!(a.nodes, b.nodes, "node expansion counts must reproduce");
+    assert_eq!(a.leaves, b.leaves);
+    assert_eq!(a.result.best_score.to_bits(), b.result.best_score.to_bits());
+    assert_eq!(a.result.best_mapping, b.result.best_mapping);
+    assert_eq!(a.result.evaluations, b.result.evaluations);
+    assert_eq!(a.root_bound.to_bits(), b.root_bound.to_bits());
+    assert_eq!(a.result.history, b.result.history);
+}
+
+#[test]
+fn exact_parses_under_the_unified_spec_grammar() {
+    let spec = phonoc_opt::single_spec("exact!power").unwrap();
+    assert_eq!(spec.optimizer.name(), "exact");
+    assert_eq!(spec.label(), "exact!power");
+    let p = problem(random_cg(3, 1), 3, 3);
+    let r = run_dse(
+        &p,
+        spec.optimizer.as_ref(),
+        &DseConfig {
+            objective: spec.objective,
+            ..DseConfig::new(2_000, 0)
+        },
+    );
+    assert_eq!(r.optimizer, "exact");
+    assert!(r.best_score.is_finite());
+}
+
+#[test]
+fn portfolio_with_an_exact_lane_proves_small_cells() {
+    let p = problem(hotspot_cg(3, 1), 3, 3);
+    let space = Exhaustive::space_size(3, 9);
+    let spec = PortfolioSpec::parse("exact+rs,exchange=best,rounds=2").unwrap();
+    let run = run_portfolio(&p, &spec, 4 * space, 42);
+    let truth = run_dse(&p, &Exhaustive, &DseConfig::new(space + 10, 0));
+    // The exact lane receives at least half the budget across rounds —
+    // enough to exhaust the space — so the portfolio's best must reach
+    // the true optimum.
+    assert_eq!(
+        run.best_score.to_bits(),
+        truth.best_score.to_bits(),
+        "portfolio with an exact lane must prove the optimum"
+    );
+}

@@ -6,7 +6,7 @@ Usage:
     python3 scripts/bench_gate.py [BENCH_sweep_smoke.json] [BENCH_evaluator.json]
         [--baseline BENCH_sweep.json] [--warmstart BENCH_warmstart.json]
         [--parallel BENCH_parallel.json] [--lint-deprecated REPO_ROOT]
-        [--strict] [--strict-quality]
+        [--gaps] [--strict] [--strict-quality]
 
 Checks (all *advisory* — the script always exits 0 — unless --strict
 makes any finding fatal, --strict-quality makes the quality findings
@@ -83,6 +83,20 @@ is a quality finding (fatal under --strict or --strict-quality).
    sequential parity at a larger batch than the spawn path, is a
    quality finding — fatal under --strict-quality, since the whole
    point of the pool is cheaper dispatch at every batch size.
+9. Optimality gaps (--gaps, schema phonocmap-bench-sweep/7+): the exact
+   lane's certificate columns. Structurally, every optimizer row must
+   carry a finite `lower_bound` (score-space upper bound: no mapping of
+   the instance scores above it) and a `gap_db = lower_bound -
+   best_score` that is non-negative (within GAP_EPSILON_DB of float
+   noise), and any row claiming `proved_optimal` must have gap exactly
+   0.0 — a proved cell's bound IS the optimum. Certificates are
+   deterministic data, so every structural violation is a quality
+   finding (fatal under --strict-quality). Against --baseline (when
+   the baseline also carries schema /7 columns), two regressions are
+   quality findings: a (cell, algo) pair that was `proved_optimal` in
+   the baseline losing its proof, and the per-objective *median* gap
+   widening by more than GAP_WIDEN_DB — a bound that got looser, or a
+   search that stopped reaching it.
 
 Everything is stdlib-only (CI runners have bare python3).
 """
@@ -99,6 +113,8 @@ PORTFOLIO_WIN_SHARE = 0.80
 WARMSTART_PARITY_RATIO = 0.50
 WARMSTART_MESH_FLOOR = 12
 PARALLEL_CELL_SLACK = 1.05
+GAP_EPSILON_DB = 1e-9
+GAP_WIDEN_DB = 0.05
 
 # BENCH_evaluator.json anchors comparable to sweep cells: the committed
 # reused-scratch full-evaluation medians per mesh size.
@@ -527,10 +543,107 @@ def check_parallel(report):
     return findings, advisories
 
 
+def median(values):
+    values = sorted(values)
+    mid = len(values) // 2
+    if len(values) % 2 == 1:
+        return values[mid]
+    return (values[mid - 1] + values[mid]) / 2.0
+
+
+def finite(value):
+    return isinstance(value, (int, float)) and value == value and value not in (
+        float("inf"),
+        float("-inf"),
+    )
+
+
+def check_gaps(sweep, baseline):
+    """Returns quality findings for the optimality-gap columns.
+
+    Everything here is deterministic data — the bound computation and
+    the branch-and-bound proof reproduce byte-for-byte per (cell, seed,
+    budget) — so every finding is fatal under --strict-quality.
+    """
+    findings = []
+    if sweep_schema_version(sweep) < 7:
+        findings.append(
+            f"--gaps requires schema phonocmap-bench-sweep/7+ (got "
+            f"{sweep.get('schema')!r}) — regenerate the sweep"
+        )
+        return findings
+    rows = 0
+    proved = {}
+    gaps_by_objective = {}
+    for sc in sweep.get("scenarios", []):
+        for o in sc.get("optimizers", []):
+            rows += 1
+            label = f"{sc['id']}/{o['algo']}"
+            lower = o.get("lower_bound")
+            gap = o.get("gap_db")
+            if not finite(lower) or not finite(gap):
+                findings.append(
+                    f"{label}: lower_bound {lower!r} / gap_db {gap!r} must "
+                    f"be finite numbers on every row"
+                )
+                continue
+            if gap < -GAP_EPSILON_DB:
+                findings.append(
+                    f"{label}: gap_db {gap} is negative — the bound "
+                    f"{lower} does not dominate the achieved score "
+                    f"{o.get('best_score')} (inadmissible bound)"
+                )
+            if o.get("proved_optimal") and gap != 0.0:
+                findings.append(
+                    f"{label}: proved_optimal with gap_db {gap} — a proved "
+                    f"cell's bound must equal its optimum exactly"
+                )
+            proved[label] = bool(o.get("proved_optimal"))
+            gaps_by_objective.setdefault(row_objective(o), []).append(gap)
+    proved_count = sum(proved.values())
+    print(
+        f"bench_gate: gap columns on {rows} rows — {proved_count} proved "
+        f"optimal; median gap per objective: "
+        + ", ".join(
+            f"{obj}={median(gaps):.3f}"
+            for obj, gaps in sorted(gaps_by_objective.items())
+        )
+    )
+    if baseline is None or sweep_schema_version(baseline) < 7:
+        return findings
+    base_proved = set()
+    base_gaps = {}
+    for sc in baseline.get("scenarios", []):
+        for o in sc.get("optimizers", []):
+            if o.get("proved_optimal"):
+                base_proved.add(f"{sc['id']}/{o['algo']}")
+            gap = o.get("gap_db")
+            if finite(gap):
+                base_gaps.setdefault(row_objective(o), []).append(gap)
+    for label in sorted(base_proved):
+        if label in proved and not proved[label]:
+            findings.append(
+                f"{label}: was proved_optimal in the baseline but is not "
+                f"anymore — the proved set must never shrink"
+            )
+    for obj, gaps in sorted(gaps_by_objective.items()):
+        if obj not in base_gaps:
+            continue
+        fresh, committed = median(gaps), median(base_gaps[obj])
+        if fresh > committed + GAP_WIDEN_DB:
+            findings.append(
+                f"!{obj}: median gap widened from {committed:.3f} dB to "
+                f"{fresh:.3f} dB (tolerance {GAP_WIDEN_DB} dB) — the bound "
+                f"got looser or the search stopped reaching it"
+            )
+    return findings
+
+
 def main(argv):
     args = []
     strict = False
     strict_quality = False
+    gaps = False
     baseline_path = None
     warmstart_path = None
     parallel_path = None
@@ -542,6 +655,8 @@ def main(argv):
             strict = True
         elif arg == "--strict-quality":
             strict_quality = True
+        elif arg == "--gaps":
+            gaps = True
         elif arg == "--baseline":
             if i + 1 >= len(argv):
                 print("bench_gate: --baseline needs a path", file=sys.stderr)
@@ -577,6 +692,7 @@ def main(argv):
         return 2
     advisories = []
     quality_advisories = []
+    baseline = load(baseline_path) if baseline_path else None
     if args:
         sweep = load(args[0])
         advisories += check_hybrid(sweep)
@@ -586,9 +702,12 @@ def main(argv):
         portfolio_strict, portfolio_advisories = check_portfolio_quality(sweep)
         quality_advisories += portfolio_strict
         quality_advisories += check_power_columns(sweep)
+        if gaps:
+            gap_findings = check_gaps(sweep, baseline)
+            quality_advisories += gap_findings
         advisories += quality_advisories + portfolio_advisories
-        if baseline_path:
-            advisories += check_score_drift(sweep, load(baseline_path))
+        if baseline is not None:
+            advisories += check_score_drift(sweep, baseline)
         n = len(sweep.get("scenarios", []))
         summary = sweep.get("summary", {})
         print(
@@ -616,7 +735,7 @@ def main(argv):
         if strict_quality and quality_advisories:
             print(
                 "bench_gate: quality claim (neighborhood/portfolio/power/"
-                "warm-start/parallel/deprecation) violated — fatal"
+                "gaps/warm-start/parallel/deprecation) violated — fatal"
             )
             return 1
         print("bench_gate: advisory mode — not failing the build")

@@ -15,7 +15,8 @@
 //! * [`route`] — XY/YX/ring routing algorithms.
 //! * [`apps`] — the paper's eight multimedia benchmarks + generators.
 //! * [`core`] — the mapping problem, evaluator, and DSE engine.
-//! * [`opt`] — RS, GA, R-PBLA, SA, tabu, exhaustive search strategies.
+//! * [`opt`] — RS, GA, R-PBLA, SA, tabu, exhaustive search strategies,
+//!   plus the branch-and-bound exact lane with optimality certificates.
 //!
 //! # Quickstart
 //!
@@ -59,8 +60,8 @@ pub mod prelude {
         MappingProblem, NeighborhoodPolicy, NetworkReport, Objective, OptContext,
     };
     pub use phonoc_opt::{
-        run_portfolio, ExchangePolicy, Exhaustive, GeneticAlgorithm, PortfolioResult,
-        PortfolioSpec, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch,
+        run_portfolio, Certificate, ExactSearch, ExchangePolicy, Exhaustive, GeneticAlgorithm,
+        PortfolioResult, PortfolioSpec, RandomSearch, Rpbla, SimulatedAnnealing, TabuSearch,
     };
     pub use phonoc_phys::{Db, Dbm, Length, PhysicalParameters, PowerBudget};
     pub use phonoc_route::{RingRouting, RoutingAlgorithm, XyRouting, YxRouting};
