@@ -41,11 +41,18 @@
 //! ([`PortfolioResult::round_best`] / `round_evaluations`), not
 //! assumed. The structural phase *does* move the objective, and its
 //! warm-vs-cold scores are recorded per cell.
+//!
+//! With `--trace-out PATH` the cache-mediated requests additionally
+//! stream `phonocmap-trace/1` events (warm lookups, per-round lane
+//! snapshots, per-request session summaries) into a JSONL trace file —
+//! the reference input for `phonocmap trace` and the CI trace gate.
+//! The cold reference runs stay untraced: the trace records the
+//! *request stream*, not the measurement scaffolding.
 
 use crate::sweep::scenario_problem;
 use phonoc_apps::scenario::{ScenarioFamily, ScenarioSpec};
 use phonoc_apps::TaskId;
-use phonoc_core::MappingProblem;
+use phonoc_core::{render_trace, MappingProblem, NullSink, RunTrace, TraceSink};
 use phonoc_opt::{run_portfolio_seeded, PortfolioResult, PortfolioSpec, WarmCache, WarmSource};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -276,6 +283,22 @@ fn free_pair(problem: &MappingProblem) -> Option<(TaskId, TaskId)> {
 /// programming errors, not measurement outcomes.
 #[must_use]
 pub fn replay_cell(spec: &ScenarioSpec, cfg: &ReplayConfig) -> CellOutcome {
+    replay_cell_traced(spec, cfg, &mut NullSink)
+}
+
+/// [`replay_cell`] with a [`TraceSink`] receiving the telemetry of the
+/// four cache-mediated requests (the cold reference runs stay
+/// untraced). Passing [`NullSink`] is bit-identical to [`replay_cell`].
+///
+/// # Panics
+///
+/// Same as [`replay_cell`].
+#[must_use]
+pub fn replay_cell_traced(
+    spec: &ScenarioSpec,
+    cfg: &ReplayConfig,
+    sink: &mut dyn TraceSink,
+) -> CellOutcome {
     let pspec = PortfolioSpec::parse(REPLAY_PORTFOLIO).expect("replay spec parses");
     let mut problem = scenario_problem(spec);
     let tasks = problem.task_count();
@@ -290,7 +313,7 @@ pub fn replay_cell(spec: &ScenarioSpec, cfg: &ReplayConfig) -> CellOutcome {
 
     // Request 1: cold.
     let t = Instant::now();
-    let cold = cache.solve(&problem, &pspec, cfg.budget, spec.seed);
+    let cold = cache.solve_traced(&problem, &pspec, cfg.budget, spec.seed, sink);
     let cold_ms = t.elapsed().as_millis() as u64;
     assert_eq!(
         cold.source,
@@ -300,7 +323,7 @@ pub fn replay_cell(spec: &ScenarioSpec, cfg: &ReplayConfig) -> CellOutcome {
     );
 
     // Request 2: identical repeat — exact hit, zero evaluations.
-    let repeat = cache.solve(&problem, &pspec, cfg.budget, spec.seed);
+    let repeat = cache.solve_traced(&problem, &pspec, cfg.budget, spec.seed, sink);
     assert_eq!(repeat.source, WarmSource::ExactHit, "{}: repeat", spec.id());
 
     // Request 3: ≤10% weight perturbation (seeded off the cell).
@@ -314,7 +337,7 @@ pub fn replay_cell(spec: &ScenarioSpec, cfg: &ReplayConfig) -> CellOutcome {
         .expect("perturbation targets existing edges");
     let perturbed_cold = run_portfolio_seeded(&problem, &pspec, cfg.budget, spec.seed, None);
     let t = Instant::now();
-    let warm = cache.solve(&problem, &pspec, cfg.budget, spec.seed);
+    let warm = cache.solve_traced(&problem, &pspec, cfg.budget, spec.seed, sink);
     let warm_ms = t.elapsed().as_millis() as u64;
     let warm_shared_edges = match warm.source {
         WarmSource::NearHit { shared_edges, .. } => shared_edges,
@@ -337,7 +360,7 @@ pub fn replay_cell(spec: &ScenarioSpec, cfg: &ReplayConfig) -> CellOutcome {
         .add_edge(add_src, add_dst, mean_bw)
         .expect("the pair was free");
     let phase_cold = run_portfolio_seeded(&problem, &pspec, cfg.budget, spec.seed, None);
-    let phase = cache.solve(&problem, &pspec, cfg.budget, spec.seed);
+    let phase = cache.solve_traced(&problem, &pspec, cfg.budget, spec.seed, sink);
     let phase_source = match phase.source {
         WarmSource::ExactHit => "exact_hit",
         WarmSource::NearHit { .. } => "near_hit",
@@ -357,7 +380,7 @@ pub fn replay_cell(spec: &ScenarioSpec, cfg: &ReplayConfig) -> CellOutcome {
     problem
         .update_edge_bandwidths(&originals)
         .expect("restoring original weights");
-    let back = cache.solve(&problem, &pspec, cfg.budget, spec.seed);
+    let back = cache.solve_traced(&problem, &pspec, cfg.budget, spec.seed, sink);
 
     CellOutcome {
         spec: *spec,
@@ -387,10 +410,22 @@ pub fn replay_cell(spec: &ScenarioSpec, cfg: &ReplayConfig) -> CellOutcome {
 
 /// Runs the whole replay, invoking `progress` after each cell.
 #[must_use]
-pub fn run_replay(cfg: &ReplayConfig, mut progress: impl FnMut(&CellOutcome)) -> ReplayReport {
+pub fn run_replay(cfg: &ReplayConfig, progress: impl FnMut(&CellOutcome)) -> ReplayReport {
+    run_replay_traced(cfg, progress, &mut NullSink)
+}
+
+/// [`run_replay`] with a [`TraceSink`] receiving every cell's
+/// cache-request telemetry (see [`replay_cell_traced`]). Passing
+/// [`NullSink`] is bit-identical to [`run_replay`].
+#[must_use]
+pub fn run_replay_traced(
+    cfg: &ReplayConfig,
+    mut progress: impl FnMut(&CellOutcome),
+    sink: &mut dyn TraceSink,
+) -> ReplayReport {
     let mut cells = Vec::new();
     for spec in &cfg.cells {
-        let outcome = replay_cell(spec, cfg);
+        let outcome = replay_cell_traced(spec, cfg, sink);
         progress(&outcome);
         cells.push(outcome);
     }
@@ -403,9 +438,12 @@ pub fn run_replay(cfg: &ReplayConfig, mut progress: impl FnMut(&CellOutcome)) ->
 }
 
 /// The shared command-line driver behind `phonocmap replay` and the
-/// standalone `replay` bin: parses `--smoke`, `--budget N` and
-/// `--out PATH`, runs the replay with live progress, prints the
-/// warm-start summary and writes the JSON.
+/// standalone `replay` bin: parses `--smoke`, `--budget N`,
+/// `--out PATH` and `--trace-out PATH`, runs the replay with live
+/// progress, prints the warm-start summary and writes the JSON (plus,
+/// with `--trace-out`, the `phonocmap-trace/1` JSONL trace — or a
+/// header-only trace when `PHONOC_TRACE_NULL` is set, proving the
+/// disabled sink records nothing).
 ///
 /// # Errors
 ///
@@ -430,6 +468,13 @@ pub fn run_replay_cli(args: &[String], command_prefix: &str) -> Result<(), Strin
         let _ = write!(command, " --budget {v}");
     }
     let out = flag("--out").unwrap_or_else(|| "BENCH_warmstart.json".into());
+    let trace_out = flag("--trace-out");
+    let mut trace_sink: Box<dyn TraceSink> =
+        if trace_out.is_some() && std::env::var_os("PHONOC_TRACE_NULL").is_none() {
+            Box::new(RunTrace::new())
+        } else {
+            Box::new(NullSink)
+        };
 
     println!(
         "warm-start replay ({} mode): {} cells, budget {} per request, portfolio `{}`\n",
@@ -442,21 +487,25 @@ pub fn run_replay_cli(args: &[String], command_prefix: &str) -> Result<(), Strin
         "{:<26} {:>6} {:>10} {:>6} {:>10} {:>10} {:>8} {:>7}",
         "cell", "edges", "cold", "hit", "warm", "parity", "ratio", "return"
     );
-    let report = run_replay(&cfg, |c| {
-        println!(
-            "{:<26} {:>6} {:>10.4} {:>6} {:>10.4} {:>10} {:>8} {:>7}",
-            c.id,
-            c.edges,
-            c.cold_score,
-            c.exact_hit_evaluations,
-            c.warm_score,
-            c.parity_evaluations
-                .map_or_else(|| "never".into(), |e| e.to_string()),
-            c.parity_ratio()
-                .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
-            if c.return_exact_hit { "hit" } else { "MISS" },
-        );
-    });
+    let report = run_replay_traced(
+        &cfg,
+        |c| {
+            println!(
+                "{:<26} {:>6} {:>10.4} {:>6} {:>10.4} {:>10} {:>8} {:>7}",
+                c.id,
+                c.edges,
+                c.cold_score,
+                c.exact_hit_evaluations,
+                c.warm_score,
+                c.parity_evaluations
+                    .map_or_else(|| "never".into(), |e| e.to_string()),
+                c.parity_ratio()
+                    .map_or_else(|| "-".into(), |r| format!("{r:.3}")),
+                if c.return_exact_hit { "hit" } else { "MISS" },
+            );
+        },
+        trace_sink.as_mut(),
+    );
     println!(
         "\nexact-hit requests at zero evaluations: {}",
         if report.all_exact_hits_zero() {
@@ -474,6 +523,12 @@ pub fn run_replay_cli(args: &[String], command_prefix: &str) -> Result<(), Strin
     std::fs::write(&out, report_to_json(&report, &command))
         .map_err(|e| format!("cannot write {out}: {e}"))?;
     println!("wrote {out}");
+    if let Some(path) = trace_out {
+        let events = trace_sink.drain();
+        std::fs::write(&path, render_trace("replay", &events))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!("wrote {path} ({} events)", events.len());
+    }
     Ok(())
 }
 
@@ -669,6 +724,7 @@ mod tests {
             budget: 40,
             collapsed: None,
             lanes: Vec::new(),
+            stats: phonoc_core::RunStats::default(),
         };
         assert_eq!(evaluations_to_reach(&result, 2.0), Some(20));
         assert_eq!(evaluations_to_reach(&result, 3.0), Some(32));

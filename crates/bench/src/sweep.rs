@@ -224,6 +224,13 @@ pub struct OptOutcome {
     pub full_evaluations: usize,
     /// Delta evaluations.
     pub delta_evaluations: usize,
+    /// Peek-route decision counters for the run (the `route_mix`
+    /// object in the JSON, schema /8): how the adaptive router split
+    /// the ledger totals above. The full counters partition
+    /// `full_evaluations` and the delta counters partition
+    /// `delta_evaluations` exactly — `scripts/bench_gate.py` checks
+    /// the partition on every row.
+    pub stats: phonoc_core::RunStats,
     /// Wall-clock of the run, in milliseconds.
     pub ms: u64,
     /// Portfolio rows only: wall-clock of the identical (bit-equal)
@@ -529,6 +536,7 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                         evaluations: result.evaluations,
                         full_evaluations: result.full_evaluations,
                         delta_evaluations: result.delta_evaluations,
+                        stats: result.stats,
                         ms: t.elapsed().as_millis() as u64,
                         lane_parallel_ms: None,
                         lower_bound: f64::INFINITY,
@@ -566,6 +574,7 @@ pub fn measure_scenario(spec: &ScenarioSpec, cfg: &SweepConfig) -> ScenarioOutco
                         evaluations: result.evaluations,
                         full_evaluations: result.lanes.iter().map(|l| l.full_evaluations).sum(),
                         delta_evaluations: result.lanes.iter().map(|l| l.delta_evaluations).sum(),
+                        stats: result.stats,
                         ms,
                         lane_parallel_ms: Some((pinned_ms[0], pinned_ms[1])),
                         lower_bound: f64::INFINITY,
@@ -766,7 +775,7 @@ fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-/// Renders the report as the `phonocmap-bench-sweep/7` JSON document
+/// Renders the report as the `phonocmap-bench-sweep/8` JSON document
 /// (hand-rolled — the workspace builds offline, without `serde_json`).
 /// Version 2 added the per-optimizer `neighborhood` field and the
 /// `r-pbla@policy` quality comparison rows; version 3 the
@@ -779,12 +788,16 @@ fn json_escape(s: &str) -> String {
 /// modulation-aware laser-power objectives; version 7 the per-row
 /// optimality-certificate columns `lower_bound` / `gap_db` /
 /// `proved_optimal` (see `phonoc_opt::exact`), gated by
-/// `scripts/bench_gate.py --gaps`.
+/// `scripts/bench_gate.py --gaps`; version 8 the per-row `route_mix`
+/// decision counters ([`phonoc_core::RunStats`]): the full counters
+/// partition `full_evaluations` and the delta counters
+/// `delta_evaluations` exactly, with zero score drift against /7 —
+/// the counters observe the routing the runs already did.
 #[must_use]
 pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/7\",");
+    let _ = writeln!(out, "  \"schema\": \"phonocmap-bench-sweep/8\",");
     let _ = writeln!(out, "  \"command\": \"{}\",", json_escape(command));
     let _ = writeln!(
         out,
@@ -827,7 +840,11 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
     );
     let _ = writeln!(
         out,
-        "    \"lower_bound is an admissible bound on the best achievable score under the row's objective (score space, so numerically an upper bound; 'lower' is the classic cost-minimization name): the certified optimum where the exact branch-and-bound lane exhausted the space within the row budget (proved_optimal says whether this row's score bit-equals it), otherwise the Gilmore-Lawler root bound. gap_db = lower_bound - best_score >= 0 is the certified distance from optimal; compare gaps only within one objective column. bench_gate --gaps holds the committed file to: proved cells stay proved, median gaps do not widen.\""
+        "    \"lower_bound is an admissible bound on the best achievable score under the row's objective (score space, so numerically an upper bound; 'lower' is the classic cost-minimization name): the certified optimum where the exact branch-and-bound lane exhausted the space within the row budget (proved_optimal says whether this row's score bit-equals it), otherwise the Gilmore-Lawler root bound. gap_db = lower_bound - best_score >= 0 is the certified distance from optimal; compare gaps only within one objective column. bench_gate --gaps holds the committed file to: proved cells stay proved, median gaps do not widen.\","
+    );
+    let _ = writeln!(
+        out,
+        "    \"route_mix holds the per-run peek-route decision counters from the engine's telemetry layer: full_peeks + full_direct partitions full_evaluations and delta_exact + loss_fast_path + bound_rejected + bound_verified + bound_charges partitions delta_evaluations, exactly, on every row (bench_gate checks the partition). The counters are pure observation - schema 8 rows carry bit-identical scores to schema 7.\""
     );
     out.push_str("  ],\n");
     let _ = writeln!(out, "  \"summary\": {{");
@@ -889,6 +906,17 @@ pub fn report_to_json(report: &SweepReport, command: &str) -> String {
                 o.full_evaluations,
                 o.delta_evaluations,
                 o.ms
+            );
+            let _ = write!(
+                out,
+                ", \"route_mix\": {{\"full_peeks\": {}, \"full_direct\": {}, \"delta_exact\": {}, \"loss_fast_path\": {}, \"bound_rejected\": {}, \"bound_verified\": {}, \"bound_charges\": {}}}",
+                o.stats.full_peeks,
+                o.stats.full_direct,
+                o.stats.delta_exact,
+                o.stats.loss_fast_path,
+                o.stats.bound_rejected,
+                o.stats.bound_verified,
+                o.stats.bound_charges
             );
             if let Some((w1, w4)) = o.lane_parallel_ms {
                 let _ = write!(out, ", \"ms_workers1\": {w1}, \"ms_workers4\": {w4}");
@@ -976,6 +1004,27 @@ mod tests {
                     o.algo
                 );
             }
+            // Schema /8 route_mix counters: the full counters partition
+            // the full-evaluation ledger and the delta counters the
+            // delta ledger, exactly, on every row.
+            for o in &s.optimizers {
+                assert_eq!(
+                    o.stats.full_peeks + o.stats.full_direct,
+                    o.full_evaluations,
+                    "{}: full route counters must partition full_evaluations",
+                    o.algo
+                );
+                assert_eq!(
+                    o.stats.delta_exact
+                        + o.stats.loss_fast_path
+                        + o.stats.bound_rejected
+                        + o.stats.bound_verified
+                        + o.stats.bound_charges,
+                    o.delta_evaluations,
+                    "{}: delta route counters must partition delta_evaluations",
+                    o.algo
+                );
+            }
             // Rows sharing an objective share one bound.
             assert_eq!(
                 s.optimizers[0].lower_bound.to_bits(),
@@ -990,7 +1039,9 @@ mod tests {
         }
         assert!(report.host_cores >= 1);
         let json = report_to_json(&report, "test");
-        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/7\""));
+        assert!(json.contains("\"schema\": \"phonocmap-bench-sweep/8\""));
+        assert!(json.contains("\"route_mix\""));
+        assert!(json.contains("\"full_peeks\""));
         assert!(json.contains("\"lower_bound\""));
         assert!(json.contains("\"gap_db\""));
         assert!(json.contains("\"proved_optimal\""));

@@ -145,6 +145,25 @@
 //! mutation API on [`MappingProblem`] to re-solve a mutated problem
 //! without re-running the architecture precomputations.
 //!
+//! # Telemetry
+//!
+//! Every routing, bounding and improvement decision the context makes
+//! is counted in a [`RunStats`] ledger (always on — integer increments
+//! in the same sequential code that keeps the evaluation counters, so
+//! they are deterministic at any worker count) and, when a recording
+//! [`TraceSink`] is installed with [`OptContext::set_trace_sink`],
+//! additionally emitted as a typed [`TraceEvent`]. The default
+//! [`NullSink`] reports itself disabled, so
+//! emission sites skip event construction entirely and results are
+//! bit-identical with and without a recorder (property-pinned in
+//! `tests/telemetry_properties.rs`). [`run_dse_traced`] is the
+//! one-call traced entry point; [`DseResult::stats`] carries the
+//! counter snapshot either way. See [`crate::telemetry`] for the event
+//! taxonomy, the determinism contract (counters and event streams
+//! deterministic, wall-clock timings advisory and outside the trace)
+//! and the reconciliation identities tying the route counters to the
+//! evaluation ledger.
+//!
 //! Optimizers implement [`MappingOptimizer`] (the trait lives here in the
 //! core so that new strategies can be added "without any changes in the
 //! tool core", paper Section I — implementations live in `phonoc-opt`).
@@ -163,6 +182,7 @@ use crate::evaluator::{
 use crate::mapping::{Mapping, Move};
 use crate::parallel;
 use crate::problem::{MappingProblem, Objective};
+use crate::telemetry::{NullSink, PeekRoute, RunStats, RunTrace, TraceEvent, TraceSink};
 use phonoc_phys::Db;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -457,6 +477,13 @@ pub struct OptContext<'p> {
     /// hand out instead of a random draw — how a portfolio lane
     /// resumes from an exchanged elite incumbent.
     seed_start: Option<Mapping>,
+    /// Decision counters (always on; see [`crate::telemetry`]). The
+    /// two ledger mirrors (`full_evaluations` / `delta_evaluations`)
+    /// are filled from the fields above at snapshot time.
+    stats: RunStats,
+    /// Where trace events go — [`NullSink`] (disabled) unless a
+    /// recorder was installed with [`OptContext::set_trace_sink`].
+    sink: Box<dyn TraceSink>,
     /// Reused buffers for full evaluations: after warm-up,
     /// [`OptContext::evaluate`] performs no heap allocation.
     full_scratch: EvalScratch,
@@ -500,6 +527,8 @@ impl<'p> OptContext<'p> {
             strategy: PeekStrategy::default(),
             policy: NeighborhoodPolicy::default(),
             seed_start: None,
+            stats: RunStats::default(),
+            sink: Box::new(NullSink),
             full_scratch: EvalScratch::default(),
             spare_scratch: DeltaScratch::default(),
         }
@@ -523,8 +552,11 @@ impl<'p> OptContext<'p> {
     /// the same misuse warning as a finished session (see
     /// [`OptContext::seed_start_pending`]).
     ///
-    /// Peek strategy and neighbourhood policy persist across resets —
-    /// they configure the engine, not one run.
+    /// Peek strategy, neighbourhood policy and the installed
+    /// [`TraceSink`] persist across resets — they configure the
+    /// engine, not one run. Decision counters ([`OptContext::stats`])
+    /// reset with the rest of the run state; drain a recording sink
+    /// before resetting if its events should be kept per session.
     ///
     /// [`Evaluator`]: crate::Evaluator
     pub fn reset_for(&mut self, problem: &'p MappingProblem, budget: usize, seed: u64) {
@@ -543,6 +575,7 @@ impl<'p> OptContext<'p> {
         self.best = None;
         self.history.clear();
         self.seed_start = None;
+        self.stats = RunStats::default();
     }
 
     /// The objective every evaluation and peek scores under — the
@@ -720,7 +753,100 @@ impl<'p> OptContext<'p> {
         }
         self.charge(cost.max(1));
         self.delta_evaluations += 1;
+        self.stats.bound_charges += 1;
         true
+    }
+
+    /// Builds and records `event` only when a recording sink is
+    /// installed — the zero-cost-when-off hook every emission site
+    /// goes through.
+    #[inline]
+    fn emit(&mut self, event: impl FnOnce() -> TraceEvent) {
+        if self.sink.enabled() {
+            let ev = event();
+            self.sink.record(ev);
+        }
+    }
+
+    /// Installs the sink subsequent events are recorded into
+    /// (replacing the default disabled [`NullSink`]). Installing a
+    /// recorder never changes scores, evaluation counts or RNG draws —
+    /// only whether decisions are *also* emitted as [`TraceEvent`]s
+    /// (bit-identity is property-pinned in
+    /// `tests/telemetry_properties.rs`).
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = sink;
+    }
+
+    /// Whether a recording sink is installed (events are being
+    /// emitted).
+    #[must_use]
+    pub fn trace_enabled(&self) -> bool {
+        self.sink.enabled()
+    }
+
+    /// Takes the recorded events out of the installed sink (empty for
+    /// the default [`NullSink`]).
+    pub fn drain_trace(&mut self) -> Vec<TraceEvent> {
+        self.sink.drain()
+    }
+
+    /// Snapshot of the session's decision counters, with the ledger
+    /// mirrors (`full_evaluations` / `delta_evaluations`) filled in.
+    /// The route counters always partition the ledger
+    /// ([`RunStats::reconciles`]).
+    #[must_use]
+    pub fn stats(&self) -> RunStats {
+        RunStats {
+            full_evaluations: self.full_evaluations,
+            delta_evaluations: self.delta_evaluations,
+            ..self.stats
+        }
+    }
+
+    /// The convergence history so far: `(evaluation index, incumbent
+    /// score)` at every improvement — the same trajectory
+    /// [`DseResult::history`] reports after the session.
+    #[must_use]
+    pub fn history(&self) -> &[(usize, f64)] {
+        &self.history
+    }
+
+    /// Records a neighbourhood stream widening (radius after the
+    /// widen). Counter + optional [`TraceEvent::Widened`].
+    pub fn note_widened(&mut self, radius: usize) {
+        self.stats.widenings += 1;
+        self.emit(|| TraceEvent::Widened { radius });
+    }
+
+    /// Records a scan pass that produced no improving (or no
+    /// admissible) move at `radius` — the widen trigger.
+    pub fn note_scan_dry(&mut self, radius: usize) {
+        self.stats.dry_scans += 1;
+        self.emit(|| TraceEvent::DryScan { radius });
+    }
+
+    /// Records a neighbourhood stream narrowing back on improvement
+    /// (radius after the narrow).
+    pub fn note_narrowed(&mut self, radius: usize) {
+        self.stats.narrowings += 1;
+        self.emit(|| TraceEvent::Narrowed { radius });
+    }
+
+    /// Records an exact-lane search outcome: node/leaf totals plus the
+    /// bound-cut depth histogram (`cut_depths[d]` = subtrees cut at
+    /// assignment depth `d`). Counters + optional
+    /// [`TraceEvent::ExactSummary`] / [`TraceEvent::ExactCuts`]
+    /// events (one per non-empty depth bucket).
+    pub fn note_exact_search(&mut self, nodes: usize, leaves: usize, cut_depths: &[usize]) {
+        self.stats.exact_nodes += nodes;
+        self.stats.exact_leaves += leaves;
+        self.emit(|| TraceEvent::ExactSummary { nodes, leaves });
+        for (depth, &cuts) in cut_depths.iter().enumerate() {
+            if cuts > 0 {
+                self.emit(|| TraceEvent::ExactCuts { depth, cuts });
+            }
+        }
     }
 
     fn record(&mut self, mapping: &Mapping, score: f64) {
@@ -729,6 +855,11 @@ impl<'p> OptContext<'p> {
             self.best = Some((mapping.clone(), score));
             let index = self.used();
             self.history.push((index, score));
+            self.stats.improvements += 1;
+            self.emit(|| TraceEvent::Improved {
+                spent: index,
+                score_bits: score.to_bits(),
+            });
         }
     }
 
@@ -743,6 +874,7 @@ impl<'p> OptContext<'p> {
         }
         self.charge(self.unit);
         self.full_evaluations += 1;
+        self.stats.full_direct += 1;
         let summary = self
             .problem
             .evaluator()
@@ -775,6 +907,7 @@ impl<'p> OptContext<'p> {
         for (mapping, s) in mappings.iter().zip(summaries) {
             self.charge(self.unit);
             self.full_evaluations += 1;
+            self.stats.full_direct += 1;
             let score = objective.score_worst_cases(s.worst_case_il, s.worst_case_snr);
             self.record(mapping, score);
             scores.push(score);
@@ -857,6 +990,7 @@ impl<'p> OptContext<'p> {
         }
         self.charge(self.unit);
         self.full_evaluations += 1;
+        self.stats.full_direct += 1;
         let state = self.problem.evaluator().init_state(&mapping);
         let score = self
             .objective
@@ -930,6 +1064,12 @@ impl<'p> OptContext<'p> {
             .score_worst_cases(summary.worst_case_il, summary.worst_case_snr);
         self.charge(self.unit);
         self.full_evaluations += 1;
+        self.stats.full_peeks += 1;
+        let cost = self.unit as usize;
+        self.emit(|| TraceEvent::PeekRouted {
+            route: PeekRoute::Full,
+            cost,
+        });
         self.note_peeked(mv, score);
         MoveEval::Full { mv, score, summary }
     }
@@ -998,6 +1138,18 @@ impl<'p> OptContext<'p> {
         };
         self.charge((cost as u64).max(1));
         self.delta_evaluations += 1;
+        let route = if matches!(ev, MoveEval::Loss { .. }) {
+            self.stats.loss_fast_path += 1;
+            PeekRoute::Loss
+        } else {
+            self.stats.delta_exact += 1;
+            PeekRoute::Delta
+        };
+        let charged = cost.max(1);
+        self.emit(|| TraceEvent::PeekRouted {
+            route,
+            cost: charged,
+        });
         self.note_peeked(mv, ev.score());
         Some(ev)
     }
@@ -1098,6 +1250,18 @@ impl<'p> OptContext<'p> {
         };
         self.charge((cost as u64).max(1));
         self.delta_evaluations += 1;
+        let route = if ev.is_exact() {
+            self.stats.bound_verified += 1;
+            PeekRoute::BoundedVerified
+        } else {
+            self.stats.bound_rejected += 1;
+            PeekRoute::BoundedRejected
+        };
+        let charged = cost.max(1);
+        self.emit(|| TraceEvent::PeekRouted {
+            route,
+            cost: charged,
+        });
         if ev.is_exact() {
             self.note_peeked(mv, ev.score());
         }
@@ -1146,7 +1310,7 @@ impl<'p> OptContext<'p> {
         } else {
             self.scan_snr_batch(moves, false)
         };
-        self.admit_peeked(evals)
+        self.admit_peeked(evals, false)
     }
 
     /// Batch variant of [`OptContext::peek_move_improving`]: every move
@@ -1173,7 +1337,7 @@ impl<'p> OptContext<'p> {
         } else {
             self.scan_snr_batch(moves, true)
         };
-        self.admit_peeked(evals)
+        self.admit_peeked(evals, true)
     }
 
     /// The loss-family improving batch scan (laser-power objective):
@@ -1302,18 +1466,59 @@ impl<'p> OptContext<'p> {
     /// order until the budget runs out, tracking the incumbent. Full-
     /// backed peeks count as full evaluations, everything else as delta
     /// evaluations — the same books the sequential peeks keep.
-    fn admit_peeked(&mut self, evals: Vec<(MoveEval, usize)>) -> Vec<MoveEval> {
+    /// `improving` tells the route classifier whether delta results
+    /// came through the bound-then-verify peek (they count as
+    /// verify fall-throughs) or the plain exact scan. Counters and
+    /// events happen here, in input order, never inside the parallel
+    /// scan — that is what keeps the stream deterministic.
+    fn admit_peeked(&mut self, evals: Vec<(MoveEval, usize)>, improving: bool) -> Vec<MoveEval> {
         let mut out = Vec::with_capacity(evals.len());
         for (ev, cost) in evals {
             if self.exhausted() {
                 break;
             }
             self.charge((cost as u64).max(1));
-            if matches!(ev, MoveEval::Full { .. }) {
-                self.full_evaluations += 1;
+            let route = match &ev {
+                MoveEval::Full { .. } => {
+                    self.full_evaluations += 1;
+                    self.stats.full_peeks += 1;
+                    PeekRoute::Full
+                }
+                MoveEval::Bounded { .. } => {
+                    self.delta_evaluations += 1;
+                    self.stats.bound_rejected += 1;
+                    PeekRoute::BoundedRejected
+                }
+                MoveEval::Snr { .. } if improving => {
+                    self.delta_evaluations += 1;
+                    self.stats.bound_verified += 1;
+                    PeekRoute::BoundedVerified
+                }
+                MoveEval::Loss { .. } if improving => {
+                    self.delta_evaluations += 1;
+                    self.stats.bound_verified += 1;
+                    PeekRoute::BoundedVerified
+                }
+                MoveEval::Snr { .. } => {
+                    self.delta_evaluations += 1;
+                    self.stats.delta_exact += 1;
+                    PeekRoute::Delta
+                }
+                MoveEval::Loss { .. } => {
+                    self.delta_evaluations += 1;
+                    self.stats.loss_fast_path += 1;
+                    PeekRoute::Loss
+                }
+            };
+            let charged = if matches!(ev, MoveEval::Full { .. }) {
+                self.unit as usize
             } else {
-                self.delta_evaluations += 1;
-            }
+                cost.max(1)
+            };
+            self.emit(|| TraceEvent::PeekRouted {
+                route,
+                cost: charged,
+            });
             if ev.is_exact() {
                 self.note_peeked(ev.mv(), ev.score());
             }
@@ -1407,6 +1612,14 @@ impl<'p> OptContext<'p> {
             .best
             .clone()
             .expect("optimizer must evaluate at least one mapping");
+        let stats = self.stats();
+        let budget = (self.budget_units / self.unit) as usize;
+        self.emit(|| TraceEvent::SessionEnd {
+            stats,
+            spent: evaluations,
+            budget,
+            score_bits: best_score.to_bits(),
+        });
         DseResult {
             optimizer: optimizer.to_owned(),
             best_mapping,
@@ -1415,6 +1628,7 @@ impl<'p> OptContext<'p> {
             full_evaluations: self.full_evaluations,
             delta_evaluations: self.delta_evaluations,
             history: std::mem::take(&mut self.history),
+            stats,
         }
     }
 }
@@ -1452,6 +1666,9 @@ pub struct DseResult {
     pub delta_evaluations: usize,
     /// `(evaluation index, incumbent score)` at every improvement.
     pub history: Vec<(usize, f64)>,
+    /// Decision counters for the session (route mix, bound rejections,
+    /// neighbourhood stream, improvements) — see [`crate::telemetry`].
+    pub stats: RunStats,
 }
 
 /// Everything a single search session is configured with — budget,
@@ -1560,6 +1777,39 @@ pub fn run_dse(
     config: &DseConfig,
 ) -> DseResult {
     let mut ctx = OptContext::new(problem, config.budget, config.seed);
+    apply_config(&mut ctx, config);
+    optimizer.optimize(&mut ctx);
+    ctx.finish(optimizer.name())
+}
+
+/// [`run_dse`] with a recording [`RunTrace`] installed: the same
+/// session bit for bit (scores, evaluation counts, RNG draws — the
+/// recorder is invisible to the search; property-pinned in
+/// `tests/telemetry_properties.rs`), plus the drained [`TraceEvent`]
+/// stream, ready for [`crate::telemetry::render_trace`]. The stream is
+/// byte-reproducible per `(problem, config)` at any worker count.
+///
+/// # Panics
+///
+/// Same contract as [`run_dse`].
+#[must_use]
+pub fn run_dse_traced(
+    problem: &MappingProblem,
+    optimizer: &dyn MappingOptimizer,
+    config: &DseConfig,
+) -> (DseResult, Vec<TraceEvent>) {
+    let mut ctx = OptContext::new(problem, config.budget, config.seed);
+    ctx.set_trace_sink(Box::new(RunTrace::new()));
+    apply_config(&mut ctx, config);
+    optimizer.optimize(&mut ctx);
+    let result = ctx.finish(optimizer.name());
+    let events = ctx.drain_trace();
+    (result, events)
+}
+
+/// The shared configuration step of [`run_dse`] / [`run_dse_traced`]:
+/// applies every [`DseConfig`] knob to a fresh context.
+fn apply_config(ctx: &mut OptContext<'_>, config: &DseConfig) {
     if let Some(objective) = config.objective {
         ctx.set_objective(objective)
             .expect("a fresh context has not evaluated yet");
@@ -1569,8 +1819,6 @@ pub fn run_dse(
     if let Some(start) = &config.start {
         ctx.set_seed_start(start.clone());
     }
-    optimizer.optimize(&mut ctx);
-    ctx.finish(optimizer.name())
 }
 
 /// Deprecated spelling of [`run_dse`] with an explicit

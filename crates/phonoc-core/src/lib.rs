@@ -43,6 +43,14 @@
 //! * [`parallel`] — the deterministic fork–join primitive behind batch
 //!   evaluation (std-thread based; no external dependencies; tiny
 //!   batches stay on the caller thread via a per-worker chunk floor).
+//! * [`telemetry`] — structured run traces: the [`telemetry::TraceSink`]
+//!   recorder every [`engine::OptContext`] carries (disabled
+//!   [`telemetry::NullSink`] by default — bit-identical results either
+//!   way), the always-on [`telemetry::RunStats`] decision counters
+//!   (peek route mix, bound rejections, neighbourhood stream, portfolio
+//!   rounds, warm-cache hits, exact-lane prunes), and the
+//!   `phonocmap-trace/1` JSONL format with its renderer, parser and
+//!   analyzer.
 //! * [`analysis`] — human-facing per-communication reports with BER and
 //!   power-budget verdicts, plus the per-source laser budget
 //!   ([`analysis::LaserReport`]): required launch power per source
@@ -119,11 +127,12 @@ pub mod montecarlo;
 pub mod parallel;
 pub mod pareto;
 pub mod problem;
+pub mod telemetry;
 
 pub use analysis::{analyze, EdgeReport, LaserReport, NetworkReport, SourceLaserReport};
 pub use engine::{
-    run_dse, DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext,
-    PeekStrategy,
+    run_dse, run_dse_traced, DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy,
+    OptContext, PeekStrategy,
 };
 #[allow(deprecated)]
 pub use engine::{run_dse_configured, run_dse_session, run_dse_with_policy, run_dse_with_strategy};
@@ -137,13 +146,17 @@ pub use mapping::{Mapping, Move};
 pub use montecarlo::{activity_study, ActivityStudy};
 pub use pareto::{random_front, ParetoFront, ParetoPoint};
 pub use problem::{MappingProblem, Objective};
+pub use telemetry::{
+    parse_trace, render_trace, summarize_trace, NullSink, PeekRoute, RunStats, RunTrace,
+    TraceEvent, TraceHeader, TraceSink, WarmOutcome, TRACE_SCHEMA,
+};
 
 /// Convenient glob import for downstream code and examples.
 pub mod prelude {
     pub use crate::analysis::{analyze, NetworkReport};
     pub use crate::engine::{
-        run_dse, DseConfig, DseResult, MappingOptimizer, MoveEval, NeighborhoodPolicy, OptContext,
-        PeekStrategy,
+        run_dse, run_dse_traced, DseConfig, DseResult, MappingOptimizer, MoveEval,
+        NeighborhoodPolicy, OptContext, PeekStrategy,
     };
     #[allow(deprecated)]
     pub use crate::engine::{
@@ -159,4 +172,5 @@ pub mod prelude {
     pub use crate::montecarlo::{activity_study, ActivityStudy};
     pub use crate::pareto::{random_front, ParetoFront};
     pub use crate::problem::{MappingProblem, Objective};
+    pub use crate::telemetry::{NullSink, RunStats, RunTrace, TraceEvent, TraceSink};
 }

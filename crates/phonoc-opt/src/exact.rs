@@ -34,10 +34,25 @@
 //! therefore means exactly what it means everywhere else; when the
 //! ledger runs dry the search aborts and the certificate honestly
 //! reports `proved: false` with the incumbent-so-far.
+//!
+//! # Telemetry
+//!
+//! The search feeds the [`phonoc_core::telemetry`] layer through
+//! [`OptContext::note_exact_search`]: node and leaf totals land in the
+//! session's [`RunStats`](phonoc_core::RunStats), and a recording sink
+//! additionally receives one `exact_summary` event plus one
+//! `exact_cuts` event per non-empty depth of the **bound-cut
+//! histogram** — [`Certificate::cut_depths`], counting at each
+//! assignment depth how many subtrees the admissible bound pruned.
+//! Deep cuts are cheap (small subtrees), shallow cuts are where the
+//! bound earns its keep; the histogram makes that visible per run.
+//! [`prove_traced`] returns the event stream alongside the
+//! certificate; tracing never changes the search (counters are
+//! deterministic, events carry integers only).
 
 use phonoc_core::{
     CertificateBound, DseConfig, DseResult, LowerBound, Mapping, MappingOptimizer, MappingProblem,
-    Objective, OptContext,
+    Objective, OptContext, RunTrace, TraceEvent,
 };
 use phonoc_topo::TileId;
 
@@ -65,6 +80,11 @@ impl MappingOptimizer for ExactSearch {
     fn optimize(&self, ctx: &mut OptContext<'_>) {
         let mut stats = SearchStats::default();
         branch_and_bound(ctx, &mut stats);
+        ctx.note_exact_search(
+            stats.nodes as usize,
+            stats.leaves as usize,
+            &stats.cut_depths,
+        );
     }
 }
 
@@ -92,12 +112,26 @@ pub struct Certificate {
     pub nodes: u64,
     /// Complete assignments that survived pruning and were evaluated.
     pub leaves: u64,
+    /// Bound-cut histogram: `cut_depths[d]` counts the subtrees pruned
+    /// with `d` tasks assigned (index = assignment depth at the cut;
+    /// trailing depths with zero cuts are not stored).
+    pub cut_depths: Vec<usize>,
 }
 
 #[derive(Debug, Default)]
 struct SearchStats {
     nodes: u64,
     leaves: u64,
+    cut_depths: Vec<usize>,
+}
+
+impl SearchStats {
+    fn record_cut(&mut self, depth: usize) {
+        if self.cut_depths.len() <= depth {
+            self.cut_depths.resize(depth + 1, 0);
+        }
+        self.cut_depths[depth] += 1;
+    }
 }
 
 /// Runs the exact search under the standard [`DseConfig`] semantics and
@@ -112,7 +146,35 @@ struct SearchStats {
 /// must evaluate at least one mapping).
 #[must_use]
 pub fn prove(problem: &MappingProblem, config: &DseConfig) -> Certificate {
+    prove_inner(problem, config, false).0
+}
+
+/// [`prove`] with a recording trace: returns the certificate plus the
+/// `phonocmap-trace/1` event stream of the run (`exact_summary`,
+/// `exact_cuts` per depth, `session_end` — see the [module
+/// docs](self#telemetry)). The certificate is bit-identical to what
+/// [`prove`] returns for the same `(problem, config)`.
+///
+/// # Panics
+///
+/// Same as [`prove`].
+#[must_use]
+pub fn prove_traced(
+    problem: &MappingProblem,
+    config: &DseConfig,
+) -> (Certificate, Vec<TraceEvent>) {
+    prove_inner(problem, config, true)
+}
+
+fn prove_inner(
+    problem: &MappingProblem,
+    config: &DseConfig,
+    traced: bool,
+) -> (Certificate, Vec<TraceEvent>) {
     let mut ctx = OptContext::new(problem, config.budget, config.seed);
+    if traced {
+        ctx.set_trace_sink(Box::new(RunTrace::new()));
+    }
     if let Some(objective) = config.objective {
         ctx.set_objective(objective)
             .expect("a fresh context has not evaluated yet");
@@ -125,15 +187,25 @@ pub fn prove(problem: &MappingProblem, config: &DseConfig) -> Certificate {
     let root_bound = root_bound(problem, ctx.objective());
     let mut stats = SearchStats::default();
     let proved = branch_and_bound(&mut ctx, &mut stats);
+    ctx.note_exact_search(
+        stats.nodes as usize,
+        stats.leaves as usize,
+        &stats.cut_depths,
+    );
     let result = ctx.finish("exact");
-    Certificate {
-        root_bound,
-        gap_db: root_bound - result.best_score,
-        proved,
-        nodes: stats.nodes,
-        leaves: stats.leaves,
-        result,
-    }
+    let events = ctx.drain_trace();
+    (
+        Certificate {
+            root_bound,
+            gap_db: root_bound - result.best_score,
+            proved,
+            nodes: stats.nodes,
+            leaves: stats.leaves,
+            cut_depths: stats.cut_depths,
+            result,
+        },
+        events,
+    )
 }
 
 /// The admissible instance-wide score bound on its own — cheap for
@@ -207,6 +279,8 @@ fn dfs(
             let incumbent = ctx.best().map_or(f64::NEG_INFINITY, |(_, s)| s);
             if lb.bound() > incumbent {
                 keep_going = dfs(ctx, lb, tasks, tiles, assignment, used, stats);
+            } else {
+                stats.record_cut(assignment.len());
             }
         }
         lb.unassign();

@@ -70,11 +70,32 @@
 //! [`PortfolioResult::collapsed`]. Because the knob is off by default
 //! and [`PortfolioSpec::canonical`] only prints it when set, committed
 //! warm-cache keys and sweep spec strings are byte-stable.
+//!
+//! # Telemetry
+//!
+//! Portfolio runs participate in the [`phonoc_core::telemetry`] layer
+//! at round granularity: [`run_portfolio_seeded_traced`] takes a
+//! [`TraceSink`] and emits one `lane_round`
+//! event per funded `(round, lane)` cell (allotment, spend, the lane's
+//! session score, whether it restarted from a seeded incumbent), a
+//! `collapse` event when dominance collapse fires, and a closing
+//! aggregate `session_end`. Lane sessions themselves run with the
+//! disabled [`NullSink`] — their decision
+//! counters still flow up: every lane's
+//! [`RunStats`] is absorbed into
+//! [`PortfolioResult::stats`] in the same fixed lane-order reduction
+//! as the incumbents, so the aggregate (and the trace) is
+//! bit-identical at any worker count and its peek-route counts
+//! reconcile with the summed evaluation ledger. Events carry
+//! deterministic integer payloads only (scores as [`f64::to_bits`]);
+//! there are no wall-clock fields, so traces are byte-reproducible
+//! per seed.
 
 use crate::registry;
 use phonoc_core::parallel::parallel_map_tasks;
 use phonoc_core::{
-    run_dse, DseConfig, Mapping, MappingProblem, NeighborhoodPolicy, Objective, PeekStrategy,
+    run_dse, DseConfig, Mapping, MappingProblem, NeighborhoodPolicy, NullSink, Objective,
+    PeekStrategy, RunStats, TraceEvent, TraceSink,
 };
 use std::fmt;
 use std::fmt::Write as _;
@@ -514,6 +535,11 @@ pub struct PortfolioResult {
     pub collapsed: Option<(usize, usize)>,
     /// Per-lane breakdown, in lane order.
     pub lanes: Vec<LaneOutcome>,
+    /// Aggregate decision counters absorbed from every lane session in
+    /// fixed lane order (peek route mix, neighbourhood stream, rounds
+    /// executed, collapse count — see the [module
+    /// docs](self#telemetry)). Bit-identical at any worker count.
+    pub stats: RunStats,
 }
 
 /// One lane's inputs for one round — a pure value, so the lane can run
@@ -569,6 +595,28 @@ pub fn run_portfolio_seeded(
     seed: u64,
     warm_start: Option<&Mapping>,
 ) -> PortfolioResult {
+    run_portfolio_seeded_traced(problem, spec, budget, seed, warm_start, &mut NullSink)
+}
+
+/// [`run_portfolio_seeded`] with a [`TraceSink`] receiving the
+/// round-granularity events described in the [module
+/// docs](self#telemetry). Passing [`NullSink`] is bit-identical to
+/// [`run_portfolio_seeded`] (it *is* that function), and the sink
+/// never influences the race: lane sessions run untraced, and events
+/// are emitted from the fixed lane-order reduction only.
+///
+/// # Panics
+///
+/// Same as [`run_portfolio`].
+#[must_use]
+pub fn run_portfolio_seeded_traced(
+    problem: &MappingProblem,
+    spec: &PortfolioSpec,
+    budget: usize,
+    seed: u64,
+    warm_start: Option<&Mapping>,
+    sink: &mut dyn TraceSink,
+) -> PortfolioResult {
     let n = spec.lanes.len();
     assert!(n > 0, "portfolio needs at least one lane");
     assert!(budget > 0, "portfolio needs a budget");
@@ -586,6 +634,9 @@ pub fn run_portfolio_seeded(
     // streak reaches `spec.collapse`.
     let mut streak: Option<(usize, usize)> = None;
     let mut collapsed: Option<(usize, usize)> = None;
+    // Aggregate decision counters, absorbed lane by lane in the fixed
+    // reduction below — never inside the parallel step.
+    let mut stats = RunStats::default();
 
     for round in 0..rounds {
         // Performance-weighted allocation: the lane holding the global
@@ -623,6 +674,7 @@ pub fn run_portfolio_seeded(
             })
             .collect();
 
+        let seeded_flags: Vec<bool> = starts.iter().map(Option::is_some).collect();
         let runs: Vec<LaneRun> = spec
             .lanes
             .iter()
@@ -670,6 +722,17 @@ pub fn run_portfolio_seeded(
             round_used += result.evaluations;
             full_evals[lane] += result.full_evaluations;
             delta_evals[lane] += result.delta_evaluations;
+            stats.absorb(&result.stats);
+            if sink.enabled() {
+                sink.record(TraceEvent::LaneRound {
+                    round,
+                    lane,
+                    allotted: allot[lane],
+                    used: result.evaluations,
+                    score_bits: result.best_score.to_bits(),
+                    seeded: seeded_flags[lane],
+                });
+            }
             let improves = incumbents[lane]
                 .as_ref()
                 .is_none_or(|(_, s)| result.best_score > *s);
@@ -683,6 +746,7 @@ pub fn run_portfolio_seeded(
                 .unwrap_or(f64::NEG_INFINITY),
         );
         round_evaluations.push(round_used);
+        stats.rounds += 1;
 
         // Dominance detection on the post-round standings (the same
         // fixed reduction the weights read): extend or reset the
@@ -696,6 +760,13 @@ pub fn run_portfolio_seeded(
                 if let (Some(k), Some((lane, count))) = (spec.collapse, streak) {
                     if count >= k {
                         collapsed = Some((lane, round));
+                        stats.collapses += 1;
+                        if sink.enabled() {
+                            sink.record(TraceEvent::CollapseFired {
+                                round,
+                                survivor: lane,
+                            });
+                        }
                     }
                 }
             }
@@ -723,6 +794,14 @@ pub fn run_portfolio_seeded(
                 .unwrap_or(f64::NEG_INFINITY),
         })
         .collect();
+    if sink.enabled() {
+        sink.record(TraceEvent::SessionEnd {
+            stats,
+            spent: ledger.total_used(),
+            budget: ledger.total_allotted(),
+            score_bits: best_score.to_bits(),
+        });
+    }
     PortfolioResult {
         spec: spec.canonical(),
         exchange: spec.exchange,
@@ -735,6 +814,7 @@ pub fn run_portfolio_seeded(
         budget: ledger.total_allotted(),
         collapsed,
         lanes,
+        stats,
     }
 }
 

@@ -14,7 +14,7 @@
 //! * **Near hit** — no exact match, but a stored request shares the
 //!   *family* (architecture + physics + objective + task count): the
 //!   best-overlapping neighbour's elite mapping seeds every round-0
-//!   portfolio lane via [`run_portfolio_seeded`] (the same
+//!   portfolio lane via [`crate::run_portfolio_seeded`] (the same
 //!   `set_seed_start` hook elite exchange uses between rounds), so the
 //!   search resumes from prior work instead of a random draw.
 //! * **Cold** — nothing applicable; a plain
@@ -48,9 +48,27 @@
 //! (property-tested in `tests/warm_properties.rs`). The reported
 //! [`RequestKey::content_hash`] is an FNV-1a digest used for logging
 //! and JSON provenance, never for equality.
+//!
+//! # Telemetry
+//!
+//! [`WarmCache::solve_traced`] participates in the
+//! [`phonoc_core::telemetry`] layer: every request emits one
+//! `warm_lookup` event (exact hit / near hit / cold, plus the donor's
+//! shared directed endpoints on a near hit) before any search runs,
+//! and non-exact requests then stream the portfolio's own
+//! round-granularity events into the same sink via
+//! [`crate::run_portfolio_seeded_traced`]. The returned result's
+//! [`RunStats`](phonoc_core::RunStats) additionally records how *this*
+//! request was satisfied in its `warm_*` counters (the stored cache
+//! entry keeps the pure run counters, so replays of an exact hit stay
+//! bit-identical to the original run). Tracing never changes cache
+//! keys, hit classification or results — the sink observes the
+//! decisions the untraced path already makes.
 
-use crate::portfolio::{run_portfolio_seeded, PortfolioResult, PortfolioSpec};
-use phonoc_core::{Mapping, MappingProblem, Objective};
+use crate::portfolio::{run_portfolio_seeded_traced, PortfolioResult, PortfolioSpec};
+use phonoc_core::{
+    Mapping, MappingProblem, NullSink, Objective, TraceEvent, TraceSink, WarmOutcome,
+};
 use std::collections::HashMap;
 
 /// The architecture-and-physics half of a request's identity: what has
@@ -321,11 +339,39 @@ impl WarmCache {
         budget: usize,
         seed: u64,
     ) -> WarmSolve {
+        self.solve_traced(problem, spec, budget, seed, &mut NullSink)
+    }
+
+    /// [`WarmCache::solve`] with a [`TraceSink`] receiving one
+    /// `warm_lookup` event per request plus, for requests that
+    /// actually run, the portfolio's round-granularity events (see the
+    /// [module docs](self#telemetry)). Passing [`NullSink`] is
+    /// bit-identical to [`WarmCache::solve`] (it *is* that function).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`crate::run_portfolio`] for requests that actually run.
+    pub fn solve_traced(
+        &mut self,
+        problem: &MappingProblem,
+        spec: &PortfolioSpec,
+        budget: usize,
+        seed: u64,
+        sink: &mut dyn TraceSink,
+    ) -> WarmSolve {
         let key = RequestKey::of(problem, spec, budget, seed);
         if let Some(&i) = self.by_key.get(&key) {
             self.exact_hits += 1;
+            if sink.enabled() {
+                sink.record(TraceEvent::WarmLookup {
+                    outcome: WarmOutcome::ExactHit,
+                    shared_edges: 0,
+                });
+            }
+            let mut result = self.entries[i].result.clone();
+            result.stats.warm_exact_hits += 1;
             return WarmSolve {
-                result: self.entries[i].result.clone(),
+                result,
                 source: WarmSource::ExactHit,
                 evaluations_spent: 0,
             };
@@ -333,10 +379,17 @@ impl WarmCache {
         let donor = self
             .near_hit_donor(&key)
             .map(|(m, s, overlap)| (m.clone(), s, overlap));
-        let (result, source) = match donor {
+        let (mut result, source) = match donor {
             Some((mapping, donor_score, shared_edges)) => {
                 self.near_hits += 1;
-                let result = run_portfolio_seeded(problem, spec, budget, seed, Some(&mapping));
+                if sink.enabled() {
+                    sink.record(TraceEvent::WarmLookup {
+                        outcome: WarmOutcome::NearHit,
+                        shared_edges,
+                    });
+                }
+                let result =
+                    run_portfolio_seeded_traced(problem, spec, budget, seed, Some(&mapping), sink);
                 (
                     result,
                     WarmSource::NearHit {
@@ -347,12 +400,25 @@ impl WarmCache {
             }
             None => {
                 self.cold_runs += 1;
-                let result = run_portfolio_seeded(problem, spec, budget, seed, None);
+                if sink.enabled() {
+                    sink.record(TraceEvent::WarmLookup {
+                        outcome: WarmOutcome::Cold,
+                        shared_edges: 0,
+                    });
+                }
+                let result = run_portfolio_seeded_traced(problem, spec, budget, seed, None, sink);
                 (result, WarmSource::Cold)
             }
         };
         let evaluations_spent = result.evaluations;
+        // Store the pure run counters; classify the request only on the
+        // returned copy, so a later exact hit replays the original run.
         self.insert(key, result.clone());
+        if matches!(source, WarmSource::NearHit { .. }) {
+            result.stats.warm_near_hits += 1;
+        } else {
+            result.stats.warm_cold += 1;
+        }
         WarmSolve {
             result,
             source,

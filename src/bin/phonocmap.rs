@@ -15,7 +15,16 @@
 //! phonocmap sweep [--smoke] [--neighborhood P] [--out BENCH_sweep.json]
 //! phonocmap replay [--smoke] [--budget N] [--out BENCH_warmstart.json]
 //! phonocmap parallel-bench [--smoke] [--out BENCH_parallel.json]
+//! phonocmap trace run.trace.jsonl              # analyze a recorded trace
 //! ```
+//!
+//! `optimize`, `portfolio` and `replay` take `--trace-out PATH` to
+//! record the run's structured telemetry as `phonocmap-trace/1` JSONL
+//! (`phonoc_core::telemetry`); `phonocmap trace` reads such a file
+//! back, prints the route-mix / lane-budget / cache-hit breakdowns and
+//! verifies the reconciliation identities. Setting `PHONOC_TRACE_NULL`
+//! keeps the sink off and writes a header-only trace — the CI check
+//! that tracing is genuinely opt-in.
 //!
 //! The CG text format is documented in `phonoc_apps::text`.
 
@@ -41,6 +50,7 @@ fn main() -> ExitCode {
         "sweep" => cmd_sweep(&args),
         "replay" => cmd_replay(&args),
         "parallel-bench" => cmd_parallel_bench(&args),
+        "trace" => cmd_trace(&args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -75,6 +85,9 @@ commands:
   parallel-bench [--smoke] [--out PATH] dispatch-overhead microbench: the
         [--samples N]                   persistent pool vs scope-spawn across
                                         batch size x item cost x workers
+  trace <file>                          analyze a phonocmap-trace/1 JSONL file
+                                        (route mix, lane budget flow, cache
+                                        hits) and verify its accounting
 options (analyze/optimize/portfolio):
   --topology mesh|torus|ring   (default mesh)
   --router   crux|crossbar|xy-crossbar   (default crux)
@@ -86,7 +99,10 @@ options (analyze/optimize/portfolio):
   --neighborhood auto|exhaustive|sampled|locality  (default auto: exhaustive
              swap scans up to ~8x8 meshes, budget-aware sampling beyond)
   --budget N                   evaluations (default 100000)
-  --seed N                     RNG seed (default 42)";
+  --seed N                     RNG seed (default 42)
+  --trace-out PATH             record the run as phonocmap-trace/1 JSONL
+             (optimize/portfolio/replay; read back with `phonocmap trace`;
+             PHONOC_TRACE_NULL=1 writes a header-only trace, sink off)";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -279,7 +295,7 @@ fn cmd_portfolio(args: &[String]) -> Result<(), String> {
     if budget == 0 {
         return Err("--budget must be at least 1".into());
     }
-    run_portfolio_session(&problem, &spec, budget, seed)
+    run_portfolio_session(&problem, &spec, budget, seed, flag(args, "--trace-out"))
 }
 
 /// Shared portfolio driver behind `phonocmap portfolio` and
@@ -289,8 +305,23 @@ fn run_portfolio_session(
     spec: &PortfolioSpec,
     budget: usize,
     seed: u64,
+    trace_out: Option<String>,
 ) -> Result<(), String> {
-    let result = run_portfolio(problem, spec, budget, seed);
+    // The sink only observes the fixed lane-order reduction — the race
+    // itself is bit-identical traced or not.
+    let mut sink: Box<dyn phonocmap::core::TraceSink> = if trace_recording(trace_out.as_ref()) {
+        Box::new(phonocmap::core::RunTrace::new())
+    } else {
+        Box::new(phonocmap::core::NullSink)
+    };
+    let result = phonocmap::opt::run_portfolio_seeded_traced(
+        problem,
+        spec,
+        budget,
+        seed,
+        None,
+        sink.as_mut(),
+    );
     println!(
         "{} finished: {} rounds, {}/{} evaluations, best {} = {:.3}",
         result.spec,
@@ -325,6 +356,11 @@ fn run_portfolio_session(
     );
     println!();
     print!("{}", analyze(problem, &result.best_mapping));
+    println!();
+    print!("{}", result.stats.route_mix_table());
+    if let Some(path) = trace_out {
+        write_trace(&path, "portfolio", &sink.drain())?;
+    }
     Ok(())
 }
 
@@ -342,6 +378,35 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 fn cmd_parallel_bench(args: &[String]) -> Result<(), String> {
     // One shared driver with the standalone `parallel` bin.
     bench::parallel::run_parallel_cli(args, "phonocmap parallel-bench")
+}
+
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let path = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("trace needs a JSONL trace file (record one with --trace-out)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (header, events) = phonocmap::core::parse_trace(&text)?;
+    print!("{}", phonocmap::core::summarize_trace(&header, &events)?);
+    Ok(())
+}
+
+/// Whether `--trace-out` should install a recording sink: the flag was
+/// given and `PHONOC_TRACE_NULL` (the CI off-switch check) is unset.
+fn trace_recording(trace_out: Option<&String>) -> bool {
+    trace_out.is_some() && std::env::var_os("PHONOC_TRACE_NULL").is_none()
+}
+
+/// Writes a recorded event stream as a `phonocmap-trace/1` JSONL file.
+fn write_trace(
+    path: &str,
+    source: &str,
+    events: &[phonocmap::core::TraceEvent],
+) -> Result<(), String> {
+    std::fs::write(path, phonocmap::core::render_trace(source, events))
+        .map_err(|e| format!("cannot write {path}: {e}"))?;
+    println!("wrote {path} ({} events)", events.len());
+    Ok(())
 }
 
 fn cmd_optimize(args: &[String]) -> Result<(), String> {
@@ -367,7 +432,7 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
                         .into(),
                 );
             }
-            return run_portfolio_session(&problem, &spec, budget, seed);
+            return run_portfolio_session(&problem, &spec, budget, seed, flag(args, "--trace-out"));
         }
         phonocmap::opt::SearchSpec::Single(single) => single,
     };
@@ -395,7 +460,18 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     // A `!objective` suffix re-targets the session; report under the
     // objective the scores actually mean.
     let objective = single.objective.unwrap_or_else(|| problem.objective());
-    let result = run_dse(&problem, single.optimizer.as_ref(), &config);
+    let trace_out = flag(args, "--trace-out");
+    // The recorder is invisible to the search (bit-identical results,
+    // property-pinned), so the traced and untraced paths print the
+    // same report.
+    let (result, events) = if trace_recording(trace_out.as_ref()) {
+        phonocmap::core::run_dse_traced(&problem, single.optimizer.as_ref(), &config)
+    } else {
+        (
+            run_dse(&problem, single.optimizer.as_ref(), &config),
+            Vec::new(),
+        )
+    };
     println!(
         "{} finished: {} evaluations, best {} = {:.3}",
         result.optimizer, result.evaluations, objective, result.best_score
@@ -413,5 +489,10 @@ fn cmd_optimize(args: &[String]) -> Result<(), String> {
     }
     println!();
     print!("{}", analyze(&problem, &result.best_mapping));
+    println!();
+    print!("{}", result.stats.route_mix_table());
+    if let Some(path) = trace_out {
+        write_trace(&path, "optimize", &events)?;
+    }
     Ok(())
 }
